@@ -1,0 +1,43 @@
+// Command smappic-cost reproduces the cost-efficiency analysis of paper
+// §4.5: the instance catalog, per-tool host selection, the Fig. 13 modeling
+// cost comparison and the Fig. 14 cloud-versus-on-premises curves.
+//
+// Usage:
+//
+//	smappic-cost [-what catalog|hosts|fig13|fig14|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smappic/internal/experiments"
+)
+
+func main() {
+	what := flag.String("what", "all", "which analysis to print: catalog, hosts, fig13, fig14 or all")
+	flag.Parse()
+
+	sections := map[string]func() string{
+		"catalog": experiments.Table1,
+		"hosts":   experiments.Table3,
+		"fig13":   func() string { return experiments.Fig13().String() },
+		"fig14":   func() string { return experiments.Fig14().String() },
+	}
+	order := []string{"catalog", "hosts", "fig13", "fig14"}
+
+	if *what != "all" {
+		fn, ok := sections[*what]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown analysis %q\n", *what)
+			os.Exit(1)
+		}
+		fmt.Print(fn())
+		return
+	}
+	for _, name := range order {
+		fmt.Print(sections[name]())
+		fmt.Println()
+	}
+}

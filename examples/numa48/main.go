@@ -1,0 +1,69 @@
+// numa48 reproduces the paper's flagship case study (§4.1) at example
+// scale: a 48-core, 4-node, cache-coherent RISC-V system (4x1x12), the
+// inter-core latency heatmap with its four visible NUMA domains, and the
+// NUMA-on/off integer-sort comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smappic"
+	"smappic/internal/core"
+	"smappic/internal/workload"
+)
+
+func main() {
+	// 4 FPGAs x 1 node x 12 tiles = the paper's 48-core NUMA system.
+	// CoreNone boots the mini-kernel for execution-driven workloads.
+	cfg := smappic.DefaultConfig(4, 1, 12)
+	cfg.Core = smappic.CoreNone
+	proto, err := smappic.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Latency structure (Fig. 7): measure a few representative pairs.
+	fmt.Println("inter-core round-trip latencies (cycles):")
+	pairs := []struct {
+		i, j smappic.GID
+		what string
+	}{
+		{smappic.GID{Node: 0, Tile: 0}, smappic.GID{Node: 0, Tile: 1}, "same node, neighbors"},
+		{smappic.GID{Node: 0, Tile: 0}, smappic.GID{Node: 0, Tile: 11}, "same node, far corner"},
+		{smappic.GID{Node: 0, Tile: 0}, smappic.GID{Node: 1, Tile: 0}, "adjacent node"},
+		{smappic.GID{Node: 0, Tile: 0}, smappic.GID{Node: 3, Tile: 11}, "far node, far tile"},
+	}
+	for n, pr := range pairs {
+		lat := proto.MeasureLatency(pr.i, pr.j, n+1)
+		fmt.Printf("  core %2d -> core %2d  %4d cycles   (%s)\n",
+			pr.i.Node*12+pr.i.Tile, pr.j.Node*12+pr.j.Tile, lat, pr.what)
+	}
+
+	// NUMA on vs off (Fig. 8's mechanism) with the NPB integer sort.
+	fmt.Println("\nparallel integer sort, 24 threads, 32Ki keys:")
+	for _, numa := range []bool{true, false} {
+		p, err := smappic.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kc := smappic.DefaultKernelConfig()
+		kc.NUMA = numa
+		k := smappic.BootKernel(p, kc)
+		ip := workload.DefaultISParams(24)
+		res := workload.RunIS(k, ip)
+		mode := "on "
+		if !numa {
+			mode = "off"
+		}
+		fmt.Printf("  NUMA %s: %8d cycles (%.2f ms) sorted=%v\n",
+			mode, res.Cycles, res.Seconds*1e3, res.Sorted)
+	}
+
+	// The device tree the kernel would hand to Linux.
+	fmt.Printf("\nNUMA topology: %d nodes x %d cores, DRAM per node at:\n",
+		cfg.TotalNodes(), cfg.TilesPerNode)
+	for n := 0; n < cfg.TotalNodes(); n++ {
+		fmt.Printf("  node %d: %#x\n", n, core.DRAMBase+uint64(n)*core.NodeDRAMSize)
+	}
+}

@@ -1,0 +1,3 @@
+module smappic
+
+go 1.22

@@ -1,0 +1,114 @@
+package axi
+
+import (
+	"fmt"
+	"sort"
+
+	"smappic/internal/sim"
+)
+
+// Region maps an address window onto a target. Windows must not overlap.
+type Region struct {
+	Base   Addr
+	Size   uint64
+	Target Target
+	Name   string
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr Addr) bool {
+	return addr >= r.Base && addr-r.Base < r.Size
+}
+
+// Crossbar is an N-master x M-slave AXI4 interconnect with address decoding.
+// SMAPPIC uses one inside each FPGA to connect node bridges to each other and
+// to the shell's PCIe port. Timing: a fixed traversal latency plus per-target
+// serialization (one beat per cycle on the target port).
+type Crossbar struct {
+	eng     *sim.Engine
+	name    string
+	latency sim.Time
+	regions []Region
+	busy    map[Target]sim.Time
+	stats   *sim.Stats
+}
+
+// NewCrossbar builds a crossbar with the given traversal latency.
+func NewCrossbar(eng *sim.Engine, name string, latency sim.Time, stats *sim.Stats) *Crossbar {
+	return &Crossbar{
+		eng:     eng,
+		name:    name,
+		latency: latency,
+		busy:    make(map[Target]sim.Time),
+		stats:   stats,
+	}
+}
+
+// Map adds an address window. It panics on overlap with an existing window:
+// overlapping decode is always a configuration bug.
+func (x *Crossbar) Map(r Region) {
+	for _, e := range x.regions {
+		if r.Base < e.Base+Addr(e.Size) && e.Base < r.Base+Addr(r.Size) {
+			panic(fmt.Sprintf("axi: region %q overlaps %q", r.Name, e.Name))
+		}
+	}
+	x.regions = append(x.regions, r)
+	sort.Slice(x.regions, func(i, j int) bool { return x.regions[i].Base < x.regions[j].Base })
+}
+
+// Regions returns the configured windows in address order.
+func (x *Crossbar) Regions() []Region { return x.regions }
+
+// Decode returns the target for addr, or nil if unmapped.
+func (x *Crossbar) Decode(addr Addr) Target {
+	// Few regions per crossbar (<=8); linear scan over the sorted slice.
+	for _, r := range x.regions {
+		if r.Contains(addr) {
+			return r.Target
+		}
+	}
+	return nil
+}
+
+// delay computes the scheduling delay for a transfer of n bytes to t,
+// reserving the target port for the transfer's beats.
+func (x *Crossbar) delay(t Target, n int) sim.Time {
+	beats := sim.Time((n + BeatBytes - 1) / BeatBytes)
+	if beats == 0 {
+		beats = 1
+	}
+	start := x.eng.Now() + x.latency
+	if b := x.busy[t]; b > start {
+		start = b
+	}
+	x.busy[t] = start + beats
+	return start - x.eng.Now()
+}
+
+// Write routes an AXI4 write through the crossbar.
+func (x *Crossbar) Write(req *WriteReq, done func(*WriteResp)) {
+	t := x.Decode(req.Addr)
+	if t == nil {
+		done(&WriteResp{ID: req.ID, OK: false})
+		return
+	}
+	if x.stats != nil {
+		x.stats.Counter(x.name + ".writes").Inc()
+	}
+	x.eng.Schedule(x.delay(t, len(req.Data)), func() { t.Write(req, done) })
+}
+
+// Read routes an AXI4 read through the crossbar.
+func (x *Crossbar) Read(req *ReadReq, done func(*ReadResp)) {
+	t := x.Decode(req.Addr)
+	if t == nil {
+		done(&ReadResp{ID: req.ID, OK: false})
+		return
+	}
+	if x.stats != nil {
+		x.stats.Counter(x.name + ".reads").Inc()
+	}
+	x.eng.Schedule(x.delay(t, req.Len), func() { t.Read(req, done) })
+}
+
+var _ Target = (*Crossbar)(nil)

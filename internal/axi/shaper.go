@@ -1,0 +1,54 @@
+package axi
+
+import "smappic/internal/sim"
+
+// Shaper wraps a Target with a configurable-latency, configurable-bandwidth
+// performance model. SMAPPIC includes one in the inter-node bridge and the
+// memory controller (paper §3.5): off-node interactions cannot be mapped
+// into FPGA gates, so their performance is modeled by shaping the functional
+// traffic.
+type Shaper struct {
+	eng *sim.Engine
+	t   Target
+	// ExtraLatency is added to every request before it reaches the target.
+	ExtraLatency sim.Time
+	// BytesPerCycle throttles throughput; zero means unlimited.
+	BytesPerCycle int
+
+	busy sim.Time
+}
+
+// NewShaper wraps t. With zero latency and bandwidth it is a transparent
+// pass-through.
+func NewShaper(eng *sim.Engine, t Target, extraLatency sim.Time, bytesPerCycle int) *Shaper {
+	return &Shaper{eng: eng, t: t, ExtraLatency: extraLatency, BytesPerCycle: bytesPerCycle}
+}
+
+func (s *Shaper) delay(n int) sim.Time {
+	d := s.ExtraLatency
+	if s.BytesPerCycle > 0 {
+		beats := sim.Time((n + s.BytesPerCycle - 1) / s.BytesPerCycle)
+		if beats == 0 {
+			beats = 1
+		}
+		start := s.eng.Now() + d
+		if s.busy > start {
+			start = s.busy
+		}
+		s.busy = start + beats
+		return start + beats - s.eng.Now()
+	}
+	return d
+}
+
+// Write forwards the request after shaping.
+func (s *Shaper) Write(req *WriteReq, done func(*WriteResp)) {
+	s.eng.Schedule(s.delay(len(req.Data)), func() { s.t.Write(req, done) })
+}
+
+// Read forwards the request after shaping.
+func (s *Shaper) Read(req *ReadReq, done func(*ReadResp)) {
+	s.eng.Schedule(s.delay(req.Len), func() { s.t.Read(req, done) })
+}
+
+var _ Target = (*Shaper)(nil)

@@ -1,0 +1,236 @@
+// Package bridge implements SMAPPIC's inter-node bridge (paper §3.1,
+// Fig. 4): the unit that makes large-scale multi-node prototypes possible by
+// encapsulating NoC traffic into AXI4 write requests. Nodes on the same FPGA
+// are connected through the AXI4 crossbar; nodes on different FPGAs through
+// the Hard Shell's AXI4-PCIe transducer — the bridge itself is agnostic, it
+// just issues AXI against the address its route table gives it.
+//
+// Encapsulation follows the paper: the aw channel (request address) carries
+// the transfer info — destination node ID, source node ID and flit valid
+// bits — and the w channel carries three NoC flits per write. Packets longer
+// than three flits are sent as consecutive writes. To guarantee freedom from
+// deadlock the NoCs are credit-flow-controlled across the bridge: the
+// sending side consumes credits per flit and periodically issues an AXI4
+// read to the receiving side, which answers with the number of credits to
+// return.
+package bridge
+
+import (
+	"fmt"
+
+	"smappic/internal/axi"
+	"smappic/internal/noc"
+	"smappic/internal/sim"
+)
+
+// ChunkFlits is the number of NoC flits carried per AXI4 write (w channel).
+const ChunkFlits = 3
+
+// Envelope is an inter-node NoC packet in flight between bridges. The
+// platform's transport wraps coherence/interrupt messages in one.
+type Envelope struct {
+	SrcNode int
+	DstNode int
+	// DstPort/DstTile address the packet within the destination node's
+	// mesh; the zero DstPort is a tile destination.
+	DstPort noc.Port
+	DstTile int
+	Class   noc.Class
+	Flits   int
+	Payload any
+}
+
+// Params configure the bridge.
+type Params struct {
+	ProcessDelay  sim.Time // encapsulation/decapsulation latency per side
+	CreditsPerDst int      // flit credits per destination node
+	// Shaper models a slower inter-node link (paper §3.5); zero values
+	// leave the link unshaped.
+	ExtraLatency  sim.Time
+	BytesPerCycle int
+}
+
+// DefaultParams matches the F1 deployment: light bridge pipeline, enough
+// credits to cover the PCIe round trip at full rate.
+func DefaultParams() Params {
+	return Params{ProcessDelay: 5, CreditsPerDst: 24 * ChunkFlits}
+}
+
+// Bridge is one node's inter-node bridge.
+type Bridge struct {
+	eng    *sim.Engine
+	mesh   *noc.Mesh
+	node   int
+	p      Params
+	stats  *sim.Stats
+	name   string
+	out    axi.Target
+	addrOf func(dstNode int) axi.Addr
+
+	credits    map[int]int         // send credits per destination node
+	sendq      map[int][]*Envelope // packets stalled on credits
+	creditRead map[int]bool        // outstanding credit-return read per dst
+	freed      map[int]int         // receive side: credits to return per src
+}
+
+// New creates a bridge for the given node and registers it at the mesh's
+// bridge port.
+func New(eng *sim.Engine, mesh *noc.Mesh, node int, p Params, stats *sim.Stats, name string) *Bridge {
+	b := &Bridge{
+		eng: eng, mesh: mesh, node: node, p: p, stats: stats, name: name,
+		credits:    make(map[int]int),
+		sendq:      make(map[int][]*Envelope),
+		creditRead: make(map[int]bool),
+		freed:      make(map[int]int),
+	}
+	mesh.AttachBridge(b.handleMeshPacket)
+	return b
+}
+
+// ConnectOut wires the bridge's outbound AXI path: out is the crossbar or
+// shell port, addrOf maps a destination node to the AXI address of its
+// bridge window. A shaper is inserted when Params request one.
+func (b *Bridge) ConnectOut(out axi.Target, addrOf func(dstNode int) axi.Addr) {
+	if b.p.ExtraLatency > 0 || b.p.BytesPerCycle > 0 {
+		out = axi.NewShaper(b.eng, out, b.p.ExtraLatency, b.p.BytesPerCycle)
+	}
+	b.out = out
+	b.addrOf = addrOf
+}
+
+func (b *Bridge) count(what string, n uint64) {
+	if b.stats != nil {
+		b.stats.Counter(b.name + "." + what).Add(n)
+	}
+}
+
+// handleMeshPacket receives a NoC packet routed to the bridge port
+// (northbound out of tile 0) and encapsulates it.
+func (b *Bridge) handleMeshPacket(pkt *noc.Packet) {
+	env, ok := pkt.Payload.(*Envelope)
+	if !ok {
+		panic(fmt.Sprintf("bridge: %s: non-envelope payload %T at bridge port", b.name, pkt.Payload))
+	}
+	b.eng.Schedule(b.p.ProcessDelay, func() { b.trySend(env) })
+}
+
+// trySend transmits env if credits allow, otherwise queues it and arranges
+// a credit-return read.
+func (b *Bridge) trySend(env *Envelope) {
+	if b.out == nil {
+		panic(fmt.Sprintf("bridge: %s: not connected", b.name))
+	}
+	dst := env.DstNode
+	if _, ok := b.credits[dst]; !ok {
+		b.credits[dst] = b.p.CreditsPerDst
+	}
+	if len(b.sendq[dst]) > 0 || b.credits[dst] < env.Flits {
+		// Preserve order behind already-stalled packets.
+		b.sendq[dst] = append(b.sendq[dst], env)
+		b.count("credit_stall", 1)
+		b.fetchCredits(dst)
+		return
+	}
+	b.credits[dst] -= env.Flits
+	b.transmit(env)
+}
+
+// transmit issues ceil(flits/3) AXI writes; the last carries the envelope.
+func (b *Bridge) transmit(env *Envelope) {
+	chunks := (env.Flits + ChunkFlits - 1) / ChunkFlits
+	addr := b.addrOf(env.DstNode) |
+		axi.Addr(uint64(b.node)<<8) | // source node ID in the address
+		axi.Addr(uint64(env.Class)<<4)
+	b.count("tx_packets", 1)
+	b.count("tx_flits", uint64(env.Flits))
+	for i := 0; i < chunks; i++ {
+		req := &axi.WriteReq{
+			Addr: addr,
+			Data: make([]byte, ChunkFlits*8),
+		}
+		if i == chunks-1 {
+			req.User = env
+		}
+		b.out.Write(req, func(*axi.WriteResp) {})
+	}
+}
+
+// fetchCredits issues the credit-return AXI read (ar channel) unless one is
+// already outstanding toward dst.
+func (b *Bridge) fetchCredits(dst int) {
+	if b.creditRead[dst] {
+		return
+	}
+	b.creditRead[dst] = true
+	b.count("credit_reads", 1)
+	b.out.Read(&axi.ReadReq{
+		Addr: b.addrOf(dst) | axi.Addr(uint64(b.node)<<8),
+		Len:  8,
+	}, func(r *axi.ReadResp) {
+		b.creditRead[dst] = false
+		got := 0
+		if cr, ok := r.User.(int); ok {
+			got = cr
+		}
+		b.credits[dst] += got
+		b.drain(dst)
+	})
+}
+
+// drain retries queued packets after credits arrive.
+func (b *Bridge) drain(dst int) {
+	for len(b.sendq[dst]) > 0 {
+		env := b.sendq[dst][0]
+		if b.credits[dst] < env.Flits {
+			// Still short: poll again. The receiver frees credits as it
+			// injects, so this terminates.
+			b.eng.Schedule(b.p.ProcessDelay*4, func() { b.fetchCredits(dst) })
+			return
+		}
+		b.sendq[dst] = b.sendq[dst][1:]
+		b.credits[dst] -= env.Flits
+		b.transmit(env)
+	}
+}
+
+// Inbound returns the AXI target of this bridge's receive side, to be
+// mapped into the node's inbound address decode.
+func (b *Bridge) Inbound() axi.Target { return (*inbound)(b) }
+
+type inbound Bridge
+
+// Write receives an encapsulation chunk. Only the final chunk of a packet
+// carries the envelope; earlier chunks have paid their bus time already.
+func (in *inbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
+	b := (*Bridge)(in)
+	done(&axi.WriteResp{ID: req.ID, OK: true})
+	env, ok := req.User.(*Envelope)
+	if !ok {
+		return
+	}
+	b.eng.Schedule(b.p.ProcessDelay, func() {
+		b.count("rx_packets", 1)
+		b.count("rx_flits", uint64(env.Flits))
+		// Inject into the local mesh toward the destination tile; the
+		// buffer slot is freed at injection, returning credits to the
+		// sender on its next credit read.
+		b.freed[env.SrcNode] += env.Flits
+		b.mesh.Send(&noc.Packet{
+			Class:   env.Class,
+			Src:     noc.Dest{Port: noc.PortBridge},
+			Dst:     noc.Dest{Port: env.DstPort, Tile: env.DstTile},
+			Flits:   env.Flits,
+			Payload: env.Payload,
+		})
+	})
+}
+
+// Read answers a credit-return request: the r channel carries the number of
+// credits freed since the source's last read.
+func (in *inbound) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
+	b := (*Bridge)(in)
+	src := int(uint64(req.Addr) >> 8 & 0xFF)
+	n := b.freed[src]
+	b.freed[src] = 0
+	done(&axi.ReadResp{ID: req.ID, Data: make([]byte, 8), OK: true, User: n})
+}

@@ -1,0 +1,242 @@
+package bridge
+
+import (
+	"testing"
+
+	"smappic/internal/axi"
+	"smappic/internal/noc"
+	"smappic/internal/pcie"
+	"smappic/internal/shell"
+	"smappic/internal/sim"
+)
+
+// pair builds two nodes (one 2x1 mesh each) on two FPGAs connected through
+// shells and the PCIe fabric, with a bridge on each node.
+type pair struct {
+	eng    *sim.Engine
+	meshes [2]*noc.Mesh
+	bs     [2]*Bridge
+	stats  *sim.Stats
+}
+
+func newPair(t *testing.T, p Params) *pair {
+	t.Helper()
+	eng := sim.NewEngine()
+	var stats sim.Stats
+	fab := pcie.New(eng, pcie.DefaultParams(), &stats)
+	pr := &pair{eng: eng, stats: &stats}
+	var shells [2]*shell.Shell
+	for i := 0; i < 2; i++ {
+		shells[i] = shell.New(eng, fab, i, &stats)
+		pr.meshes[i] = noc.New(eng, "mesh", noc.DefaultParams(2, 1), &stats)
+		pr.bs[i] = New(eng, pr.meshes[i], i, p, &stats, "bridge")
+	}
+	for i := 0; i < 2; i++ {
+		shells[i].SetCustomLogic(pr.bs[i].Inbound())
+		out := shells[i].Outbound()
+		pr.bs[i].ConnectOut(out, func(dst int) axi.Addr {
+			base, _ := fab.Window(dst)
+			return base
+		})
+	}
+	return pr
+}
+
+// send pushes an envelope from node src tile 0 into the mesh toward the
+// bridge port.
+func (p *pair) send(src, dst, dstTile, flits int, payload any) {
+	p.meshes[src].Send(&noc.Packet{
+		Class: noc.NoC1,
+		Src:   noc.Dest{Port: noc.PortTile, Tile: 0},
+		Dst:   noc.Dest{Port: noc.PortBridge},
+		Flits: flits,
+		Payload: &Envelope{
+			SrcNode: src, DstNode: dst, DstTile: dstTile,
+			Class: noc.NoC1, Flits: flits, Payload: payload,
+		},
+	})
+}
+
+func TestCrossFPGADelivery(t *testing.T) {
+	p := newPair(t, DefaultParams())
+	var got any
+	var at sim.Time
+	p.meshes[1].AttachTile(1, func(pkt *noc.Packet) { got = pkt.Payload; at = p.eng.Now() })
+	p.send(0, 1, 1, 3, "hello")
+	p.eng.Run()
+	if got != "hello" {
+		t.Fatalf("payload = %v, want hello", got)
+	}
+	// One-way: mesh + bridge 5 + PCIe ~63 + bridge 5 + mesh: ~80-95 cycles.
+	if at < 70 || at > 110 {
+		t.Fatalf("one-way inter-node latency = %d, want ~80-95", at)
+	}
+}
+
+func TestMultiChunkPacketArrivesOnce(t *testing.T) {
+	p := newPair(t, DefaultParams())
+	deliveries := 0
+	p.meshes[1].AttachTile(0, func(pkt *noc.Packet) {
+		deliveries++
+		if pkt.Flits != 9 {
+			t.Errorf("flits = %d, want 9", pkt.Flits)
+		}
+	})
+	p.send(0, 1, 0, 9, "data") // 9 flits = 3 AXI writes
+	p.eng.Run()
+	if deliveries != 1 {
+		t.Fatalf("delivered %d times, want 1", deliveries)
+	}
+	if p.stats.Get("bridge.tx_packets") != 1 {
+		t.Error("tx_packets != 1")
+	}
+}
+
+func TestOrderPreservedSameDestination(t *testing.T) {
+	p := newPair(t, DefaultParams())
+	var order []int
+	p.meshes[1].AttachTile(1, func(pkt *noc.Packet) { order = append(order, pkt.Payload.(int)) })
+	for i := 0; i < 10; i++ {
+		p.send(0, 1, 1, 3, i)
+	}
+	p.eng.Run()
+	if len(order) != 10 {
+		t.Fatalf("delivered %d, want 10", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("reordered: %v", order)
+		}
+	}
+}
+
+func TestCreditExhaustionStallsThenRecovers(t *testing.T) {
+	p := DefaultParams()
+	p.CreditsPerDst = 9 // room for just one 9-flit packet
+	pr := newPair(t, p)
+	got := 0
+	pr.meshes[1].AttachTile(0, func(pkt *noc.Packet) { got++ })
+	for i := 0; i < 5; i++ {
+		pr.send(0, 1, 0, 9, i)
+	}
+	pr.eng.Run()
+	if got != 5 {
+		t.Fatalf("delivered %d, want 5 after credit recovery", got)
+	}
+	if pr.stats.Get("bridge.credit_stall") == 0 {
+		t.Error("expected credit stalls")
+	}
+	if pr.stats.Get("bridge.credit_reads") == 0 {
+		t.Error("expected credit-return reads")
+	}
+}
+
+func TestCreditsNeverGoNegative(t *testing.T) {
+	p := DefaultParams()
+	p.CreditsPerDst = 12
+	pr := newPair(t, p)
+	pr.meshes[1].AttachTile(0, func(pkt *noc.Packet) {})
+	for i := 0; i < 50; i++ {
+		pr.send(0, 1, 0, 3, i)
+	}
+	pr.eng.Run()
+	for dst, c := range pr.bs[0].credits {
+		if c < 0 {
+			t.Fatalf("credits[%d] = %d, negative", dst, c)
+		}
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	pr := newPair(t, DefaultParams())
+	a, b := 0, 0
+	pr.meshes[0].AttachTile(0, func(pkt *noc.Packet) { a++ })
+	pr.meshes[1].AttachTile(0, func(pkt *noc.Packet) { b++ })
+	for i := 0; i < 20; i++ {
+		pr.send(0, 1, 0, 3, i)
+		pr.send(1, 0, 0, 3, i)
+	}
+	pr.eng.Run()
+	if a != 20 || b != 20 {
+		t.Fatalf("delivered a=%d b=%d, want 20/20", a, b)
+	}
+}
+
+func TestShaperSlowsInterNodeLink(t *testing.T) {
+	fast := newPair(t, DefaultParams())
+	var fastAt sim.Time
+	fast.meshes[1].AttachTile(0, func(*noc.Packet) { fastAt = fast.eng.Now() })
+	fast.send(0, 1, 0, 3, nil)
+	fast.eng.Run()
+
+	p := DefaultParams()
+	p.ExtraLatency = 500 // model e.g. a slower Ampere-Altra-class link
+	slow := newPair(t, p)
+	var slowAt sim.Time
+	slow.meshes[1].AttachTile(0, func(*noc.Packet) { slowAt = slow.eng.Now() })
+	slow.send(0, 1, 0, 3, nil)
+	slow.eng.Run()
+
+	if slowAt < fastAt+400 {
+		t.Fatalf("shaper ineffective: fast=%d slow=%d", fastAt, slowAt)
+	}
+}
+
+func TestSameFPGABridgeOverCrossbar(t *testing.T) {
+	// Two nodes in one FPGA connected by an AXI crossbar instead of PCIe
+	// (the 1x4x2-style configuration).
+	eng := sim.NewEngine()
+	var stats sim.Stats
+	xbar := axi.NewCrossbar(eng, "xbar", 2, &stats)
+	var meshes [2]*noc.Mesh
+	var bs [2]*Bridge
+	for i := 0; i < 2; i++ {
+		meshes[i] = noc.New(eng, "mesh", noc.DefaultParams(2, 1), &stats)
+		bs[i] = New(eng, meshes[i], i, DefaultParams(), &stats, "bridge")
+	}
+	for i := 0; i < 2; i++ {
+		xbar.Map(axi.Region{Base: axi.Addr(uint64(i) << 24), Size: 1 << 24, Target: bs[i].Inbound(), Name: "bridge"})
+	}
+	for i := 0; i < 2; i++ {
+		bs[i].ConnectOut(xbar, func(dst int) axi.Addr { return axi.Addr(uint64(dst) << 24) })
+	}
+	var at sim.Time
+	meshes[1].AttachTile(1, func(pkt *noc.Packet) { at = eng.Now() })
+	meshes[0].Send(&noc.Packet{
+		Class: noc.NoC1,
+		Src:   noc.Dest{Port: noc.PortTile, Tile: 0},
+		Dst:   noc.Dest{Port: noc.PortBridge},
+		Flits: 3,
+		Payload: &Envelope{
+			SrcNode: 0, DstNode: 1, DstTile: 1,
+			Class: noc.NoC1, Flits: 3, Payload: "x",
+		},
+	})
+	eng.Run()
+	if at == 0 {
+		t.Fatal("same-FPGA inter-node packet not delivered")
+	}
+	// Crossbar path should be far faster than PCIe (~63 cycles one way).
+	if at > 40 {
+		t.Fatalf("same-FPGA inter-node latency = %d, want < 40", at)
+	}
+}
+
+func TestUnconnectedBridgePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	mesh := noc.New(eng, "mesh", noc.DefaultParams(2, 1), nil)
+	New(eng, mesh, 0, DefaultParams(), nil, "bridge")
+	mesh.Send(&noc.Packet{
+		Class:   noc.NoC1,
+		Src:     noc.Dest{Port: noc.PortTile, Tile: 0},
+		Dst:     noc.Dest{Port: noc.PortBridge},
+		Flits:   3,
+		Payload: &Envelope{DstNode: 1, Flits: 3},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("unconnected bridge did not panic")
+		}
+	}()
+	eng.Run()
+}

@@ -1,0 +1,272 @@
+package cache
+
+import (
+	"fmt"
+
+	"smappic/internal/sim"
+)
+
+// mshr tracks one outstanding miss in the BPC. At most one transaction per
+// line is in flight; later accesses to the same line coalesce as waiters.
+type mshr struct {
+	line    uint64
+	op      MsgOp // GetS or GetM
+	waiters []func()
+}
+
+// Private is a tile's private cache stack: L1I and L1D in front of the BYOC
+// Private Cache (BPC). The TRI boundary of BYOC corresponds to this type's
+// Load/Store/Fetch/Amo methods: compute units interact with the memory
+// system only through them and are isolated from the coherence protocol.
+type Private struct {
+	eng   *sim.Engine
+	id    GID
+	p     Params
+	conn  Conn
+	home  HomeFunc
+	stats *sim.Stats
+	name  string
+
+	l1i *setAssoc
+	l1d *setAssoc
+	bpc *setAssoc
+
+	mshrs   map[uint64]*mshr
+	blocked []func() // accesses stalled on MSHR exhaustion
+}
+
+// NewPrivate builds a tile's private cache stack.
+func NewPrivate(eng *sim.Engine, id GID, p Params, conn Conn, home HomeFunc, stats *sim.Stats, name string) *Private {
+	return &Private{
+		eng: eng, id: id, p: p, conn: conn, home: home, stats: stats, name: name,
+		l1i:   newSetAssoc(p.L1ISizeBytes, p.Ways),
+		l1d:   newSetAssoc(p.L1DSizeBytes, p.Ways),
+		bpc:   newSetAssoc(p.BPCSizeBytes, p.Ways),
+		mshrs: make(map[uint64]*mshr),
+	}
+}
+
+// ID returns the global tile id of this cache.
+func (c *Private) ID() GID { return c.id }
+
+func (c *Private) count(what string) {
+	if c.stats != nil {
+		c.stats.Counter(c.name + "." + what).Inc()
+	}
+}
+
+// Load performs a data read of any size within one line. done fires when
+// the value may be consumed.
+func (c *Private) Load(addr uint64, done func()) { c.access(addr, false, c.l1d, done) }
+
+// Store performs a data write within one line. done fires at the point the
+// store is globally ordered (M permission held).
+func (c *Private) Store(addr uint64, done func()) { c.access(addr, true, c.l1d, done) }
+
+// Fetch performs an instruction read.
+func (c *Private) Fetch(addr uint64, done func()) { c.access(addr, false, c.l1i, done) }
+
+// Amo performs an atomic read-modify-write: it acquires M permission like a
+// store; the caller applies the functional operation inside done, which runs
+// while no other cache holds the line.
+func (c *Private) Amo(addr uint64, done func()) { c.access(addr, true, c.l1d, done) }
+
+func (c *Private) access(addr uint64, write bool, l1 *setAssoc, done func()) {
+	line := LineOf(addr)
+	// L1 hit: the L1s are inclusive in the BPC and mirror its permissions.
+	if w := l1.lookup(line); w != nil {
+		if !write || w.st == stModified {
+			c.count("l1_hit")
+			c.eng.Schedule(sim.Time(c.p.L1Latency), done)
+			return
+		}
+	}
+	c.count("l1_miss")
+	// BPC lookup after the L1 latency.
+	c.eng.Schedule(sim.Time(c.p.L1Latency+c.p.BPCLatency), func() {
+		c.bpcAccess(line, write, l1, done)
+	})
+}
+
+func (c *Private) bpcAccess(line uint64, write bool, l1 *setAssoc, done func()) {
+	w := c.bpc.lookup(line)
+	if w != nil {
+		switch {
+		case !write:
+			c.count("bpc_hit")
+			c.fillL1(l1, line, w.st)
+			done()
+			return
+		case w.st == stModified:
+			c.count("bpc_hit")
+			c.fillL1(l1, line, stModified)
+			done()
+			return
+		case w.st == stExclusive:
+			// Silent E->M upgrade: the directory already records us as
+			// the exclusive owner.
+			c.count("bpc_upgrade_silent")
+			w.st = stModified
+			w.dirty = true
+			c.fillL1(l1, line, stModified)
+			done()
+			return
+		}
+		// Shared and writing: fall through to GetM.
+	}
+	c.count("bpc_miss")
+	c.miss(line, write, l1, done)
+}
+
+func (c *Private) miss(line uint64, write bool, l1 *setAssoc, done func()) {
+	op := GetS
+	if write {
+		op = GetM
+	}
+	if m, ok := c.mshrs[line]; ok {
+		// Coalesce. A pending GetS cannot satisfy a store: escalate by
+		// queueing the store to retry after the fill completes.
+		if write && m.op == GetS {
+			m.waiters = append(m.waiters, func() { c.bpcAccess(line, true, l1, done) })
+		} else {
+			m.waiters = append(m.waiters, func() {
+				c.fillL1(l1, line, c.grantState(write))
+				done()
+			})
+		}
+		c.count("mshr_coalesce")
+		return
+	}
+	if len(c.mshrs) >= c.p.MSHRs {
+		c.count("mshr_stall")
+		c.blocked = append(c.blocked, func() { c.bpcAccess(line, write, l1, done) })
+		return
+	}
+	m := &mshr{line: line, op: op}
+	m.waiters = append(m.waiters, func() {
+		c.fillL1(l1, line, c.grantState(write))
+		done()
+	})
+	c.mshrs[line] = m
+	c.count(op.String())
+	c.conn.SendProto(c.id, c.home(line), &Msg{Op: op, Line: line, From: c.id, Req: c.id})
+}
+
+func (c *Private) grantState(write bool) state {
+	if write {
+		return stModified
+	}
+	return stShared
+}
+
+func (c *Private) fillL1(l1 *setAssoc, line uint64, st state) {
+	// Never downgrade an existing L1 entry: a read waiter coalesced onto a
+	// write miss would otherwise lower the fresh M fill back to S.
+	if w := l1.peek(line); w != nil && w.st >= st {
+		return
+	}
+	// L1 victims need no protocol action: the BPC is inclusive of the L1s.
+	l1.insert(line, st)
+}
+
+// HandleMsg processes a protocol message addressed to this private cache.
+func (c *Private) HandleMsg(msg *Msg) {
+	switch msg.Op {
+	case DataS, DataE, DataM:
+		c.handleGrant(msg)
+	case Inv:
+		c.handleInv(msg)
+	case Downgrade:
+		c.handleDowngrade(msg)
+	default:
+		panic(fmt.Sprintf("cache: %s: unexpected message %v", c.name, msg.Op))
+	}
+}
+
+func (c *Private) handleGrant(msg *Msg) {
+	m, ok := c.mshrs[msg.Line]
+	if !ok {
+		panic(fmt.Sprintf("cache: %s: grant %v for line %#x with no MSHR", c.name, msg.Op, msg.Line))
+	}
+	delete(c.mshrs, msg.Line)
+
+	var st state
+	switch msg.Op {
+	case DataS:
+		st = stShared
+	case DataE:
+		st = stExclusive
+	case DataM:
+		st = stModified
+	}
+	victim, evicted := c.bpc.insert(msg.Line, st)
+	if st == stModified {
+		c.bpc.peek(msg.Line).dirty = true
+	}
+	if evicted {
+		c.evict(victim)
+	}
+	waiters := m.waiters
+	for _, w := range waiters {
+		w()
+	}
+	// Retry accesses stalled on MSHR pressure.
+	if len(c.blocked) > 0 {
+		retry := c.blocked
+		c.blocked = nil
+		for _, r := range retry {
+			r()
+		}
+	}
+}
+
+// evict notifies the home when a line leaves the BPC. Evictions are
+// fire-and-forget: functional data lives in the backing store, so a probe
+// racing with the eviction can always be acked safely (see package comment).
+func (c *Private) evict(v way) {
+	// Keep the L1s inclusive.
+	c.l1i.invalidate(v.line)
+	c.l1d.invalidate(v.line)
+	op := PutS
+	if v.st == stModified {
+		op = PutM
+		c.count("writeback")
+	} else {
+		c.count("evict_clean")
+	}
+	c.conn.SendProto(c.id, c.home(v.line), &Msg{Op: op, Line: v.line, From: c.id, Req: c.id})
+}
+
+func (c *Private) handleInv(msg *Msg) {
+	c.bpc.invalidate(msg.Line)
+	c.l1i.invalidate(msg.Line)
+	c.l1d.invalidate(msg.Line)
+	c.count("inv_rx")
+	c.conn.SendProto(c.id, msg.From, &Msg{Op: InvAck, Line: msg.Line, From: c.id, Req: msg.Req})
+}
+
+func (c *Private) handleDowngrade(msg *Msg) {
+	if w := c.bpc.peek(msg.Line); w != nil && (w.st == stModified || w.st == stExclusive) {
+		w.st = stShared
+		w.dirty = false
+		if l := c.l1d.peek(msg.Line); l != nil {
+			l.st = stShared
+		}
+		if l := c.l1i.peek(msg.Line); l != nil {
+			l.st = stShared
+		}
+	}
+	c.count("downgrade_rx")
+	c.conn.SendProto(c.id, msg.From, &Msg{Op: DownAck, Line: msg.Line, From: c.id, Req: msg.Req})
+}
+
+// State reports the BPC state of a line (for tests and invariant checks).
+func (c *Private) State(line uint64) string {
+	if w := c.bpc.peek(line); w != nil {
+		return w.st.String()
+	}
+	return "I"
+}
+
+// OutstandingMisses returns the number of active MSHRs.
+func (c *Private) OutstandingMisses() int { return len(c.mshrs) }

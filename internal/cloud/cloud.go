@@ -1,0 +1,94 @@
+// Package cloud models the AWS side of SMAPPIC: the EC2 instance catalog
+// and pricing (paper Tables 1 and 3), cheapest-instance selection, the
+// cloud-versus-on-premises cost comparison of Fig. 14, and the in-situ
+// service pipeline of Fig. 12 (Lambda -> Nginx on the prototype -> S3).
+package cloud
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Instance is one EC2 offering.
+type Instance struct {
+	Name       string
+	VCPUs      int
+	MemoryGB   int
+	StorageGB  int
+	FPGAs      int
+	FPGAMemGB  int
+	PricePerHr float64 // on-demand, us-east-1, as quoted in the paper
+	// HardwarePrice estimates buying equivalent hardware (Table 1's
+	// bottom row: server + FPGA + FPGA memory).
+	HardwarePrice float64
+}
+
+// Catalog lists the instances the evaluation uses.
+var Catalog = []Instance{
+	{Name: "t3.m", VCPUs: 2, MemoryGB: 8, PricePerHr: 0.04},
+	{Name: "r5.2xl", VCPUs: 8, MemoryGB: 64, PricePerHr: 0.45},
+	{Name: "r5.12xl", VCPUs: 48, MemoryGB: 384, PricePerHr: 3.02},
+	{Name: "f1.2xl", VCPUs: 8, MemoryGB: 122, StorageGB: 470, FPGAs: 1, FPGAMemGB: 64, PricePerHr: 1.65, HardwarePrice: 8000},
+	{Name: "f1.4xl", VCPUs: 16, MemoryGB: 244, StorageGB: 940, FPGAs: 2, FPGAMemGB: 128, PricePerHr: 3.30, HardwarePrice: 16000},
+	{Name: "f1.16xl", VCPUs: 64, MemoryGB: 976, StorageGB: 3760, FPGAs: 8, FPGAMemGB: 512, PricePerHr: 13.20, HardwarePrice: 64000},
+}
+
+// F1Instances returns Table 1: the available F1 offerings.
+func F1Instances() []Instance {
+	var out []Instance
+	for _, i := range Catalog {
+		if i.FPGAs > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Requirements describe what a modeling tool needs from its host.
+type Requirements struct {
+	VCPUs    int
+	MemoryGB int
+	FPGAs    int
+}
+
+// CheapestFor returns the cheapest catalog instance satisfying req.
+func CheapestFor(req Requirements) (Instance, error) {
+	var fits []Instance
+	for _, i := range Catalog {
+		if i.VCPUs >= req.VCPUs && i.MemoryGB >= req.MemoryGB && i.FPGAs >= req.FPGAs {
+			fits = append(fits, i)
+		}
+	}
+	if len(fits) == 0 {
+		return Instance{}, fmt.Errorf("cloud: no instance satisfies %+v", req)
+	}
+	sort.Slice(fits, func(a, b int) bool { return fits[a].PricePerHr < fits[b].PricePerHr })
+	return fits[0], nil
+}
+
+// FPGAHourPrice is the cost of one FPGA-hour on F1 ($1.65, any size).
+const FPGAHourPrice = 1.65
+
+// CloudCost returns the cost of running one FPGA in the cloud for the given
+// number of days (Fig. 14's "Cloud" line; no upfront cost).
+func CloudCost(days float64) float64 { return days * 24 * FPGAHourPrice }
+
+// OnPremCost returns the cost of the equivalent on-premises setup: the
+// upfront hardware purchase (Fig. 14's "On-premises" line).
+func OnPremCost(days float64) float64 {
+	return 8000 // upfront; usage is then free in this model
+}
+
+// CrossoverDays returns the continuous-modeling duration beyond which
+// buying hardware beats renting (the paper reports ~200 days).
+func CrossoverDays() float64 { return 8000 / (24 * FPGAHourPrice) }
+
+// CostCurve returns (days, cloud$, onprem$) samples for Fig. 14.
+func CostCurve(maxDays, step float64) (days, cloud, onprem []float64) {
+	for d := step; d <= maxDays; d += step {
+		days = append(days, d)
+		cloud = append(cloud, CloudCost(d))
+		onprem = append(onprem, OnPremCost(d))
+	}
+	return days, cloud, onprem
+}

@@ -1,0 +1,201 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestF1CatalogMatchesTable1(t *testing.T) {
+	f1 := F1Instances()
+	if len(f1) != 3 {
+		t.Fatalf("%d F1 instances, want 3", len(f1))
+	}
+	want := map[string]struct {
+		fpgas int
+		price float64
+	}{
+		"f1.2xl":  {1, 1.65},
+		"f1.4xl":  {2, 3.30},
+		"f1.16xl": {8, 13.20},
+	}
+	for _, i := range f1 {
+		w, ok := want[i.Name]
+		if !ok {
+			t.Errorf("unexpected instance %s", i.Name)
+			continue
+		}
+		if i.FPGAs != w.fpgas || i.PricePerHr != w.price {
+			t.Errorf("%s = %d FPGAs @ $%.2f, want %d @ $%.2f", i.Name, i.FPGAs, i.PricePerHr, w.fpgas, w.price)
+		}
+	}
+	// Per-FPGA price constant across sizes (paper: $1.65/FPGA-hour).
+	for _, i := range f1 {
+		if math.Abs(i.PricePerHr/float64(i.FPGAs)-1.65) > 0.001 {
+			t.Errorf("%s per-FPGA price = %.3f", i.Name, i.PricePerHr/float64(i.FPGAs))
+		}
+	}
+}
+
+func TestCheapestForPicksTable3Choices(t *testing.T) {
+	cases := []struct {
+		req  Requirements
+		want string
+	}{
+		{Requirements{VCPUs: 2, MemoryGB: 8}, "t3.m"},           // Sniper
+		{Requirements{VCPUs: 1, MemoryGB: 64}, "r5.2xl"},        // gem5
+		{Requirements{VCPUs: 1, MemoryGB: 8}, "t3.m"},           // Verilator
+		{Requirements{VCPUs: 1, MemoryGB: 8, FPGAs: 1}, "f1.2xl"}, // SMAPPIC/FireSim
+		{Requirements{MemoryGB: 350}, "r5.12xl"},                // gem5 + mcf
+	}
+	for _, c := range cases {
+		got, err := CheapestFor(c.req)
+		if err != nil {
+			t.Errorf("CheapestFor(%+v): %v", c.req, err)
+			continue
+		}
+		if got.Name != c.want {
+			t.Errorf("CheapestFor(%+v) = %s, want %s", c.req, got.Name, c.want)
+		}
+	}
+}
+
+func TestCheapestForImpossible(t *testing.T) {
+	if _, err := CheapestFor(Requirements{FPGAs: 100}); err == nil {
+		t.Fatal("expected error for impossible requirements")
+	}
+}
+
+func TestCrossoverNear200Days(t *testing.T) {
+	d := CrossoverDays()
+	if d < 190 || d < 0 || d > 215 {
+		t.Fatalf("crossover at %.0f days, paper says ~200", d)
+	}
+	// Cloud cheaper before, on-prem cheaper after.
+	if CloudCost(d-10) >= OnPremCost(d-10) {
+		t.Error("cloud should win before the crossover")
+	}
+	if CloudCost(d+10) <= OnPremCost(d+10) {
+		t.Error("on-prem should win after the crossover")
+	}
+}
+
+func TestCostCurveShape(t *testing.T) {
+	days, cl, op := CostCurve(350, 50)
+	if len(days) != 7 || len(cl) != 7 || len(op) != 7 {
+		t.Fatalf("curve lengths %d/%d/%d", len(days), len(cl), len(op))
+	}
+	for i := 1; i < len(cl); i++ {
+		if cl[i] <= cl[i-1] {
+			t.Fatal("cloud cost not increasing")
+		}
+		if op[i] != op[i-1] {
+			t.Fatal("on-prem cost should be flat after purchase")
+		}
+	}
+}
+
+// fakeBackend stands in for the prototype in pipeline tests.
+type fakeBackend struct{}
+
+func (fakeBackend) Handle(path string, s3Data []byte) (string, time.Duration) {
+	return "data=" + string(s3Data) + " date=2026-07-05", 3 * time.Millisecond
+}
+
+func TestPipelineTraceCompletes(t *testing.T) {
+	s3 := NewS3()
+	s3.Put("dataset.json", []byte(`{"v":1}`))
+	p := &Pipeline{Lambda: NewLambda(), S3: s3, Backend: fakeBackend{}, S3Key: "dataset.json"}
+	tr, err := p.Request("/index.php")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Response, `{"v":1}`) {
+		t.Fatalf("response %q missing S3 data", tr.Response)
+	}
+	if !strings.Contains(tr.Response, "date=") {
+		t.Fatal("script did not attach the date")
+	}
+	if len(tr.Stages) != 6 {
+		t.Fatalf("%d stages, want 6", len(tr.Stages))
+	}
+	if tr.Total() < 20*time.Millisecond || tr.Total() > 100*time.Millisecond {
+		t.Fatalf("end-to-end %v, want tens of ms", tr.Total())
+	}
+	if !strings.Contains(tr.String(), "TOTAL") {
+		t.Fatal("trace rendering broken")
+	}
+}
+
+func TestPipelineMissingObject(t *testing.T) {
+	p := &Pipeline{Lambda: NewLambda(), S3: NewS3(), Backend: fakeBackend{}, S3Key: "absent"}
+	if _, err := p.Request("/"); err == nil {
+		t.Fatal("expected S3 miss error")
+	}
+}
+
+func f1() Instance {
+	for _, i := range Catalog {
+		if i.Name == "f1.2xl" {
+			return i
+		}
+	}
+	panic("no f1.2xl")
+}
+
+func TestFleetBillsOnlyUsedTime(t *testing.T) {
+	f := NewFleet(f1())
+	t0 := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	if err := f.Launch("alice", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Launch("bob", t0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Active() != 2 {
+		t.Fatalf("active = %d", f.Active())
+	}
+	f.Release("alice", t0.Add(2*time.Hour))
+	f.Release("bob", t0.Add(30*time.Minute))
+	if got := f.StudentHours("alice"); got != 2 {
+		t.Fatalf("alice hours = %v", got)
+	}
+	want := (2 + 0.5) * 1.65
+	if got := f.Bill(); got < want-0.001 || got > want+0.001 {
+		t.Fatalf("bill = %.3f, want %.3f", got, want)
+	}
+}
+
+func TestFleetDoubleLaunchRejected(t *testing.T) {
+	f := NewFleet(f1())
+	now := time.Now()
+	f.Launch("alice", now)
+	if err := f.Launch("alice", now); err == nil {
+		t.Fatal("double launch accepted")
+	}
+	if err := f.Release("ghost", now); err == nil {
+		t.Fatal("release without launch accepted")
+	}
+}
+
+func TestFleetClassBeatsOwnedLab(t *testing.T) {
+	// A 100-student class doing 3 hours of lab each: the paper's argument
+	// that on-demand FPGA time crushes buying boards.
+	f := NewFleet(f1())
+	t0 := time.Now()
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("student%02d", i)
+		f.Launch(name, t0)
+		f.Release(name, t0.Add(3*time.Hour))
+	}
+	cloud, hw := f.CompareToOwnedLab(100)
+	if cloud >= hw/10 {
+		t.Fatalf("cloud $%.0f should be far below a 100-board lab $%.0f", cloud, hw)
+	}
+	rep := f.Report()
+	if !strings.Contains(rep, "TOTAL") || !strings.Contains(rep, "student00") {
+		t.Error("report rendering broken")
+	}
+}

@@ -1,0 +1,106 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Fleet is the class-management tool of paper §4.7: educators launch
+// prototype instances on demand for students and pay only for the time the
+// FPGAs are actually in use — the on-demand scale-out a single institution
+// could never buy outright.
+type Fleet struct {
+	instance Instance
+	sessions map[string][]Session
+	active   map[string]time.Time
+}
+
+// Session is one completed student FPGA reservation.
+type Session struct {
+	Student  string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// NewFleet creates a fleet on the given instance type (one student per
+// FPGA slot).
+func NewFleet(instance Instance) *Fleet {
+	return &Fleet{
+		instance: instance,
+		sessions: make(map[string][]Session),
+		active:   make(map[string]time.Time),
+	}
+}
+
+// Launch starts an instance for a student. A student can hold one at a
+// time.
+func (f *Fleet) Launch(student string, at time.Time) error {
+	if _, busy := f.active[student]; busy {
+		return fmt.Errorf("cloud: %s already has an active instance", student)
+	}
+	f.active[student] = at
+	return nil
+}
+
+// Release stops a student's instance, recording the billable session.
+func (f *Fleet) Release(student string, at time.Time) error {
+	start, ok := f.active[student]
+	if !ok {
+		return fmt.Errorf("cloud: %s has no active instance", student)
+	}
+	delete(f.active, student)
+	f.sessions[student] = append(f.sessions[student], Session{
+		Student: student, Start: start, Duration: at.Sub(start),
+	})
+	return nil
+}
+
+// Active returns the number of instances currently running.
+func (f *Fleet) Active() int { return len(f.active) }
+
+// StudentHours returns a student's total billed FPGA time.
+func (f *Fleet) StudentHours(student string) float64 {
+	var total time.Duration
+	for _, s := range f.sessions[student] {
+		total += s.Duration
+	}
+	return total.Hours()
+}
+
+// Bill returns the total cost of all completed sessions: on-demand hourly
+// pricing, per FPGA, rounded up to the EC2 per-second minimum granularity
+// (modeled as exact seconds here).
+func (f *Fleet) Bill() float64 {
+	var hours float64
+	for student := range f.sessions {
+		hours += f.StudentHours(student)
+	}
+	return hours * f.instance.PricePerHr
+}
+
+// Report renders per-student usage and the class total, sorted by cost.
+func (f *Fleet) Report() string {
+	type row struct {
+		student string
+		hours   float64
+	}
+	var rows []row
+	for s := range f.sessions {
+		rows = append(rows, row{s, f.StudentHours(s)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].hours > rows[j].hours })
+	out := fmt.Sprintf("%-16s %8s %10s\n", "Student", "Hours", "Cost")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-16s %8.2f %9.2f$\n", r.student, r.hours, r.hours*f.instance.PricePerHr)
+	}
+	out += fmt.Sprintf("%-16s %8s %9.2f$\n", "TOTAL", "", f.Bill())
+	return out
+}
+
+// CompareToOwnedLab contrasts the fleet's bill with buying enough boards
+// for the peak concurrency (the purchase a department would otherwise
+// need).
+func (f *Fleet) CompareToOwnedLab(peakConcurrent int) (cloudCost, hardwareCost float64) {
+	return f.Bill(), float64(peakConcurrent) * f.instance.HardwarePrice
+}

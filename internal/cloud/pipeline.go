@@ -1,0 +1,127 @@
+package cloud
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Fig. 12's experimental pipeline: an HTTP request enters an AWS Lambda
+// gateway, is proxied to the Nginx web server running on the SMAPPIC
+// prototype, whose PHP backend fetches data from S3, attaches the current
+// time and answers back through the chain. The cloud services here are
+// in-process models with representative latencies; the prototype-side work
+// is charged by the caller in prototype cycles (the example application
+// runs it on a real simulated prototype).
+
+// S3 is an in-process object store standing in for the AWS S3 service.
+type S3 struct {
+	objects map[string][]byte
+	// GetLatency models the S3 REST round trip from inside the VPC.
+	GetLatency time.Duration
+}
+
+// NewS3 returns an empty bucket with a typical in-region GET latency.
+func NewS3() *S3 {
+	return &S3{objects: make(map[string][]byte), GetLatency: 18 * time.Millisecond}
+}
+
+// Put stores an object.
+func (s *S3) Put(key string, data []byte) { s.objects[key] = data }
+
+// Get fetches an object and reports the modeled fetch latency.
+func (s *S3) Get(key string) (data []byte, latency time.Duration, err error) {
+	d, ok := s.objects[key]
+	if !ok {
+		return nil, s.GetLatency, fmt.Errorf("cloud: S3 key %q not found", key)
+	}
+	return d, s.GetLatency, nil
+}
+
+// Stage is one hop of the pipeline trace.
+type Stage struct {
+	Name    string
+	Latency time.Duration
+}
+
+// Trace is the end-to-end request record.
+type Trace struct {
+	Stages   []Stage
+	Response string
+}
+
+// Total returns the end-to-end latency.
+func (t *Trace) Total() time.Duration {
+	var sum time.Duration
+	for _, s := range t.Stages {
+		sum += s.Latency
+	}
+	return sum
+}
+
+// String renders the trace as a table.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, s := range t.Stages {
+		fmt.Fprintf(&b, "  %-28s %10.3f ms\n", s.Name, float64(s.Latency.Microseconds())/1000)
+	}
+	fmt.Fprintf(&b, "  %-28s %10.3f ms\n", "TOTAL", float64(t.Total().Microseconds())/1000)
+	return b.String()
+}
+
+// Lambda is the gateway function: it redirects requests from the Internet
+// into the private network where the prototype lives.
+type Lambda struct {
+	// InvokeOverhead is the warm-start function overhead.
+	InvokeOverhead time.Duration
+	// ProxyRTT is the hop from Lambda to the prototype's Nginx.
+	ProxyRTT time.Duration
+}
+
+// NewLambda returns a gateway with warm-invocation latencies.
+func NewLambda() *Lambda {
+	return &Lambda{InvokeOverhead: 6 * time.Millisecond, ProxyRTT: 2 * time.Millisecond}
+}
+
+// Backend is the prototype side of the pipeline: Nginx + the CGI PHP
+// script. Handle receives the S3 payload and returns the response body and
+// how long the prototype spent producing it (simulated cycles converted to
+// wall-clock by the caller).
+type Backend interface {
+	Handle(path string, s3Data []byte) (body string, prototypeTime time.Duration)
+}
+
+// Pipeline wires the stages of Fig. 12.
+type Pipeline struct {
+	Lambda  *Lambda
+	S3      *S3
+	Backend Backend
+	// S3Key selects the object the PHP script fetches.
+	S3Key string
+}
+
+// Request runs one HTTP request through the pipeline and returns the trace.
+func (p *Pipeline) Request(path string) (*Trace, error) {
+	t := &Trace{}
+	t.Stages = append(t.Stages, Stage{"Lambda invoke (gateway)", p.Lambda.InvokeOverhead})
+	t.Stages = append(t.Stages, Stage{"proxy -> Nginx on SMAPPIC", p.Lambda.ProxyRTT / 2})
+
+	data, s3lat, err := p.S3.Get(p.S3Key)
+	if err != nil {
+		return nil, err
+	}
+	t.Stages = append(t.Stages, Stage{"PHP: S3 fetch (REST)", s3lat})
+
+	body, protoTime, err := func() (string, time.Duration, error) {
+		b, d := p.Backend.Handle(path, data)
+		return b, d, nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	t.Stages = append(t.Stages, Stage{"Nginx+PHP on prototype", protoTime})
+	t.Stages = append(t.Stages, Stage{"response -> Lambda", p.Lambda.ProxyRTT / 2})
+	t.Stages = append(t.Stages, Stage{"Lambda return", p.Lambda.InvokeOverhead / 2})
+	t.Response = body
+	return t, nil
+}

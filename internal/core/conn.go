@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"smappic/internal/bridge"
+	"smappic/internal/cache"
+	"smappic/internal/interrupt"
+	"smappic/internal/mem"
+	"smappic/internal/noc"
+	"smappic/internal/sim"
+)
+
+// nodeConn implements cache.Conn for one node: local destinations go over
+// the mesh; remote destinations are wrapped in a bridge envelope, routed to
+// the bridge port, and re-injected into the destination node's mesh.
+type nodeConn struct{ n *Node }
+
+func (c nodeConn) SendProto(from, to cache.GID, msg *cache.Msg) {
+	cls := msg.Class()
+	flits := msg.Flits()
+	src := noc.Dest{Port: noc.PortTile, Tile: from.Tile}
+	if to.Node == c.n.ID {
+		c.n.Mesh.Send(&noc.Packet{
+			Class: cls, Src: src,
+			Dst:     noc.Dest{Port: noc.PortTile, Tile: to.Tile},
+			Flits:   flits,
+			Payload: msg,
+		})
+		return
+	}
+	c.n.Mesh.Send(&noc.Packet{
+		Class: cls, Src: src,
+		Dst:   noc.Dest{Port: noc.PortBridge},
+		Flits: flits,
+		Payload: &bridge.Envelope{
+			SrcNode: c.n.ID, DstNode: to.Node, DstTile: to.Tile,
+			Class: cls, Flits: flits, Payload: msg,
+		},
+	})
+}
+
+func (c nodeConn) SendMem(from cache.GID, req *mem.Req) {
+	// The memory controller works in node-local offsets; strip the node's
+	// region base. Size of the NoC packet: write requests carry the line.
+	req.Addr = (req.Addr - DRAMBase) % NodeDRAMSize
+	data := 0
+	if req.Write {
+		data = req.Size
+	}
+	c.n.Mesh.Send(&noc.Packet{
+		Class:   noc.NoC3,
+		Src:     noc.Dest{Port: noc.PortTile, Tile: from.Tile},
+		Dst:     noc.Dest{Port: noc.PortChipset},
+		Flits:   mem.FlitsFor(data),
+		Payload: req,
+	})
+}
+
+// mmioReq is an uncacheable device access travelling over the NoC to the
+// chipset (or an accelerator tile). The completion callback rides in the
+// message; the simulation is single-threaded, so this is deterministic and
+// race-free (it stands in for the response packet's routing information).
+type mmioReq struct {
+	write bool
+	addr  uint64
+	size  int
+	val   uint64
+	src   noc.Dest
+	done  func(val uint64)
+}
+
+// mmioResp carries the device's answer back to the requesting tile.
+type mmioResp struct {
+	val  uint64
+	done func(val uint64)
+}
+
+// tileHandler dispatches packets delivered to a tile port.
+func (p *Prototype) tileHandler(t *Tile) noc.Handler {
+	return func(pkt *noc.Packet) {
+		switch m := pkt.Payload.(type) {
+		case *cache.Msg:
+			p.Tracer.Emit("coherence", "%v line=%#x req=%v at tile %v", m.Op, m.Line, m.Req, t.ID)
+			switch m.Op {
+			case cache.GetS, cache.GetM, cache.PutS, cache.PutM, cache.InvAck, cache.DownAck:
+				t.LLC.HandleMsg(m)
+			default:
+				t.Priv.HandleMsg(m)
+			}
+		case *mem.Resp:
+			t.LLC.HandleMemResp(m)
+		case *interrupt.Change:
+			t.Depack.Handle(m)
+		case *mmioReq:
+			p.accelAccess(t, m)
+		case *mmioResp:
+			m.done(m.val)
+		default:
+			panic(fmt.Sprintf("core: tile %v: unexpected payload %T", t.ID, pkt.Payload))
+		}
+	}
+}
+
+// accelMMIOLatency is the device-side cost of a non-cacheable accelerator
+// access (the TRI/NIU serialization that makes uncached loads slow on the
+// real platform, ~40-60 cycles end to end).
+const accelMMIOLatency sim.Time = 26
+
+// accelAccess serves an uncacheable access to a tile-resident accelerator.
+func (p *Prototype) accelAccess(t *Tile, m *mmioReq) {
+	if t.Accel == nil {
+		panic(fmt.Sprintf("core: tile %v has no accelerator but received MMIO %#x", t.ID, m.addr))
+	}
+	off := p.Map.DevOffset(m.addr)
+	_, devOff, ok := p.Map.AccelTile(off)
+	if !ok {
+		panic(fmt.Sprintf("core: bad accelerator address %#x", m.addr))
+	}
+	p.Eng.Schedule(accelMMIOLatency, func() {
+		var val uint64
+		if m.write {
+			t.Accel.Write(devOff, m.size, m.val)
+		} else {
+			val = t.Accel.Read(devOff, m.size)
+		}
+		t.node.Mesh.Send(&noc.Packet{
+			Class:   noc.NoC2,
+			Src:     noc.Dest{Port: noc.PortTile, Tile: t.ID.Tile},
+			Dst:     m.src,
+			Flits:   2,
+			Payload: &mmioResp{val: val, done: m.done},
+		})
+	})
+}
+
+// chipsetHandler demuxes chipset-port traffic: memory requests to the
+// controller, MMIO to the devices.
+func (p *Prototype) chipsetHandler(n *Node) noc.Handler {
+	return func(pkt *noc.Packet) {
+		switch m := pkt.Payload.(type) {
+		case *mem.Req:
+			n.MemCtl.Handle(pkt)
+		case *mmioReq:
+			p.deviceAccess(n, m)
+		default:
+			panic(fmt.Sprintf("core: node%d chipset: unexpected payload %T", n.ID, pkt.Payload))
+		}
+	}
+}
+
+// deviceAccess serves an uncacheable access to a chipset device.
+func (p *Prototype) deviceAccess(n *Node, m *mmioReq) {
+	off := p.Map.DevOffset(m.addr)
+	for _, r := range n.devices {
+		if off >= r.base && off < r.base+r.size {
+			r := r
+			p.Eng.Schedule(r.latency, func() {
+				var val uint64
+				if m.write {
+					r.dev.Write(off-r.base, m.size, m.val)
+				} else {
+					val = r.dev.Read(off-r.base, m.size)
+				}
+				p.Tracer.Emit("mmio", "%s %s off=%#x val=%#x", rw(m.write), r.dev.Name(), off-r.base, val|m.val)
+				n.Mesh.Send(&noc.Packet{
+					Class:   noc.NoC2,
+					Src:     noc.Dest{Port: noc.PortChipset},
+					Dst:     m.src,
+					Flits:   2,
+					Payload: &mmioResp{val: val, done: m.done},
+				})
+			})
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: node%d: no device at offset %#x", n.ID, off))
+}
+
+// sendInterrupt routes a packetizer change to the owning hart's tile, which
+// may be on another node (the scalability problem §3.3 solves).
+func (p *Prototype) sendInterrupt(from *Node, hart int, c *interrupt.Change) {
+	dst := p.hartLoc(hart)
+	if dst.Node == from.ID {
+		from.Mesh.Send(&noc.Packet{
+			Class:   noc.NoC2,
+			Src:     noc.Dest{Port: noc.PortChipset},
+			Dst:     noc.Dest{Port: noc.PortTile, Tile: dst.Tile},
+			Flits:   interrupt.Flits,
+			Payload: c,
+		})
+		return
+	}
+	from.Mesh.Send(&noc.Packet{
+		Class: noc.NoC2,
+		Src:   noc.Dest{Port: noc.PortChipset},
+		Dst:   noc.Dest{Port: noc.PortBridge},
+		Flits: interrupt.Flits,
+		Payload: &bridge.Envelope{
+			SrcNode: from.ID, DstNode: dst.Node, DstTile: dst.Tile,
+			Class: noc.NoC2, Flits: interrupt.Flits, Payload: c,
+		},
+	})
+}
+
+// sendMMIO issues an uncacheable access from a tile and wires its response.
+func (p *Prototype) sendMMIO(t *Tile, m *mmioReq) {
+	node := p.Map.DevNode(m.addr)
+	off := p.Map.DevOffset(m.addr)
+	src := noc.Dest{Port: noc.PortTile, Tile: t.ID.Tile}
+	m.src = src
+
+	var dst noc.Dest
+	if tile, _, ok := p.Map.AccelTile(off); ok {
+		dst = noc.Dest{Port: noc.PortTile, Tile: tile}
+	} else {
+		dst = noc.Dest{Port: noc.PortChipset}
+	}
+	if node == t.ID.Node {
+		t.node.Mesh.Send(&noc.Packet{
+			Class: noc.NoC1, Src: src, Dst: dst, Flits: 3, Payload: m,
+		})
+		return
+	}
+	t.node.Mesh.Send(&noc.Packet{
+		Class: noc.NoC1, Src: src,
+		Dst:   noc.Dest{Port: noc.PortBridge},
+		Flits: 3,
+		Payload: &bridge.Envelope{
+			SrcNode: t.ID.Node, DstNode: node,
+			DstPort: dst.Port, DstTile: dst.Tile,
+			Class: noc.NoC1, Flits: 3, Payload: m,
+		},
+	})
+}
+
+// rw labels an access direction in traces.
+func rw(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+var _ = sim.Time(0)

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"smappic/internal/dev"
+	"smappic/internal/rvasm"
+)
+
+// Host models the F1 instance's host CPU side: the PCIe driver, the virtual
+// serial devices, program loading and SD card initialization. Host actions
+// that happen before boot (image loading) are functional-only, matching the
+// paper's flow where setup time is not part of the measured run.
+type Host struct {
+	pr      *Prototype
+	serial0 []*dev.VirtualSerial
+	serial1 []*dev.VirtualSerial
+}
+
+// Host returns the prototype's host-side tooling.
+func (p *Prototype) Host() *Host {
+	h := &Host{pr: p}
+	for _, n := range p.Nodes {
+		h.serial0 = append(h.serial0, dev.NewVirtualSerial(n.UART0))
+		h.serial1 = append(h.serial1, dev.NewVirtualSerial(n.UART1))
+	}
+	return h
+}
+
+// LoadProgram writes an assembled program into a node's main memory through
+// the PCIe DMA path (done before releasing the cores from reset).
+func (h *Host) LoadProgram(node int, prog *rvasm.Program) {
+	if prog.Base < DRAMBase {
+		panic(fmt.Sprintf("core: program base %#x below DRAM", prog.Base))
+	}
+	h.pr.Backing.WriteBytes(prog.Base, prog.Bytes)
+}
+
+// LoadSDImage initializes a node's virtual SD card, as the specialized
+// host-side Linux driver does (paper §3.4.2).
+func (h *Host) LoadSDImage(node int, offset uint64, image []byte) {
+	h.pr.Nodes[node].SD.LoadImage(offset, image)
+}
+
+// Console returns everything node's console UART printed so far.
+func (h *Host) Console(node int) string { return h.serial0[node].Console() }
+
+// DataConsole returns the overclocked data UART's output.
+func (h *Host) DataConsole(node int) string { return h.serial1[node].Console() }
+
+// SendConsole types into a node's console.
+func (h *Host) SendConsole(node int, s string) { h.serial0[node].Send(s) }

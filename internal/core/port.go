@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"smappic/internal/cache"
+	"smappic/internal/riscv"
+	"smappic/internal/sim"
+)
+
+// corePort implements riscv.Mem for a tile: cacheable accesses flow through
+// the private cache stack (the TRI boundary) and move functional data in
+// the backing store at completion time; uncacheable accesses become MMIO
+// round trips over the NoC.
+type corePort struct{ tile *Tile }
+
+func (cp *corePort) proto() *Prototype { return cp.tile.node.proto }
+
+func (cp *corePort) Fetch(p *sim.Process, addr uint64) uint32 {
+	pr := cp.proto()
+	p.Call(func(done func()) { cp.tile.Priv.Fetch(addr, done) })
+	return pr.Backing.ReadU32(addr)
+}
+
+func (cp *corePort) Load(p *sim.Process, addr uint64, size int) uint64 {
+	pr := cp.proto()
+	if pr.Map.IsUncached(addr) {
+		var out uint64
+		p.Call(func(done func()) {
+			pr.sendMMIO(cp.tile, &mmioReq{addr: addr, size: size, done: func(v uint64) {
+				out = v
+				done()
+			}})
+		})
+		return out
+	}
+	p.Call(func(done func()) { cp.tile.Priv.Load(addr, done) })
+	return readBacking(pr, addr, size)
+}
+
+func (cp *corePort) Store(p *sim.Process, addr uint64, size int, v uint64) {
+	pr := cp.proto()
+	if pr.Map.IsUncached(addr) {
+		p.Call(func(done func()) {
+			pr.sendMMIO(cp.tile, &mmioReq{write: true, addr: addr, size: size, val: v, done: func(uint64) {
+				done()
+			}})
+		})
+		return
+	}
+	p.Call(func(done func()) { cp.tile.Priv.Store(addr, done) })
+	writeBacking(pr, addr, size, v)
+}
+
+func (cp *corePort) Amo(p *sim.Process, addr uint64, size int, f func(uint64) uint64) uint64 {
+	pr := cp.proto()
+	var old uint64
+	p.Call(func(done func()) { cp.tile.Priv.Amo(addr, done) })
+	// The line is held in M here; the read-modify-write is atomic in the
+	// simulated interleaving.
+	old = readBacking(pr, addr, size)
+	writeBacking(pr, addr, size, f(old))
+	return old
+}
+
+func readBacking(pr *Prototype, addr uint64, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(pr.Backing.ReadU8(addr))
+	case 2:
+		return uint64(pr.Backing.ReadU16(addr))
+	case 4:
+		return uint64(pr.Backing.ReadU32(addr))
+	case 8:
+		return pr.Backing.ReadU64(addr)
+	}
+	panic(fmt.Sprintf("core: bad access size %d", size))
+}
+
+func writeBacking(pr *Prototype, addr uint64, size int, v uint64) {
+	switch size {
+	case 1:
+		pr.Backing.WriteU8(addr, uint8(v))
+	case 2:
+		pr.Backing.WriteU16(addr, uint16(v))
+	case 4:
+		pr.Backing.WriteU32(addr, uint32(v))
+	case 8:
+		pr.Backing.WriteU64(addr, v)
+	default:
+		panic(fmt.Sprintf("core: bad access size %d", size))
+	}
+}
+
+var _ riscv.Mem = (*corePort)(nil)
+
+// ReadPhys reads simulated memory functionally (host/debug access, no
+// simulated time).
+func (p *Prototype) ReadPhys(addr uint64, size int) uint64 { return readBacking(p, addr, size) }
+
+// WritePhys writes simulated memory functionally.
+func (p *Prototype) WritePhys(addr uint64, size int, v uint64) { writeBacking(p, addr, size, v) }
+
+// Port is the execution-driven interface for workload threads (the fast
+// path for large studies): Go code issues loads and stores that charge real
+// memory-system timing and move data in simulated memory, without running
+// an ISA-level core.
+type Port struct {
+	tile *Tile
+	pr   *Prototype
+}
+
+// PortAt returns the workload port of a tile.
+func (p *Prototype) PortAt(g cache.GID) *Port {
+	return &Port{tile: p.Tile(g), pr: p}
+}
+
+// Tile returns the port's tile location.
+func (pt *Port) Tile() cache.GID { return pt.tile.ID }
+
+// Load reads size bytes at addr through the cache hierarchy.
+func (pt *Port) Load(p *sim.Process, addr uint64, size int) uint64 {
+	p.Call(func(done func()) { pt.tile.Priv.Load(addr, done) })
+	return readBacking(pt.pr, addr, size)
+}
+
+// Store writes size bytes at addr through the cache hierarchy.
+func (pt *Port) Store(p *sim.Process, addr uint64, size int, v uint64) {
+	p.Call(func(done func()) { pt.tile.Priv.Store(addr, done) })
+	writeBacking(pt.pr, addr, size, v)
+}
+
+// LoadAsync issues a non-blocking load; done receives the value at
+// completion time. Callers (e.g. the MAPLE engine) use it to keep several
+// misses in flight, bounded by the BPC's MSHRs.
+func (pt *Port) LoadAsync(addr uint64, size int, done func(uint64)) {
+	pt.tile.Priv.Load(addr, func() { done(readBacking(pt.pr, addr, size)) })
+}
+
+// StoreAsync issues a non-blocking store: the value lands when write
+// permission arrives, without stalling the caller (MAPLE's decoupled
+// update path).
+func (pt *Port) StoreAsync(addr uint64, size int, v uint64) {
+	pt.tile.Priv.Store(addr, func() { writeBacking(pt.pr, addr, size, v) })
+}
+
+// Amo performs an atomic read-modify-write (fetch-add style) at addr.
+func (pt *Port) Amo(p *sim.Process, addr uint64, size int, f func(uint64) uint64) uint64 {
+	p.Call(func(done func()) { pt.tile.Priv.Amo(addr, done) })
+	old := readBacking(pt.pr, addr, size)
+	writeBacking(pt.pr, addr, size, f(old))
+	return old
+}
+
+// MMIOLoad performs an uncacheable device read (e.g. an accelerator fetch).
+func (pt *Port) MMIOLoad(p *sim.Process, addr uint64, size int) uint64 {
+	var out uint64
+	p.Call(func(done func()) {
+		pt.pr.sendMMIO(pt.tile, &mmioReq{addr: addr, size: size, done: func(v uint64) {
+			out = v
+			done()
+		}})
+	})
+	return out
+}
+
+// MMIOStore performs an uncacheable device write.
+func (pt *Port) MMIOStore(p *sim.Process, addr uint64, size int, v uint64) {
+	p.Call(func(done func()) {
+		pt.pr.sendMMIO(pt.tile, &mmioReq{write: true, addr: addr, size: size, val: v, done: func(uint64) {
+			done()
+		}})
+	})
+}
+
+// Compute charges n cycles of pure computation (in-order single-issue).
+func (pt *Port) Compute(p *sim.Process, n sim.Time) {
+	if n > 0 {
+		p.Wait(n)
+	}
+}

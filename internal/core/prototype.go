@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+
+	"smappic/internal/axi"
+	"smappic/internal/bridge"
+	"smappic/internal/cache"
+	"smappic/internal/dev"
+	"smappic/internal/interrupt"
+	"smappic/internal/mem"
+	"smappic/internal/noc"
+	"smappic/internal/pcie"
+	"smappic/internal/riscv"
+	"smappic/internal/shell"
+	"smappic/internal/sim"
+)
+
+// Device is a memory-mapped peripheral reachable through uncacheable
+// accesses. All virtual devices and accelerators implement it.
+type Device interface {
+	Name() string
+	Read(off uint64, size int) uint64
+	Write(off uint64, size int, v uint64)
+}
+
+// strided rescales MMIO byte offsets to a device's register indices.
+type strided struct {
+	d     Device
+	shift uint
+}
+
+func (s strided) Name() string { return s.d.Name() }
+func (s strided) Read(off uint64, size int) uint64 {
+	return s.d.Read(off>>s.shift, size)
+}
+func (s strided) Write(off uint64, size int, v uint64) {
+	s.d.Write(off>>s.shift, size, v)
+}
+
+// devRegion is one entry of a node's MMIO decode table.
+type devRegion struct {
+	base    uint64
+	size    uint64
+	dev     Device
+	latency sim.Time
+}
+
+// Tile is one tile of a node: private cache stack, LLC slice, and
+// optionally a core or an accelerator device.
+type Tile struct {
+	ID     cache.GID
+	Priv   *cache.Private
+	LLC    *cache.Slice
+	Core   *riscv.Core
+	Depack *interrupt.Depacketizer
+	Accel  Device // per-tile MMIO device (GNG, MAPLE, ...)
+
+	node *Node
+	proc *sim.Process
+}
+
+// Node is one chip/die of the target system: a BYOC instance.
+type Node struct {
+	ID    int
+	FPGA  int
+	Mesh  *noc.Mesh
+	Tiles []*Tile
+
+	Bridge *bridge.Bridge
+	MemCtl *mem.Controller
+	DRAM   *mem.DRAM
+
+	CLINT *interrupt.CLINT
+	PLIC  *interrupt.PLIC
+	UART0 *dev.UART // console, 115200 baud
+	UART1 *dev.UART // data, ~1 Mbit/s ("overclocked", paper §3.4.1)
+	SD    *dev.SDCard
+	Pack  *interrupt.Packetizer
+
+	proto   *Prototype
+	devices []devRegion
+}
+
+// Prototype is a built SMAPPIC system.
+type Prototype struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Stats   *sim.Stats
+	Backing *mem.Backing
+	Map     *AddrMap
+	Fabric  *pcie.Fabric
+	Shells  []*shell.Shell
+	Nodes   []*Node
+	RNG     *sim.RNG
+	// Tracer, when installed with EnableTrace, records protocol and MMIO
+	// events (nil-safe: tracing is free when disabled).
+	Tracer *sim.Tracer
+}
+
+// EnableTrace installs an event tracer retaining the last capacity events.
+func (p *Prototype) EnableTrace(capacity int) *sim.Tracer {
+	p.Tracer = sim.NewTracer(p.Eng, capacity)
+	return p.Tracer
+}
+
+// Build constructs a prototype from the configuration. It corresponds to
+// the FPGA image generation step: after Build the system is "programmed"
+// and ready to load software.
+func Build(cfg Config) (*Prototype, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	stats := &sim.Stats{}
+	p := &Prototype{
+		Cfg:     cfg,
+		Eng:     eng,
+		Stats:   stats,
+		Backing: mem.NewBacking(),
+		Map:     NewAddrMap(cfg.TotalNodes(), cfg.TilesPerNode, cfg.UnifiedMemory),
+		Fabric:  pcie.New(eng, cfg.PCIe, stats),
+		RNG:     sim.NewRNG(cfg.Seed),
+	}
+
+	w, h := cfg.MeshDims()
+
+	// Per-FPGA: shell + inbound crossbar decoding bridge windows and the
+	// host DMA window.
+	type fpgaCL struct {
+		xbar *axi.Crossbar
+	}
+	cls := make([]fpgaCL, cfg.FPGAs)
+	for f := 0; f < cfg.FPGAs; f++ {
+		sh := shell.New(eng, p.Fabric, f, stats)
+		p.Shells = append(p.Shells, sh)
+		cls[f].xbar = axi.NewCrossbar(eng, fmt.Sprintf("fpga%d.inxbar", f), 2, stats)
+		sh.SetCustomLogic(cls[f].xbar)
+	}
+
+	// Nodes.
+	for nID := 0; nID < cfg.TotalNodes(); nID++ {
+		f := nID / cfg.NodesPerFPGA
+		name := fmt.Sprintf("node%d", nID)
+		n := &Node{ID: nID, FPGA: f, proto: p}
+		// Router/link delays calibrated so a 12-tile node reproduces the
+		// paper's ~100-cycle intra-node round trip (Fig. 7).
+		n.Mesh = noc.New(eng, name+".mesh", noc.Params{
+			RouterDelay: 3, LinkDelay: 2, Width: w, Height: h,
+		}, stats)
+
+		// Memory path: DRAM channel behind the NoC-AXI4 controller. The
+		// controller sees node-local offsets; translate by the region base
+		// for the (timing-only) channel.
+		n.DRAM = mem.NewDRAM(eng, name+".dram", cfg.DRAMLatency, cfg.DRAMBytesPerCycle, nil, 0, stats)
+		n.MemCtl = mem.NewController(eng, n.Mesh, name+".memctl", n.DRAM, stats)
+
+		// Interrupt fabric: global hart numbering node*C + tile.
+		n.Pack = interrupt.NewPacketizer(func(hart int, c *interrupt.Change) {
+			p.sendInterrupt(n, hart, c)
+		})
+		n.CLINT = interrupt.NewCLINT(eng, cfg.TotalTiles(), n.Pack)
+		n.PLIC = interrupt.NewPLIC(cfg.TotalTiles(), 4, n.Pack)
+
+		// Virtual devices.
+		n.UART0 = dev.NewUART(eng, name+".uart0", stats)
+		n.UART1 = dev.NewUART(eng, name+".uart1", stats)
+		n.UART1.CyclesPerByte = dev.FastBaudCycles
+		n.UART0.IRQ = func(level bool) { n.PLIC.SetLevel(1, level) }
+		n.UART1.IRQ = func(level bool) { n.PLIC.SetLevel(2, level) }
+		n.SD = dev.NewSDCard(eng, p.Backing, p.Map.SDCardBase(nID), NodeDRAMSize/2, stats, name+".sd")
+
+		n.devices = []devRegion{
+			// UART registers are exposed at stride 8 on the core side
+			// (64-bit friendly), matching OpenPiton's chipset bridge.
+			{DevUART0, 0x1000, strided{n.UART0, 3}, 2},
+			{DevUART1, 0x1000, strided{n.UART1, 3}, 2},
+			{DevSD, 0x1000, n.SD, 2},
+			{DevCLINT, 0x10000, n.CLINT, 2},
+			{DevPLIC, 0x400_0000, n.PLIC, 2},
+		}
+
+		// Tiles.
+		for tID := 0; tID < cfg.TilesPerNode; tID++ {
+			gid := cache.GID{Node: nID, Tile: tID}
+			tname := fmt.Sprintf("%s.tile%d", name, tID)
+			t := &Tile{ID: gid, node: n}
+			t.Priv = cache.NewPrivate(eng, gid, cfg.Cache, nodeConn{n}, p.homeFunc(nID), stats, tname+".bpc")
+			t.LLC = cache.NewSlice(eng, gid, cfg.Cache, nodeConn{n}, stats, tname+".llc")
+			t.Depack = interrupt.NewDepacketizer(func(k interrupt.Kind, level bool) {
+				if t.Core != nil {
+					t.Core.SetIRQ(int(k), level)
+				}
+			})
+			switch cfg.Core {
+			case CoreAriane:
+				t.Core = riscv.New(&corePort{tile: t}, p.hartID(gid), ResetPC, stats, tname+".core")
+			case CorePicoRV32:
+				t.Core = riscv.NewWithProfile(&corePort{tile: t}, p.hartID(gid), ResetPC, riscv.PicoRV32, stats, tname+".core")
+			}
+			n.Tiles = append(n.Tiles, t)
+			n.Mesh.AttachTile(tID, p.tileHandler(t))
+		}
+		n.Mesh.AttachChipset(p.chipsetHandler(n))
+
+		// Inter-node bridge.
+		n.Bridge = bridge.New(eng, n.Mesh, nID, cfg.Bridge, stats, name+".bridge")
+		cls[f].xbar.Map(axi.Region{
+			Base:   bridgeWindow(nID % cfg.NodesPerFPGA),
+			Size:   bridgeWindowSize,
+			Target: n.Bridge.Inbound(),
+			Name:   name + ".bridge",
+		})
+
+		p.Nodes = append(p.Nodes, n)
+	}
+
+	// Wire bridge outbound paths: same-FPGA destinations go through the
+	// local crossbar; remote destinations through the shell to PCIe.
+	for _, n := range p.Nodes {
+		n.Bridge.ConnectOut(&clOut{
+			local:   cls[n.FPGA].xbar,
+			shell:   p.Shells[n.FPGA],
+			cfg:     cfg,
+			srcFPGA: n.FPGA,
+		}, func(dst int) axi.Addr { return p.bridgeAddr(n.FPGA, dst) })
+	}
+	return p, nil
+}
+
+// bridgeWindow returns the CL-inbound window of a node's bridge within its
+// FPGA (local addressing).
+const bridgeWindowSize = 1 << 24
+
+func bridgeWindow(slot int) axi.Addr {
+	return axi.Addr(0x1000_0000 + uint64(slot)*bridgeWindowSize)
+}
+
+// bridgeAddr computes the AXI address for reaching dstNode's bridge from an
+// FPGA: local window if co-located, PCIe window of the peer FPGA otherwise.
+func (p *Prototype) bridgeAddr(srcFPGA, dstNode int) axi.Addr {
+	dstFPGA := dstNode / p.Cfg.NodesPerFPGA
+	slot := dstNode % p.Cfg.NodesPerFPGA
+	if dstFPGA == srcFPGA {
+		return bridgeWindow(slot)
+	}
+	base, _ := p.Fabric.Window(dstFPGA)
+	return base + bridgeWindow(slot)
+}
+
+// clOut routes bridge output either to the local crossbar (addresses below
+// the PCIe aperture) or out through the shell.
+type clOut struct {
+	local   *axi.Crossbar
+	shell   *shell.Shell
+	cfg     Config
+	srcFPGA int
+}
+
+func (o *clOut) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
+	if req.Addr < pcie.WindowBase {
+		o.local.Write(req, done)
+		return
+	}
+	o.shell.Outbound().Write(req, done)
+}
+
+func (o *clOut) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
+	if req.Addr < pcie.WindowBase {
+		o.local.Read(req, done)
+		return
+	}
+	o.shell.Outbound().Read(req, done)
+}
+
+// hartID returns the global hart number of a tile.
+func (p *Prototype) hartID(g cache.GID) int {
+	return g.Node*p.Cfg.TilesPerNode + g.Tile
+}
+
+// hartLoc inverts hartID.
+func (p *Prototype) hartLoc(hart int) cache.GID {
+	return cache.GID{Node: hart / p.Cfg.TilesPerNode, Tile: hart % p.Cfg.TilesPerNode}
+}
+
+// homeFunc builds the homing function for a node's caches: home node from
+// the DRAM region (default), or globally line-interleaved for the ablation
+// configuration; home slice by line interleave either way.
+func (p *Prototype) homeFunc(nodeID int) cache.HomeFunc {
+	if p.Cfg.GlobalInterleaveHoming && p.Cfg.UnifiedMemory {
+		nodes := uint64(p.Cfg.TotalNodes())
+		tiles := uint64(p.Cfg.TilesPerNode)
+		return func(line uint64) cache.GID {
+			idx := line >> 6
+			return cache.GID{
+				Node: int(idx % nodes),
+				Tile: int(idx / nodes % tiles),
+			}
+		}
+	}
+	return func(line uint64) cache.GID {
+		return cache.GID{
+			Node: p.Map.HomeNode(line, nodeID),
+			Tile: p.Map.HomeTile(line),
+		}
+	}
+}
+
+// Tile returns the tile at a global location.
+func (p *Prototype) Tile(g cache.GID) *Tile { return p.Nodes[g.Node].Tiles[g.Tile] }
+
+// TileByHart returns the tile hosting a hart.
+func (p *Prototype) TileByHart(hart int) *Tile { return p.Tile(p.hartLoc(hart)) }
+
+// Seconds converts cycles to wall-clock seconds at the prototype frequency.
+func (p *Prototype) Seconds(cycles sim.Time) float64 {
+	return float64(cycles) / (float64(p.Cfg.ClockMHz) * 1e6)
+}
+
+// Run drains the simulation (until all activity quiesces).
+func (p *Prototype) Run() sim.Time { return p.Eng.Run() }
+
+// RunUntil advances simulation to the deadline.
+func (p *Prototype) RunUntil(t sim.Time) sim.Time { return p.Eng.RunUntil(t) }
+
+// RunUntilHalted executes until every core halts, the event queue drains,
+// or the cycle limit passes, and returns the final time.
+func (p *Prototype) RunUntilHalted(limit sim.Time) sim.Time {
+	for !p.AllHalted() && p.Eng.Now() < limit {
+		if !p.Eng.Step() {
+			break
+		}
+	}
+	return p.Eng.Now()
+}
+
+// Start boots every RISC-V core (no-op for CoreNone prototypes). Cores
+// begin fetching at ResetPC.
+func (p *Prototype) Start() {
+	for _, n := range p.Nodes {
+		for _, t := range n.Tiles {
+			if t.Core == nil || t.Accel != nil {
+				continue
+			}
+			t := t
+			t.proc = sim.Go(p.Eng, fmt.Sprintf("hart%d", p.hartID(t.ID)), func(pr *sim.Process) {
+				t.Core.Run(pr, 0)
+			})
+		}
+	}
+}
+
+// AllHalted reports whether every started core has halted.
+func (p *Prototype) AllHalted() bool {
+	for _, n := range p.Nodes {
+		for _, t := range n.Tiles {
+			if t.Core != nil && t.Accel == nil && !t.Core.Halted() {
+				return false
+			}
+		}
+	}
+	return true
+}

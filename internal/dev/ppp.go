@@ -1,0 +1,133 @@
+package dev
+
+// PPP framing over the overclocked data UART (paper §3.4.1): "We used the
+// overclocked device to connect the prototype to the Internet using the
+// standard modem connection utility pppd." This file implements the
+// HDLC-like byte framing pppd speaks — flag delimiters, control-character
+// escaping and a frame check sequence — plus an endpoint that turns a UART
+// byte stream into a datagram interface.
+
+const (
+	pppFlag = 0x7E
+	pppEsc  = 0x7D
+	pppXOR  = 0x20
+)
+
+// fcs16 computes the PPP frame check sequence (CRC-16/X.25, the HDLC FCS).
+func fcs16(data []byte) uint16 {
+	fcs := uint16(0xFFFF)
+	for _, b := range data {
+		fcs ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if fcs&1 != 0 {
+				fcs = fcs>>1 ^ 0x8408
+			} else {
+				fcs >>= 1
+			}
+		}
+	}
+	return ^fcs
+}
+
+// PPPEncode frames one datagram: flag, escaped payload+FCS, flag.
+func PPPEncode(payload []byte) []byte {
+	body := make([]byte, 0, len(payload)+2)
+	body = append(body, payload...)
+	fcs := fcs16(payload)
+	body = append(body, byte(fcs), byte(fcs>>8))
+
+	out := []byte{pppFlag}
+	for _, b := range body {
+		if b == pppFlag || b == pppEsc || b < 0x20 {
+			out = append(out, pppEsc, b^pppXOR)
+		} else {
+			out = append(out, b)
+		}
+	}
+	return append(out, pppFlag)
+}
+
+// PPPEndpoint reassembles datagrams from a UART byte stream and frames
+// outgoing ones. Feed receive-side bytes with Consume; completed datagrams
+// arrive on the OnFrame callback. Damaged frames (bad FCS) are counted and
+// dropped, as pppd does.
+type PPPEndpoint struct {
+	OnFrame func(payload []byte)
+
+	buf      []byte
+	inFrame  bool
+	escaping bool
+
+	Received uint64
+	Dropped  uint64
+}
+
+// Consume processes raw bytes from the line.
+func (e *PPPEndpoint) Consume(data []byte) {
+	for _, b := range data {
+		switch {
+		case b == pppFlag:
+			if e.inFrame && len(e.buf) > 0 {
+				e.finish()
+			}
+			e.inFrame = true
+			e.buf = e.buf[:0]
+			e.escaping = false
+		case !e.inFrame:
+			// Noise between frames: ignore.
+		case b == pppEsc:
+			e.escaping = true
+		default:
+			if e.escaping {
+				b ^= pppXOR
+				e.escaping = false
+			}
+			e.buf = append(e.buf, b)
+		}
+	}
+}
+
+func (e *PPPEndpoint) finish() {
+	if len(e.buf) < 2 {
+		e.Dropped++
+		return
+	}
+	payload := e.buf[:len(e.buf)-2]
+	got := uint16(e.buf[len(e.buf)-2]) | uint16(e.buf[len(e.buf)-1])<<8
+	if got != fcs16(payload) {
+		e.Dropped++
+		return
+	}
+	e.Received++
+	if e.OnFrame != nil {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		e.OnFrame(cp)
+	}
+}
+
+// PPPHost is the host side of the tunnel: it pumps the UART's transmit
+// buffer into a PPP endpoint and sends framed datagrams down the receive
+// side — the "virtual serial device + pppd" pair of the paper.
+type PPPHost struct {
+	uart *UART
+	ep   PPPEndpoint
+	// Inbox collects datagrams the prototype sent.
+	Inbox [][]byte
+}
+
+// NewPPPHost attaches to the (typically overclocked) data UART.
+func NewPPPHost(u *UART) *PPPHost {
+	h := &PPPHost{uart: u}
+	h.ep.OnFrame = func(p []byte) { h.Inbox = append(h.Inbox, p) }
+	return h
+}
+
+// Poll drains pending UART bytes through the framer.
+func (h *PPPHost) Poll() { h.ep.Consume(h.uart.HostRead()) }
+
+// Send frames a datagram toward the prototype.
+func (h *PPPHost) Send(payload []byte) { h.uart.HostWrite(PPPEncode(payload)) }
+
+// Stats returns (received, dropped) frame counts.
+func (h *PPPHost) Stats() (received, dropped uint64) { return h.ep.Received, h.ep.Dropped }

@@ -1,0 +1,131 @@
+package dev
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"smappic/internal/sim"
+)
+
+func TestPPPRoundTrip(t *testing.T) {
+	var got [][]byte
+	ep := PPPEndpoint{OnFrame: func(p []byte) { got = append(got, p) }}
+	payload := []byte("GET /index.php HTTP/1.1\r\n")
+	ep.Consume(PPPEncode(payload))
+	if len(got) != 1 || !bytes.Equal(got[0], payload) {
+		t.Fatalf("round trip failed: %q", got)
+	}
+	if ep.Received != 1 || ep.Dropped != 0 {
+		t.Fatalf("counters: rx=%d drop=%d", ep.Received, ep.Dropped)
+	}
+}
+
+func TestPPPEscapesControlBytes(t *testing.T) {
+	payload := []byte{pppFlag, pppEsc, 0x00, 0x1F, 'A'}
+	enc := PPPEncode(payload)
+	// No raw flag/escape bytes inside the frame body.
+	for _, b := range enc[1 : len(enc)-1] {
+		if b == pppFlag {
+			t.Fatal("unescaped flag inside frame")
+		}
+	}
+	var got []byte
+	ep := PPPEndpoint{OnFrame: func(p []byte) { got = p }}
+	ep.Consume(enc)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("escaped payload mangled: %v vs %v", got, payload)
+	}
+}
+
+func TestPPPDropsCorruptFrames(t *testing.T) {
+	enc := PPPEncode([]byte("hello"))
+	enc[3] ^= 0xFF // corrupt a body byte
+	ep := PPPEndpoint{OnFrame: func(p []byte) { t.Error("corrupt frame delivered") }}
+	ep.Consume(enc)
+	if ep.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", ep.Dropped)
+	}
+}
+
+func TestPPPByteAtATimeDelivery(t *testing.T) {
+	// Frames must reassemble even when the UART delivers single bytes.
+	var got []byte
+	ep := PPPEndpoint{OnFrame: func(p []byte) { got = p }}
+	for _, b := range PPPEncode([]byte("fragmented")) {
+		ep.Consume([]byte{b})
+	}
+	if string(got) != "fragmented" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPPPIgnoresInterFrameNoise(t *testing.T) {
+	var got [][]byte
+	ep := PPPEndpoint{OnFrame: func(p []byte) { got = append(got, p) }}
+	stream := append([]byte{0x55, 0xAA}, PPPEncode([]byte("a"))...)
+	stream = append(stream, 0x13, 0x37)
+	stream = append(stream, PPPEncode([]byte("b"))...)
+	ep.Consume(stream)
+	if len(got) != 2 || string(got[0]) != "a" || string(got[1]) != "b" {
+		t.Fatalf("frames = %q", got)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary payloads, including ones
+// full of flag and escape bytes.
+func TestPPPRoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		var got []byte
+		ep := PPPEndpoint{OnFrame: func(p []byte) { got = p }}
+		ep.Consume(PPPEncode(payload))
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPPPOverUART(t *testing.T) {
+	// End to end over the overclocked data UART: prototype-side writes
+	// frame bytes to the THR; host pumps them through pppd's framer.
+	eng := sim.NewEngine()
+	u := NewUART(eng, "uart1", nil)
+	u.CyclesPerByte = FastBaudCycles
+	host := NewPPPHost(u)
+
+	frame := PPPEncode([]byte("ping from the prototype"))
+	sim.Go(eng, "tx", func(p *sim.Process) {
+		for _, b := range frame {
+			for u.Read(UartLSR, 1)&0x20 == 0 {
+				p.Wait(50)
+			}
+			u.Write(UartTHR, 1, uint64(b))
+			p.Wait(FastBaudCycles)
+		}
+	})
+	eng.Run()
+	host.Poll()
+	if len(host.Inbox) != 1 || string(host.Inbox[0]) != "ping from the prototype" {
+		t.Fatalf("inbox = %q", host.Inbox)
+	}
+	rx, drop := host.Stats()
+	if rx != 1 || drop != 0 {
+		t.Fatalf("stats rx=%d drop=%d", rx, drop)
+	}
+
+	// And the other direction: host -> prototype RX FIFO.
+	host.Send([]byte("pong"))
+	var ep PPPEndpoint
+	var got []byte
+	ep.OnFrame = func(p []byte) { got = p }
+	for u.Read(UartLSR, 1)&1 != 0 {
+		ep.Consume([]byte{byte(u.Read(UartRBR, 1))})
+	}
+	if string(got) != "pong" {
+		t.Fatalf("prototype received %q", got)
+	}
+}

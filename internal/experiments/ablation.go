@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smappic/internal/bridge"
+	"smappic/internal/cache"
+	"smappic/internal/core"
+	"smappic/internal/kernel"
+	"smappic/internal/rvasm"
+	"smappic/internal/sim"
+	"smappic/internal/workload"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: SMAPPIC's
+// address-region homing, the credit sizing of the inter-node bridge, and
+// the traffic shaper's ability to model slower interconnects (the paper's
+// Ampere-Altra remark in §4.1).
+
+// AblationHomingResult compares SMAPPIC's region-based homing against
+// global line interleaving under the NUMA workload.
+type AblationHomingResult struct {
+	RegionCycles     sim.Time
+	InterleaveCycles sim.Time
+	Slowdown         float64
+}
+
+// AblationHoming runs the NUMA-aware integer sort under both homing
+// policies. Region homing is what lets first-touch allocation pay off;
+// global interleaving sends most coherence traffic across the PCIe links
+// regardless of page placement.
+func AblationHoming() AblationHomingResult {
+	run := func(global bool) sim.Time {
+		cfg := core.DefaultConfig(2, 1, 4)
+		cfg.Core = core.CoreNone
+		cfg.GlobalInterleaveHoming = global
+		p, err := core.Build(cfg)
+		if err != nil {
+			panic(err)
+		}
+		k := kernel.New(p, kernel.DefaultConfig())
+		ip := workload.DefaultISParams(8)
+		ip.Keys = 1 << 13
+		r := workload.RunIS(k, ip)
+		if !r.Sorted {
+			panic("ablation: unsorted")
+		}
+		return r.Cycles
+	}
+	region, inter := run(false), run(true)
+	return AblationHomingResult{
+		RegionCycles:     region,
+		InterleaveCycles: inter,
+		Slowdown:         float64(inter) / float64(region),
+	}
+}
+
+// String renders the homing ablation.
+func (r AblationHomingResult) String() string {
+	return fmt.Sprintf("Ablation (homing): region-based %d cycles, global interleave %d cycles -> interleaving is %.2fx slower; region homing is what makes NUMA-aware allocation effective",
+		r.RegionCycles, r.InterleaveCycles, r.Slowdown)
+}
+
+// AblationCreditsResult sweeps the bridge's credit pool.
+type AblationCreditsResult struct {
+	Credits []int
+	Cycles  []sim.Time
+	Stalls  []uint64
+}
+
+// AblationCredits measures cross-node store throughput under different
+// credit pools: too few credits leave the PCIe round trip exposed on every
+// packet; the default pool covers it.
+func AblationCredits() AblationCreditsResult {
+	res := AblationCreditsResult{}
+	for _, credits := range []int{9, 24, 72, bridge.DefaultParams().CreditsPerDst} {
+		cfg := core.DefaultConfig(2, 1, 2)
+		cfg.Core = core.CoreNone
+		cfg.Bridge.CreditsPerDst = credits
+		p, err := core.Build(cfg)
+		if err != nil {
+			panic(err)
+		}
+		port := p.PortAt(cache.GID{Node: 0, Tile: 0})
+		remote := p.Map.NodeDRAMBase(1) + 0x100000
+		var took sim.Time
+		sim.Go(p.Eng, "wl", func(proc *sim.Process) {
+			start := proc.Now()
+			for i := uint64(0); i < 256; i++ {
+				port.Store(proc, remote+i*64, 8, i) // one miss per line
+			}
+			took = proc.Now() - start
+		})
+		p.Run()
+		res.Credits = append(res.Credits, credits)
+		res.Cycles = append(res.Cycles, took)
+		res.Stalls = append(res.Stalls, p.Stats.Get("node0.bridge.credit_stall"))
+	}
+	return res
+}
+
+// String renders the credit sweep.
+func (r AblationCreditsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (bridge credits): 256 cross-node line stores\n")
+	fmt.Fprintf(&b, "%10s %12s %14s\n", "credits", "cycles", "credit stalls")
+	for i := range r.Credits {
+		fmt.Fprintf(&b, "%10d %12d %14d\n", r.Credits[i], r.Cycles[i], r.Stalls[i])
+	}
+	return b.String()
+}
+
+// AblationInterconnectResult shows the traffic shaper modeling a slower
+// inter-node link (paper §4.1: "the inter-node link latency can be
+// adjusted to represent systems with a slower interconnect, e.g., Ampere
+// Altra").
+type AblationInterconnectResult struct {
+	ExtraLatency []sim.Time
+	InterCycles  []float64
+}
+
+// AblationInterconnect sweeps the bridge shaper's extra latency and
+// reports the measured inter-node round trip.
+func AblationInterconnect() AblationInterconnectResult {
+	res := AblationInterconnectResult{}
+	for _, extra := range []sim.Time{0, 125, 375} {
+		cfg := core.DefaultConfig(2, 1, 4)
+		cfg.Core = core.CoreNone
+		cfg.Bridge.ExtraLatency = extra
+		p, err := core.Build(cfg)
+		if err != nil {
+			panic(err)
+		}
+		lat := p.MeasureLatency(cache.GID{Node: 0, Tile: 0}, cache.GID{Node: 1, Tile: 0}, 1)
+		res.ExtraLatency = append(res.ExtraLatency, extra)
+		res.InterCycles = append(res.InterCycles, float64(lat))
+	}
+	return res
+}
+
+// String renders the interconnect sweep.
+func (r AblationInterconnectResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (inter-node link shaper): modeled extra latency vs measured RTT\n")
+	fmt.Fprintf(&b, "%14s %18s\n", "extra (cycles)", "inter-node RTT")
+	for i := range r.ExtraLatency {
+		fmt.Fprintf(&b, "%14d %18.0f\n", r.ExtraLatency[i], r.InterCycles[i])
+	}
+	fmt.Fprintf(&b, "(F1's native PCIe floor is ~125 cycles RTT; slower interconnects are modeled on top)\n")
+	return b.String()
+}
+
+// AblationCoreResult compares the two provided core models on the same
+// program (paper §4.8: a couple of fixed core models are provided).
+type AblationCoreResult struct {
+	ArianeCycles sim.Time
+	PicoCycles   sim.Time
+}
+
+// AblationCore boots both core types on the same bare-metal loop.
+func AblationCore() AblationCoreResult {
+	run := func(ct core.CoreType) sim.Time {
+		cfg := core.DefaultConfig(1, 1, 1)
+		cfg.Core = ct
+		p, err := core.Build(cfg)
+		if err != nil {
+			panic(err)
+		}
+		host := p.Host()
+		host.LoadProgram(0, rvasm.MustAssemble(core.ResetPC, `
+			li t0, 2000
+			li a0, 1
+		loop:	mul a0, a0, t0
+			addi t0, t0, -1
+			bnez t0, loop
+			li a0, 0
+			ebreak
+		`))
+		p.Start()
+		return p.RunUntilHalted(50_000_000)
+	}
+	return AblationCoreResult{
+		ArianeCycles: run(core.CoreAriane),
+		PicoCycles:   run(core.CorePicoRV32),
+	}
+}
+
+// String renders the core comparison.
+func (r AblationCoreResult) String() string {
+	return fmt.Sprintf("Ablation (core model): same program, Ariane %d cycles vs PicoRV32 %d cycles (%.2fx)",
+		r.ArianeCycles, r.PicoCycles, float64(r.PicoCycles)/float64(r.ArianeCycles))
+}
+

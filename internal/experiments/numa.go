@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smappic/internal/core"
+	"smappic/internal/kernel"
+	"smappic/internal/workload"
+)
+
+// newPrototype builds a CoreNone prototype for execution-driven studies.
+func newPrototype(a, b, c int) *core.Prototype {
+	cfg := core.DefaultConfig(a, b, c)
+	cfg.Core = core.CoreNone
+	p, err := core.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Fig7Result is the latency heatmap study (paper Fig. 7).
+type Fig7Result struct {
+	Matrix  [][]uint64
+	Intra   float64 // mean intra-node round trip, cycles
+	Inter   float64 // mean inter-node round trip, cycles
+	Ratio   float64
+	Heatmap string
+}
+
+// Fig7 measures inter-core round-trip latencies on the 48-core 4x1x12
+// system (or 2x1x4 in quick mode) and aggregates the NUMA structure.
+func Fig7(quick bool) Fig7Result {
+	// Node size stays at the paper's 12 tiles even in quick mode: the
+	// intra/inter ratio depends on the node's mesh diameter.
+	a, c := 4, 12
+	if quick {
+		a = 2
+	}
+	p := newPrototype(a, 1, c)
+	m := p.LatencyMatrix()
+	intra, inter := p.LatencySummary(m)
+	out := Fig7Result{
+		Intra:   intra,
+		Inter:   inter,
+		Ratio:   inter / intra,
+		Heatmap: core.FormatHeatmap(m),
+	}
+	out.Matrix = make([][]uint64, len(m))
+	for i := range m {
+		out.Matrix[i] = make([]uint64, len(m[i]))
+		for j := range m[i] {
+			out.Matrix[i][j] = uint64(m[i][j])
+		}
+	}
+	return out
+}
+
+// String renders the Fig. 7 summary.
+func (r Fig7Result) String() string {
+	return fmt.Sprintf("Fig 7: inter-core RTT: intra-node %.0f cycles, inter-node %.0f cycles (%.1fx; paper: ~100 vs ~250, 2.5x)",
+		r.Intra, r.Inter, r.Ratio)
+}
+
+// Fig8Row is one thread-count point of the NUMA scaling study.
+type Fig8Row struct {
+	Threads    int
+	OnSeconds  float64 // NUMA mode on, scaled problem
+	OffSeconds float64
+	// ClassCOnSeconds extrapolates to NPB class C (134M keys) linearly in
+	// key count, for comparison with the paper's absolute axis.
+	ClassCOnSeconds  float64
+	ClassCOffSeconds float64
+	Ratio            float64 // off/on
+}
+
+// Fig8Result is the full Fig. 8 series.
+type Fig8Result struct {
+	Keys int
+	Rows []Fig8Row
+}
+
+const classCKeys = 134_217_728 // NPB IS class C
+
+// Fig8 runs the NPB integer sort on the 48-core 4x1x12 system with the
+// Linux-NUMA-mode-on/off comparison of paper Fig. 8.
+func Fig8(quick bool) Fig8Result {
+	threads := []int{3, 6, 12, 24, 48}
+	keys := 1 << 15
+	if quick {
+		threads = []int{3, 12, 48}
+		keys = 1 << 14
+	}
+	res := Fig8Result{Keys: keys}
+	for _, t := range threads {
+		row := Fig8Row{Threads: t}
+		for _, numa := range []bool{true, false} {
+			p := newPrototype(4, 1, 12)
+			kc := kernel.DefaultConfig()
+			kc.NUMA = numa
+			k := kernel.New(p, kc)
+			ip := workload.DefaultISParams(t)
+			ip.Keys = keys
+			r := workload.RunIS(k, ip)
+			if !r.Sorted {
+				panic("experiments: Fig8 run produced unsorted output")
+			}
+			scale := float64(classCKeys) / float64(keys)
+			if numa {
+				row.OnSeconds = r.Seconds
+				row.ClassCOnSeconds = r.Seconds * scale
+			} else {
+				row.OffSeconds = r.Seconds
+				row.ClassCOffSeconds = r.Seconds * scale
+			}
+		}
+		row.Ratio = row.OffSeconds / row.OnSeconds
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders the Fig. 8 series.
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8: NUMA-aware vs non-NUMA Linux, integer sort (%d keys, class-C-extrapolated seconds)\n", r.Keys)
+	fmt.Fprintf(&b, "%8s %14s %14s %8s\n", "Threads", "NUMA on (s)", "NUMA off (s)", "off/on")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %14.0f %14.0f %8.2f\n", row.Threads, row.ClassCOnSeconds, row.ClassCOffSeconds, row.Ratio)
+	}
+	fmt.Fprintf(&b, "(paper: NUMA mode reduces runtimes by 1.6-2.8x, gap grows with threads)\n")
+	return b.String()
+}
+
+// Fig9Row is one active-node point of the thread-allocation study.
+type Fig9Row struct {
+	ActiveNodes int
+	OnSeconds   float64
+	OffSeconds  float64
+}
+
+// Fig9Result is the full Fig. 9 series.
+type Fig9Result struct {
+	Keys    int
+	Threads int
+	Rows    []Fig9Row
+}
+
+// Fig9 fixes 12 threads and pins them (taskset) to 1..4 nodes of the
+// 4x1x12 system, in both NUMA modes (paper Fig. 9).
+func Fig9(quick bool) Fig9Result {
+	keys := 1 << 15
+	if quick {
+		keys = 1 << 13
+	}
+	res := Fig9Result{Keys: keys, Threads: 12}
+	for nodes := 1; nodes <= 4; nodes++ {
+		row := Fig9Row{ActiveNodes: nodes}
+		for _, numa := range []bool{true, false} {
+			p := newPrototype(4, 1, 12)
+			kc := kernel.DefaultConfig()
+			kc.NUMA = numa
+			k := kernel.New(p, kc)
+			ip := workload.DefaultISParams(12)
+			ip.Keys = keys
+			ip.Affinity = k.NodesHarts(nodes)
+			r := workload.RunIS(k, ip)
+			if !r.Sorted {
+				panic("experiments: Fig9 run produced unsorted output")
+			}
+			scale := float64(classCKeys) / float64(keys)
+			if numa {
+				row.OnSeconds = r.Seconds * scale
+			} else {
+				row.OffSeconds = r.Seconds * scale
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders the Fig. 9 series.
+func (r Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 9: thread allocation, %d threads pinned to 1-4 nodes (class-C-extrapolated seconds)\n", r.Threads)
+	fmt.Fprintf(&b, "%13s %14s %14s\n", "Active nodes", "NUMA on (s)", "NUMA off (s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%13d %14.0f %14.0f\n", row.ActiveNodes, row.OnSeconds, row.OffSeconds)
+	}
+	fmt.Fprintf(&b, "(paper: NUMA on rises slightly with more nodes; NUMA off falls slightly)\n")
+	return b.String()
+}

@@ -1,0 +1,103 @@
+// Package fpga models the physical FPGA layer SMAPPIC builds on: the Xilinx
+// VU9P resource budget, per-component LUT costs, the utilization-to-
+// frequency relationship of Table 4, and the build-flow times reported in
+// §4.1 (synthesis on a desktop, AWS postprocessing, bitstream load).
+//
+// The component costs are fitted to the paper's published utilization
+// numbers; Check reproduces Table 4 within one percentage point.
+package fpga
+
+import (
+	"fmt"
+	"time"
+)
+
+// VU9PLUTs is the logic budget of the Virtex UltraScale+ VU9P on F1.
+const VU9PLUTs = 1_182_240
+
+// Fitted LUT fractions of the VU9P budget (see DESIGN.md).
+const (
+	tileFrac    = 0.070 // one Ariane tile: core + BPC + LLC slice + routers
+	nodeFrac    = 0.035 // per-node memctl, inter-node bridge, interrupts
+	shellFrac   = 0.090 // AWS Hard Shell partition
+	crossbarK   = 0.005 // AXI crossbar grows with the square of node count
+	fmaxCutoff  = 0.88  // utilization above which routing closes at 75 MHz
+	fullFreqMHz = 100
+	slowFreqMHz = 75
+)
+
+// Report describes one configuration's physical feasibility.
+type Report struct {
+	NodesPerFPGA int
+	TilesPerNode int
+	LUTs         int
+	Utilization  float64 // 0..1
+	FrequencyMHz int
+	Fits         bool
+}
+
+// Estimate computes LUT usage and achievable frequency for B nodes of C
+// tiles on one FPGA (the BxC rows of Table 4).
+func Estimate(nodesPerFPGA, tilesPerNode int) Report {
+	b, c := float64(nodesPerFPGA), float64(tilesPerNode)
+	frac := shellFrac + b*nodeFrac + b*c*tileFrac + crossbarK*b*b
+	r := Report{
+		NodesPerFPGA: nodesPerFPGA,
+		TilesPerNode: tilesPerNode,
+		LUTs:         int(frac * VU9PLUTs),
+		Utilization:  frac,
+		Fits:         frac <= 1.0,
+	}
+	if frac >= fmaxCutoff {
+		r.FrequencyMHz = slowFreqMHz
+	} else {
+		r.FrequencyMHz = fullFreqMHz
+	}
+	return r
+}
+
+// String renders the report as a Table 4 row.
+func (r Report) String() string {
+	return fmt.Sprintf("%dx%-3d %4d MHz   %3.0f%%", r.NodesPerFPGA, r.TilesPerNode,
+		r.FrequencyMHz, r.Utilization*100)
+}
+
+// Table4 returns the paper's five configurations.
+func Table4() []Report {
+	shapes := [][2]int{{1, 12}, {1, 10}, {2, 4}, {2, 5}, {4, 2}}
+	out := make([]Report, len(shapes))
+	for i, s := range shapes {
+		out[i] = Estimate(s[0], s[1])
+	}
+	return out
+}
+
+// BuildFlow models the prototype generation pipeline of §4.1.
+type BuildFlow struct {
+	// SynthesisTime on the paper's desktop (i9-9900K, 32 GB needed).
+	SynthesisTime time.Duration
+	// SynthesisMemGB is the peak memory of the Vivado run.
+	SynthesisMemGB int
+	// AWSPostprocess is the datacenter-side image creation.
+	AWSPostprocess time.Duration
+	// BitstreamLoad is the per-FPGA programming time.
+	BitstreamLoad time.Duration
+}
+
+// EstimateBuild returns build-flow times for a configuration. Synthesis
+// scales mildly with utilization around the paper's 2-hour observation.
+func EstimateBuild(r Report) BuildFlow {
+	base := 2 * time.Hour
+	scaled := time.Duration(float64(base) * (0.5 + r.Utilization*0.55))
+	return BuildFlow{
+		SynthesisTime:  scaled,
+		SynthesisMemGB: 32,
+		AWSPostprocess: 2 * time.Hour,
+		BitstreamLoad:  10 * time.Second,
+	}
+}
+
+// Total returns end-to-end time from RTL to a programmed FPGA.
+func (b BuildFlow) Total() time.Duration {
+	return b.SynthesisTime + b.AWSPostprocess + b.BitstreamLoad
+}

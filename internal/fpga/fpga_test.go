@@ -1,0 +1,91 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTable4MatchesPaper checks the fitted model against the paper's
+// published utilization and frequency numbers within 1.5 points.
+func TestTable4MatchesPaper(t *testing.T) {
+	want := []struct {
+		b, c    int
+		freq    int
+		utilPct float64
+	}{
+		{1, 12, 75, 97},
+		{1, 10, 100, 83},
+		{2, 4, 100, 73},
+		{2, 5, 75, 88},
+		{4, 2, 100, 87},
+	}
+	for _, w := range want {
+		r := Estimate(w.b, w.c)
+		if r.FrequencyMHz != w.freq {
+			t.Errorf("%dx%d frequency = %d, paper says %d", w.b, w.c, r.FrequencyMHz, w.freq)
+		}
+		if math.Abs(r.Utilization*100-w.utilPct) > 1.5 {
+			t.Errorf("%dx%d utilization = %.1f%%, paper says %.0f%%", w.b, w.c, r.Utilization*100, w.utilPct)
+		}
+		if !r.Fits {
+			t.Errorf("%dx%d reported as not fitting", w.b, w.c)
+		}
+	}
+}
+
+func TestUtilizationMonotonicInTiles(t *testing.T) {
+	prev := 0.0
+	for c := 1; c <= 12; c++ {
+		r := Estimate(1, c)
+		if r.Utilization <= prev {
+			t.Fatalf("utilization not increasing at %d tiles", c)
+		}
+		prev = r.Utilization
+	}
+}
+
+func TestOversizedConfigDoesNotFit(t *testing.T) {
+	r := Estimate(4, 4) // 16 Ariane tiles: beyond a VU9P
+	if r.Fits {
+		t.Fatalf("4x4 should not fit (util %.0f%%)", r.Utilization*100)
+	}
+}
+
+func TestHighUtilizationLowersFrequency(t *testing.T) {
+	low := Estimate(1, 4)
+	high := Estimate(1, 12)
+	if low.FrequencyMHz != 100 || high.FrequencyMHz != 75 {
+		t.Fatalf("frequency model wrong: low=%d high=%d", low.FrequencyMHz, high.FrequencyMHz)
+	}
+}
+
+func TestTable4HasFiveRows(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 5 {
+		t.Fatalf("Table4 has %d rows", len(rows))
+	}
+	if rows[0].String() == "" {
+		t.Error("empty row rendering")
+	}
+}
+
+func TestBuildFlowNearPaper(t *testing.T) {
+	// §4.1: ~2h synthesis on a desktop, ~2h AWS postprocessing, ~10s load.
+	b := EstimateBuild(Estimate(1, 12))
+	if b.SynthesisTime < 90*time.Minute || b.SynthesisTime > 3*time.Hour {
+		t.Errorf("synthesis time %v, want ~2h", b.SynthesisTime)
+	}
+	if b.AWSPostprocess != 2*time.Hour {
+		t.Errorf("postprocess %v", b.AWSPostprocess)
+	}
+	if b.BitstreamLoad != 10*time.Second {
+		t.Errorf("bitstream load %v", b.BitstreamLoad)
+	}
+	if b.Total() < 4*time.Hour {
+		t.Errorf("total %v, want > 4h", b.Total())
+	}
+	if b.SynthesisMemGB != 32 {
+		t.Errorf("synthesis memory %d GB", b.SynthesisMemGB)
+	}
+}

@@ -1,0 +1,372 @@
+// Package kernel is the mini operating system used for execution-driven
+// studies on SMAPPIC prototypes. It stands in for the full-stack Linux of
+// the paper's case studies and implements exactly the two policy dimensions
+// those experiments exercise:
+//
+//   - NUMA-aware memory management (lazy first-touch page allocation on the
+//     toucher's node, as Linux does with CONFIG_NUMA, available on RISC-V
+//     since v5.12) versus topology-blind allocation (pages handed out with
+//     no regard for locality);
+//   - thread scheduling with taskset-style affinity: NUMA mode keeps
+//     threads where they started, non-NUMA mode migrates them between
+//     allowed harts on a timeslice, as a topology-blind scheduler would.
+//
+// Threads are Go functions running as simulation processes; their memory
+// accesses are translated through the kernel's page table and flow through
+// the prototype's cache hierarchy and NoC/bridge fabric, so placement
+// policy turns directly into latency and congestion.
+package kernel
+
+import (
+	"fmt"
+
+	"smappic/internal/cache"
+	"smappic/internal/core"
+	"smappic/internal/sim"
+)
+
+// PageBytes is the allocation granule (Sv39's 4 KiB).
+const PageBytes = 4096
+
+// heapBase is the start of the kernel's virtual heap. It is far above any
+// physical address so mixups are caught immediately.
+const heapBase uint64 = 1 << 44
+
+// Config selects the kernel policies.
+type Config struct {
+	// NUMA enables first-touch allocation and no-migration scheduling.
+	NUMA bool
+	// Quantum is the scheduling timeslice for migration decisions in
+	// non-NUMA mode, in cycles.
+	Quantum sim.Time
+	// MigrateCost is the context-switch penalty charged per migration.
+	MigrateCost sim.Time
+	// Seed drives the topology-blind allocator and migration choices.
+	Seed uint64
+}
+
+// DefaultConfig returns NUMA-aware defaults.
+func DefaultConfig() Config {
+	return Config{NUMA: true, Quantum: 50_000, MigrateCost: 2000, Seed: 42}
+}
+
+// Kernel is a booted mini-OS instance on a prototype.
+type Kernel struct {
+	pr  *core.Prototype
+	cfg Config
+	rng *sim.RNG
+
+	nextLocal []uint64          // per-node physical bump pointer
+	pageTable map[uint64]uint64 // vpage -> physical page address
+	pageNode  map[uint64]int    // vpage -> owning node (for stats)
+	nextVA    uint64
+	threads   []*Thread
+}
+
+// New boots the kernel on a prototype.
+func New(pr *core.Prototype, cfg Config) *Kernel {
+	k := &Kernel{
+		pr:        pr,
+		cfg:       cfg,
+		rng:       sim.NewRNG(cfg.Seed),
+		nextLocal: make([]uint64, pr.Cfg.TotalNodes()),
+		pageTable: make(map[uint64]uint64),
+		pageNode:  make(map[uint64]int),
+		nextVA:    heapBase,
+	}
+	// Reserve the low 32 MiB of each node for code and kernel structures.
+	for i := range k.nextLocal {
+		k.nextLocal[i] = 32 << 20
+	}
+	return k
+}
+
+// Prototype returns the underlying hardware.
+func (k *Kernel) Prototype() *core.Prototype { return k.pr }
+
+// NUMA reports whether NUMA mode is enabled.
+func (k *Kernel) NUMA() bool { return k.cfg.NUMA }
+
+// Alloc reserves size bytes of virtual address space (page aligned).
+// Physical pages are assigned lazily on first touch.
+func (k *Kernel) Alloc(size uint64) uint64 {
+	va := k.nextVA
+	pages := (size + PageBytes - 1) / PageBytes
+	k.nextVA += pages * PageBytes
+	return va
+}
+
+// allocPhys grabs a fresh physical page on the given node.
+func (k *Kernel) allocPhys(node int) uint64 {
+	off := k.nextLocal[node]
+	k.nextLocal[node] += PageBytes
+	if off+PageBytes > k.pr.Map.MainMemorySize() {
+		panic(fmt.Sprintf("kernel: node %d out of memory", node))
+	}
+	return k.pr.Map.NodeDRAMBase(node) + off
+}
+
+// translate maps a virtual address, allocating on first touch. toucher is
+// the node of the accessing thread.
+func (k *Kernel) translate(va uint64, toucher int) uint64 {
+	if va < heapBase {
+		// Identity-mapped low range (device or explicitly physical).
+		return va
+	}
+	vp := va / PageBytes
+	pa, ok := k.pageTable[vp]
+	if !ok {
+		node := toucher
+		if !k.cfg.NUMA {
+			// Topology-blind: the buddy allocator hands out pages from
+			// wherever, modeled as a pseudo-random node.
+			node = k.rng.Intn(k.pr.Cfg.TotalNodes())
+		}
+		pa = k.allocPhys(node)
+		k.pageTable[vp] = pa
+		k.pageNode[vp] = node
+	}
+	return pa + va%PageBytes
+}
+
+// Read performs a functional (zero-time) read at a virtual address, for
+// verification and host-side inspection.
+func (k *Kernel) Read(va uint64, size int) uint64 {
+	return k.pr.ReadPhys(k.translate(va, 0), size)
+}
+
+// Write performs a functional (zero-time) write at a virtual address.
+func (k *Kernel) Write(va uint64, size int, v uint64) {
+	k.pr.WritePhys(k.translate(va, 0), size, v)
+}
+
+// Translate exposes the page table for hardware engines (e.g. MAPLE) that
+// are programmed with already-touched buffers. The toucher for any page
+// faulted here is node 0.
+func (k *Kernel) Translate(va uint64) uint64 { return k.translate(va, 0) }
+
+// PageNode reports which node holds a virtual page (testing/stats); -1 if
+// untouched.
+func (k *Kernel) PageNode(va uint64) int {
+	if n, ok := k.pageNode[va/PageBytes]; ok {
+		return n
+	}
+	return -1
+}
+
+// LocalFraction returns the fraction of touched pages that live on their
+// most frequent toucher's... — simplified: fraction of pages on each node.
+func (k *Kernel) PagesPerNode() []int {
+	out := make([]int, k.pr.Cfg.TotalNodes())
+	for _, n := range k.pageNode {
+		out[n]++
+	}
+	return out
+}
+
+// Thread is a schedulable software thread.
+type Thread struct {
+	ID       int
+	kern     *Kernel
+	affinity []int // allowed harts
+	hart     int
+	port     *core.Port
+	proc     *sim.Process
+	nextMigr sim.Time
+
+	Migrations int
+	Done       bool
+}
+
+// Ctx is passed to thread bodies: the thread plus its simulation process.
+type Ctx struct {
+	T *Thread
+	P *sim.Process
+}
+
+// Spawn starts fn as a thread allowed on the given harts (a taskset mask),
+// beginning on the hart at index (threadID mod len(affinity)) so sibling
+// threads spread over the mask.
+func (k *Kernel) Spawn(name string, affinity []int, fn func(*Ctx)) *Thread {
+	if len(affinity) == 0 {
+		panic("kernel: empty affinity")
+	}
+	t := &Thread{
+		ID:       len(k.threads),
+		kern:     k,
+		affinity: append([]int(nil), affinity...),
+	}
+	t.hart = t.affinity[t.ID%len(t.affinity)]
+	t.port = k.pr.PortAt(k.locOf(t.hart))
+	k.threads = append(k.threads, t)
+	t.proc = sim.Go(k.pr.Eng, name, func(p *sim.Process) {
+		t.nextMigr = p.Now() + k.cfg.Quantum
+		fn(&Ctx{T: t, P: p})
+		t.Done = true
+	})
+	return t
+}
+
+// Threads returns all spawned threads.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// AllHarts returns 0..n-1, the affinity of an unpinned thread.
+func (k *Kernel) AllHarts() []int {
+	out := make([]int, k.pr.Cfg.TotalTiles())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// NodeHarts returns the harts of one node.
+func (k *Kernel) NodeHarts(node int) []int {
+	c := k.pr.Cfg.TilesPerNode
+	out := make([]int, c)
+	for i := range out {
+		out[i] = node*c + i
+	}
+	return out
+}
+
+// NodesHarts returns the harts of nodes [0, n).
+func (k *Kernel) NodesHarts(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, k.NodeHarts(i)...)
+	}
+	return out
+}
+
+func (k *Kernel) locOf(hart int) cache.GID {
+	c := k.pr.Cfg.TilesPerNode
+	return cache.GID{Node: hart / c, Tile: hart % c}
+}
+
+// node returns the thread's current NUMA node.
+func (t *Thread) node() int { return t.hart / t.kern.pr.Cfg.TilesPerNode }
+
+// Hart returns the hart the thread currently runs on.
+func (t *Thread) Hart() int { return t.hart }
+
+// maybeMigrate implements the non-NUMA scheduler: at each expired quantum
+// the thread may hop to another allowed hart.
+func (t *Thread) maybeMigrate(p *sim.Process) {
+	if t.kern.cfg.NUMA || len(t.affinity) == 1 || p.Now() < t.nextMigr {
+		return
+	}
+	t.nextMigr = p.Now() + t.kern.cfg.Quantum
+	next := t.affinity[t.kern.rng.Intn(len(t.affinity))]
+	if next == t.hart {
+		return
+	}
+	t.hart = next
+	t.port = t.kern.pr.PortAt(t.kern.locOf(next))
+	t.Migrations++
+	p.Wait(t.kern.cfg.MigrateCost)
+}
+
+// Load reads size bytes at virtual address va.
+func (c *Ctx) Load(va uint64, size int) uint64 {
+	c.T.maybeMigrate(c.P)
+	pa := c.T.kern.translate(va, c.T.node())
+	return c.T.port.Load(c.P, pa, size)
+}
+
+// Store writes size bytes at virtual address va.
+func (c *Ctx) Store(va uint64, size int, v uint64) {
+	c.T.maybeMigrate(c.P)
+	pa := c.T.kern.translate(va, c.T.node())
+	c.T.port.Store(c.P, pa, size, v)
+}
+
+// StoreAsync issues a fire-and-forget store (decoupled update): the write
+// lands when permission arrives; the thread only pays the issue cycle.
+func (c *Ctx) StoreAsync(va uint64, size int, v uint64) {
+	c.T.maybeMigrate(c.P)
+	pa := c.T.kern.translate(va, c.T.node())
+	c.T.port.StoreAsync(pa, size, v)
+	c.P.Wait(1)
+}
+
+// Amo atomically applies f at virtual address va.
+func (c *Ctx) Amo(va uint64, size int, f func(uint64) uint64) uint64 {
+	c.T.maybeMigrate(c.P)
+	pa := c.T.kern.translate(va, c.T.node())
+	return c.T.port.Amo(c.P, pa, size, f)
+}
+
+// Compute charges n cycles of computation.
+func (c *Ctx) Compute(n sim.Time) {
+	c.T.maybeMigrate(c.P)
+	if n > 0 {
+		c.P.Wait(n)
+	}
+}
+
+// MMIOLoad performs an uncacheable device read from the current hart.
+func (c *Ctx) MMIOLoad(addr uint64, size int) uint64 {
+	c.T.maybeMigrate(c.P)
+	return c.T.port.MMIOLoad(c.P, addr, size)
+}
+
+// MMIOStore performs an uncacheable device write from the current hart.
+func (c *Ctx) MMIOStore(addr uint64, size int, v uint64) {
+	c.T.maybeMigrate(c.P)
+	c.T.port.MMIOStore(c.P, addr, size, v)
+}
+
+// Barrier synchronizes n threads. Arrivals perform a real atomic increment
+// on a shared line (generating coherence traffic); waiting itself parks the
+// process instead of spinning, charging a wake latency on release.
+type Barrier struct {
+	k       *Kernel
+	n       int
+	addr    uint64
+	waiting []func()
+	count   int
+}
+
+// NewBarrier creates a barrier for n threads.
+func (k *Kernel) NewBarrier(n int) *Barrier {
+	return &Barrier{k: k, n: n, addr: k.Alloc(PageBytes)}
+}
+
+// Wait blocks until n threads have arrived.
+func (b *Barrier) Wait(c *Ctx) {
+	c.Amo(b.addr, 8, func(o uint64) uint64 { return o + 1 })
+	b.count++
+	if b.count < b.n {
+		wake := c.P.Suspend()
+		b.waiting = append(b.waiting, wake)
+		c.P.Park()
+		return
+	}
+	// Release: reset the counter and wake everyone.
+	b.count = 0
+	c.Store(b.addr, 8, 0)
+	ws := b.waiting
+	b.waiting = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Join runs the simulation until every spawned thread finished.
+func (k *Kernel) Join() sim.Time {
+	for {
+		k.pr.Run()
+		all := true
+		for _, t := range k.threads {
+			if !t.Done {
+				all = false
+				break
+			}
+		}
+		if all {
+			return k.pr.Eng.Now()
+		}
+		// Threads still parked with no pending events would be a deadlock.
+		panic("kernel: Join: threads blocked with empty event queue")
+	}
+}

@@ -1,0 +1,131 @@
+// Package mem provides the memory subsystem: the functional backing store
+// holding the prototype's physical memory, the DRAM device model, and the
+// NoC-AXI4 memory controller from paper §3.2 (Fig. 5).
+//
+// Functional data lives in the backing store and is read/written at the
+// simulation time an access completes; caches (package cache) track only
+// coherence state and timing. This split — standard in architecture
+// simulators — keeps the coherence protocol race-free functionally while
+// the timing model still generates the full message traffic.
+package mem
+
+import "fmt"
+
+// pageBits is the granularity of on-demand allocation in the backing store.
+const pageBits = 16 // 64 KiB pages
+
+// Backing is a sparse flat physical memory. It allocates 64 KiB pages on
+// first touch, so multi-GB address spaces cost only what is actually used.
+// The zero value is ready to use.
+type Backing struct {
+	pages map[uint64][]byte
+}
+
+// NewBacking returns an empty backing store.
+func NewBacking() *Backing { return &Backing{pages: make(map[uint64][]byte)} }
+
+func (b *Backing) page(addr uint64) []byte {
+	if b.pages == nil {
+		b.pages = make(map[uint64][]byte)
+	}
+	key := addr >> pageBits
+	p, ok := b.pages[key]
+	if !ok {
+		p = make([]byte, 1<<pageBits)
+		b.pages[key] = p
+	}
+	return p
+}
+
+// Footprint returns the number of bytes currently allocated.
+func (b *Backing) Footprint() uint64 { return uint64(len(b.pages)) << pageBits }
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (b *Backing) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		p := b.page(addr)
+		off := addr & (1<<pageBits - 1)
+		n := copy(dst, p[off:])
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (b *Backing) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		p := b.page(addr)
+		off := addr & (1<<pageBits - 1)
+		n := copy(p[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadU64 reads a little-endian 64-bit word. addr must be 8-byte aligned.
+func (b *Backing) ReadU64(addr uint64) uint64 {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("mem: unaligned ReadU64 at %#x", addr))
+	}
+	p := b.page(addr)
+	off := addr & (1<<pageBits - 1)
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p[off+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// WriteU64 writes a little-endian 64-bit word. addr must be 8-byte aligned.
+func (b *Backing) WriteU64(addr, v uint64) {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("mem: unaligned WriteU64 at %#x", addr))
+	}
+	p := b.page(addr)
+	off := addr & (1<<pageBits - 1)
+	for i := 0; i < 8; i++ {
+		p[off+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// ReadU32 reads a little-endian 32-bit word. addr must be 4-byte aligned.
+func (b *Backing) ReadU32(addr uint64) uint32 {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: unaligned ReadU32 at %#x", addr))
+	}
+	var buf [4]byte
+	b.ReadBytes(addr, buf[:])
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+}
+
+// WriteU32 writes a little-endian 32-bit word. addr must be 4-byte aligned.
+func (b *Backing) WriteU32(addr uint64, v uint32) {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: unaligned WriteU32 at %#x", addr))
+	}
+	b.WriteBytes(addr, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// ReadU16 reads a little-endian 16-bit halfword.
+func (b *Backing) ReadU16(addr uint64) uint16 {
+	var buf [2]byte
+	b.ReadBytes(addr, buf[:])
+	return uint16(buf[0]) | uint16(buf[1])<<8
+}
+
+// WriteU16 writes a little-endian 16-bit halfword.
+func (b *Backing) WriteU16(addr uint64, v uint16) {
+	b.WriteBytes(addr, []byte{byte(v), byte(v >> 8)})
+}
+
+// ReadU8 reads one byte.
+func (b *Backing) ReadU8(addr uint64) uint8 {
+	p := b.page(addr)
+	return p[addr&(1<<pageBits-1)]
+}
+
+// WriteU8 writes one byte.
+func (b *Backing) WriteU8(addr uint64, v uint8) {
+	p := b.page(addr)
+	p[addr&(1<<pageBits-1)] = v
+}

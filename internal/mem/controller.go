@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"fmt"
+
+	"smappic/internal/axi"
+	"smappic/internal/noc"
+	"smappic/internal/sim"
+)
+
+// Req is a memory request carried over the NoC from an LLC slice (or a
+// device) to the memory controller. Tag is the requester's MSHR handle,
+// echoed back in the response (the ID-MSHR mapping of paper Fig. 5).
+type Req struct {
+	Write bool
+	Addr  uint64 // node-local DRAM offset
+	Size  int    // bytes
+	Src   noc.Dest
+	Tag   uint64
+}
+
+// Resp is the controller's reply, sent back over the NoC.
+type Resp struct {
+	Write bool
+	Addr  uint64
+	Tag   uint64
+}
+
+// FlitsFor returns the NoC flit count for a memory message: one header flit
+// plus one flit per 8 data bytes.
+func FlitsFor(dataBytes int) int { return 1 + (dataBytes+7)/8 }
+
+// engineKind selects the read or write engine.
+type engineKind int
+
+const (
+	readEngine engineKind = iota
+	writeEngine
+)
+
+// Controller is the NoC-AXI4 memory controller of paper §3.2 / Fig. 5.
+// Requests arriving from the NoC are deserialized, buffered in the
+// management module for non-blocking operation, steered into the read or
+// write engine (each with a bounded AXI ID space), aligned to the 64-byte
+// AXI4 boundary and issued to the DRAM channel. Responses restore the
+// requester's MSHR tag and are serialized back onto the NoC.
+type Controller struct {
+	eng   *sim.Engine
+	mesh  *noc.Mesh
+	name  string
+	stats *sim.Stats
+	dram  axi.Target
+
+	// DeserializeDelay models the NoC deserializer + management module.
+	DeserializeDelay sim.Time
+	// IDsPerEngine bounds in-flight AXI transactions per engine.
+	IDsPerEngine int
+
+	inflight [2]int
+	queue    [2][]*Req
+	nextID   axi.ID
+}
+
+// NewController creates a controller that replies through mesh and issues
+// to dram (typically a *DRAM, possibly wrapped in an axi.Shaper).
+func NewController(eng *sim.Engine, mesh *noc.Mesh, name string, dram axi.Target, stats *sim.Stats) *Controller {
+	return &Controller{
+		eng: eng, mesh: mesh, name: name, stats: stats, dram: dram,
+		DeserializeDelay: 4,
+		IDsPerEngine:     16,
+	}
+}
+
+// Handle accepts a memory request delivered from the NoC. It is wired to
+// the chipset port demux by the platform core.
+func (c *Controller) Handle(pkt *noc.Packet) {
+	req, ok := pkt.Payload.(*Req)
+	if !ok {
+		panic(fmt.Sprintf("mem: %s: unexpected payload %T", c.name, pkt.Payload))
+	}
+	c.eng.Schedule(c.DeserializeDelay, func() { c.enqueue(req) })
+}
+
+func (c *Controller) enqueue(req *Req) {
+	k := readEngine
+	if req.Write {
+		k = writeEngine
+	}
+	if c.inflight[k] >= c.IDsPerEngine {
+		c.queue[k] = append(c.queue[k], req)
+		if c.stats != nil {
+			c.stats.Counter(c.name + ".queued").Inc()
+		}
+		return
+	}
+	c.issue(k, req)
+}
+
+func (c *Controller) issue(k engineKind, req *Req) {
+	c.inflight[k]++
+	c.nextID++
+	id := c.nextID
+	aligned, _ := axi.Align(req.Addr)
+	size := req.Size
+	if size < axi.BeatBytes {
+		size = axi.BeatBytes // AXI4 transfers are whole beats; narrow
+		// requests select the needed bytes on return (Fig. 5).
+	}
+	doneOne := func() {
+		c.inflight[k]--
+		c.respond(req)
+		if len(c.queue[k]) > 0 {
+			next := c.queue[k][0]
+			c.queue[k] = c.queue[k][1:]
+			c.issue(k, next)
+		}
+	}
+	if req.Write {
+		if c.stats != nil {
+			c.stats.Counter(c.name + ".write_reqs").Inc()
+		}
+		c.dram.Write(&axi.WriteReq{Addr: aligned, ID: id, Data: make([]byte, size)},
+			func(*axi.WriteResp) { doneOne() })
+	} else {
+		if c.stats != nil {
+			c.stats.Counter(c.name + ".read_reqs").Inc()
+		}
+		c.dram.Read(&axi.ReadReq{Addr: aligned, ID: id, Len: size},
+			func(*axi.ReadResp) { doneOne() })
+	}
+}
+
+func (c *Controller) respond(req *Req) {
+	data := 0
+	if !req.Write {
+		data = req.Size
+	}
+	c.mesh.Send(&noc.Packet{
+		Class:   noc.NoC2,
+		Src:     noc.Dest{Port: noc.PortChipset},
+		Dst:     req.Src,
+		Flits:   FlitsFor(data),
+		Payload: &Resp{Write: req.Write, Addr: req.Addr, Tag: req.Tag},
+	})
+}

@@ -1,0 +1,263 @@
+// Package noc models the BYOC/OpenPiton on-chip interconnect: three parallel
+// 2D-mesh networks (NoC1 requests, NoC2 responses, NoC3 writebacks/memory)
+// with dimension-ordered XY routing and per-link serialization.
+//
+// Following OpenPiton's physical design, each node's mesh has two off-mesh
+// exit points attached at tile 0: the chipset port (memory controller and
+// peripherals) and, in SMAPPIC, the inter-node bridge port on the northbound
+// edge. Packets destined off-node are routed to tile 0 and ejected there.
+//
+// Timing model: packets are cut-through routed. Each hop charges a router
+// pipeline delay plus a link traversal delay; each link additionally
+// serializes packets (a packet of F flits occupies a link for F cycles), and
+// overlapping packets queue on the link's reservation. This yields one
+// simulation event per delivery while still modeling contention, which keeps
+// 48-core runs fast.
+package noc
+
+import (
+	"fmt"
+
+	"smappic/internal/sim"
+)
+
+// Class selects one of the three physical networks. Requests, responses and
+// writebacks travel on disjoint networks so the coherence protocol cannot
+// deadlock on shared buffers.
+type Class int
+
+const (
+	NoC1 Class = iota // requests (BPC -> LLC home)
+	NoC2              // responses (LLC home -> BPC)
+	NoC3              // writebacks, memory traffic (LLC -> memctrl, evictions)
+	numClasses
+)
+
+// String returns the OpenPiton-style network name.
+func (c Class) String() string {
+	switch c {
+	case NoC1:
+		return "noc1"
+	case NoC2:
+		return "noc2"
+	case NoC3:
+		return "noc3"
+	}
+	return fmt.Sprintf("noc?%d", int(c))
+}
+
+// Port identifies an attachment point on the mesh.
+type Port int
+
+const (
+	PortTile    Port = iota // a tile's NoC interface
+	PortChipset             // chipset (memory controller, peripherals), west of tile 0
+	PortBridge              // SMAPPIC inter-node bridge, north of tile 0
+)
+
+// Dest addresses a packet within a single node's mesh.
+type Dest struct {
+	Port Port
+	Tile int // meaningful when Port == PortTile
+}
+
+// Packet is one NoC transfer. Payload carries the protocol-level message and
+// is not interpreted by the mesh. Flits determines serialization time: a
+// header flit plus one flit per 8 payload bytes, as in OpenPiton.
+type Packet struct {
+	Class   Class
+	Src     Dest
+	Dst     Dest
+	Flits   int
+	Payload any
+}
+
+// Handler receives packets delivered to an attachment point.
+type Handler func(*Packet)
+
+// Params are the mesh timing parameters.
+type Params struct {
+	RouterDelay sim.Time // per-hop router pipeline latency, cycles
+	LinkDelay   sim.Time // per-hop wire latency, cycles
+	Width       int      // mesh width (tiles per row)
+	Height      int      // mesh height (rows)
+}
+
+// DefaultParams returns OpenPiton-like mesh timing for a w x h mesh.
+func DefaultParams(w, h int) Params {
+	return Params{RouterDelay: 2, LinkDelay: 1, Width: w, Height: h}
+}
+
+// Mesh is one node's three-network mesh interconnect.
+type Mesh struct {
+	eng    *sim.Engine
+	name   string
+	p      Params
+	stats  *sim.Stats
+	tiles  []Handler
+	exit   [2]Handler // chipset, bridge
+	// nextFree[class][link] is the earliest time the link can accept the
+	// next packet. Links are indexed per directed edge; see linkIndex.
+	nextFree [][]sim.Time
+}
+
+// New creates a mesh with nTiles = p.Width*p.Height tile ports.
+func New(eng *sim.Engine, name string, p Params, stats *sim.Stats) *Mesh {
+	if p.Width <= 0 || p.Height <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	n := p.Width * p.Height
+	m := &Mesh{
+		eng:   eng,
+		name:  name,
+		p:     p,
+		stats: stats,
+		tiles: make([]Handler, n),
+	}
+	// Directed links: 4 per tile (N/E/S/W) plus 2 exit links at tile 0.
+	links := n*4 + 4
+	m.nextFree = make([][]sim.Time, numClasses)
+	for c := range m.nextFree {
+		m.nextFree[c] = make([]sim.Time, links)
+	}
+	return m
+}
+
+// Tiles returns the number of tile ports.
+func (m *Mesh) Tiles() int { return len(m.tiles) }
+
+// AttachTile registers the delivery handler for a tile port.
+func (m *Mesh) AttachTile(tile int, h Handler) {
+	m.tiles[tile] = h
+}
+
+// AttachChipset registers the chipset port handler.
+func (m *Mesh) AttachChipset(h Handler) { m.exit[0] = h }
+
+// AttachBridge registers the inter-node bridge port handler.
+func (m *Mesh) AttachBridge(h Handler) { m.exit[1] = h }
+
+// coord returns the (x, y) mesh position of a tile index (row-major).
+func (m *Mesh) coord(tile int) (x, y int) {
+	return tile % m.p.Width, tile / m.p.Width
+}
+
+const (
+	dirN = iota
+	dirE
+	dirS
+	dirW
+)
+
+// linkIndex returns the reservation slot for the directed link leaving tile
+// t in direction dir. Exit links use the tail slots.
+func (m *Mesh) linkIndex(t, dir int) int { return t*4 + dir }
+
+func (m *Mesh) exitLink(which int) int { return len(m.tiles)*4 + which*2 }
+
+// route returns the sequence of directed links from src to dst using XY
+// (dimension-ordered) routing: X first, then Y. Off-mesh destinations route
+// to tile 0 and then take the exit link.
+func (m *Mesh) route(src, dst Dest) []int {
+	from := 0
+	if src.Port == PortTile {
+		from = src.Tile
+	}
+	to := 0
+	if dst.Port == PortTile {
+		to = dst.Tile
+	}
+	var links []int
+	// Entering from an exit port first crosses the exit link inbound. We
+	// reuse the same reservation slot for both directions; inter-node and
+	// chipset traffic is low-rate enough that this is a fair serialization
+	// point, matching the single physical channel at tile 0.
+	if src.Port == PortChipset {
+		links = append(links, m.exitLink(0))
+	}
+	if src.Port == PortBridge {
+		links = append(links, m.exitLink(1))
+	}
+	x, y := m.coord(from)
+	dx, dy := m.coord(to)
+	cur := from
+	for x != dx {
+		if x < dx {
+			links = append(links, m.linkIndex(cur, dirE))
+			x++
+		} else {
+			links = append(links, m.linkIndex(cur, dirW))
+			x--
+		}
+		cur = y*m.p.Width + x
+	}
+	for y != dy {
+		if y < dy {
+			links = append(links, m.linkIndex(cur, dirS))
+			y++
+		} else {
+			links = append(links, m.linkIndex(cur, dirN))
+			y--
+		}
+		cur = y*m.p.Width + x
+	}
+	if dst.Port == PortChipset {
+		links = append(links, m.exitLink(0))
+	}
+	if dst.Port == PortBridge {
+		links = append(links, m.exitLink(1))
+	}
+	return links
+}
+
+// HopCount returns the number of links a packet from src to dst crosses.
+// It is exported for latency analysis and tests.
+func (m *Mesh) HopCount(src, dst Dest) int { return len(m.route(src, dst)) }
+
+// Send injects a packet. Delivery is scheduled after routing and
+// serialization delays; the destination handler runs as a simulation event.
+func (m *Mesh) Send(pkt *Packet) {
+	if pkt.Flits <= 0 {
+		panic("noc: packet must have at least one flit")
+	}
+	links := m.route(pkt.Src, pkt.Dst)
+	now := m.eng.Now()
+	t := now
+	serial := sim.Time(pkt.Flits)
+	free := m.nextFree[pkt.Class]
+	for _, l := range links {
+		// Router pipeline + wire for this hop.
+		t += m.p.RouterDelay + m.p.LinkDelay
+		// Link serialization: wait if a previous packet still occupies it.
+		if free[l] > t {
+			t = free[l]
+		}
+		free[l] = t + serial
+	}
+	if len(links) == 0 {
+		// Same-port delivery still pays one router traversal.
+		t += m.p.RouterDelay
+	}
+	if m.stats != nil {
+		m.stats.Counter(m.name + "." + pkt.Class.String() + ".packets").Inc()
+		m.stats.Counter(m.name + "." + pkt.Class.String() + ".flits").Add(uint64(pkt.Flits))
+		m.stats.Counter(m.name + "." + pkt.Class.String() + ".hop_cycles").Add(uint64(t - now))
+	}
+	m.eng.At(t, func() { m.deliver(pkt) })
+}
+
+func (m *Mesh) deliver(pkt *Packet) {
+	var h Handler
+	switch pkt.Dst.Port {
+	case PortTile:
+		h = m.tiles[pkt.Dst.Tile]
+	case PortChipset:
+		h = m.exit[0]
+	case PortBridge:
+		h = m.exit[1]
+	}
+	if h == nil {
+		panic(fmt.Sprintf("noc: %s: no handler attached at %+v", m.name, pkt.Dst))
+	}
+	h(pkt)
+}

@@ -1,0 +1,166 @@
+// Package pcie models the PCIe Gen3 x16 fabric inside an AWS F1 instance:
+// up to four FPGAs and the host CPU hang off one low-latency switch, and
+// FPGA-to-FPGA transfers travel directly without touching the host (the
+// property SMAPPIC's inter-node interconnect relies on).
+//
+// The paper measured the inter-FPGA round-trip latency at about 1250 ns,
+// i.e. 125 cycles at the 100 MHz prototype clock. The fabric models each
+// crossing as a fixed one-way latency plus egress serialization at the
+// PCIe link's bandwidth.
+package pcie
+
+import (
+	"fmt"
+
+	"smappic/internal/axi"
+	"smappic/internal/sim"
+)
+
+// HostID is the endpoint index of the host CPU's root port.
+const HostID = -1
+
+// MaxFPGAs is the number of FPGAs reachable over low-latency PCIe links in
+// one F1 instance (f1.16xlarge has 8 FPGAs, but only groups of 4 share a
+// low-latency switch — the constraint in paper §4.8).
+const MaxFPGAs = 4
+
+// Params configure fabric timing.
+type Params struct {
+	OneWay        sim.Time // one-way switch latency, cycles
+	BytesPerCycle int      // egress link bandwidth
+}
+
+// DefaultParams matches the F1 measurements: 60-cycle switch one-way (the
+// shell adds conversion cycles on each side for the paper's ~125-cycle RTT)
+// and 16 GB/s ~ 160 B/cycle at 100 MHz.
+func DefaultParams() Params {
+	return Params{OneWay: 60, BytesPerCycle: 160}
+}
+
+// Fabric is the PCIe switch connecting FPGAs and the host.
+type Fabric struct {
+	eng    *sim.Engine
+	p      Params
+	stats  *sim.Stats
+	eps    map[int]axi.Target
+	egress map[int]sim.Time // per-endpoint egress link reservation
+	// Address windows: FPGA i owns [WindowBase + i*WindowSize, +WindowSize).
+	// Anything else routes to the host.
+	windowBase axi.Addr
+	windowSize uint64
+}
+
+// WindowSize is each FPGA's aperture in the host PCIe address space.
+const WindowSize uint64 = 1 << 40
+
+// WindowBase is the start of the FPGA apertures.
+const WindowBase axi.Addr = 1 << 44
+
+// New creates a fabric. Attach endpoints before sending.
+func New(eng *sim.Engine, p Params, stats *sim.Stats) *Fabric {
+	return &Fabric{
+		eng:        eng,
+		p:          p,
+		stats:      stats,
+		eps:        make(map[int]axi.Target),
+		egress:     make(map[int]sim.Time),
+		windowBase: WindowBase,
+		windowSize: WindowSize,
+	}
+}
+
+// Attach registers the inbound AXI target for endpoint id (an FPGA index in
+// [0, MaxFPGAs) or HostID).
+func (f *Fabric) Attach(id int, t axi.Target) {
+	if id != HostID && (id < 0 || id >= MaxFPGAs) {
+		panic(fmt.Sprintf("pcie: endpoint id %d out of range", id))
+	}
+	f.eps[id] = t
+}
+
+// Window returns the PCIe aperture of FPGA id.
+func (f *Fabric) Window(id int) (base axi.Addr, size uint64) {
+	return f.windowBase + axi.Addr(uint64(id)*f.windowSize), f.windowSize
+}
+
+// RouteOf returns the endpoint that owns addr.
+func (f *Fabric) RouteOf(addr axi.Addr) int {
+	if addr >= f.windowBase {
+		i := int(uint64(addr-f.windowBase) / f.windowSize)
+		if i < MaxFPGAs {
+			return i
+		}
+	}
+	return HostID
+}
+
+// LocalAddr strips the window base, returning the address as seen inside the
+// destination endpoint.
+func (f *Fabric) LocalAddr(addr axi.Addr) axi.Addr {
+	if f.RouteOf(addr) == HostID {
+		return addr
+	}
+	base, _ := f.Window(f.RouteOf(addr))
+	return addr - base
+}
+
+// delay reserves egress bandwidth at src and returns the total transfer
+// delay for n bytes.
+func (f *Fabric) delay(src, n int) sim.Time {
+	beats := sim.Time((n + f.p.BytesPerCycle - 1) / f.p.BytesPerCycle)
+	if beats == 0 {
+		beats = 1
+	}
+	start := f.eng.Now()
+	if b := f.egress[src]; b > start {
+		start = b
+	}
+	f.egress[src] = start + beats
+	if f.stats != nil {
+		f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_bytes", src)).Add(uint64(n))
+		f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_transfers", src)).Inc()
+	}
+	return (start - f.eng.Now()) + beats + f.p.OneWay
+}
+
+// port is one endpoint's outbound master interface.
+type port struct {
+	f   *Fabric
+	src int
+}
+
+// Master returns the outbound AXI interface of endpoint src. Writes and
+// reads are routed by address to the owning endpoint; responses pay the
+// return crossing.
+func (f *Fabric) Master(src int) axi.Target { return &port{f: f, src: src} }
+
+func (p *port) deliver(dstID, nbytes int, fwd func(axi.Target), fail func()) {
+	dst, ok := p.f.eps[dstID]
+	if !ok {
+		fail()
+		return
+	}
+	p.f.eng.Schedule(p.f.delay(p.src, nbytes), func() { fwd(dst) })
+}
+
+func (p *port) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
+	dstID := p.f.RouteOf(req.Addr)
+	local := &axi.WriteReq{Addr: p.f.LocalAddr(req.Addr), ID: req.ID, Data: req.Data, User: req.User}
+	p.deliver(dstID, len(req.Data), func(dst axi.Target) {
+		dst.Write(local, func(r *axi.WriteResp) {
+			// b-channel response crosses back (small TLP).
+			p.f.eng.Schedule(p.f.delay(dstID, 4), func() { done(r) })
+		})
+	}, func() { done(&axi.WriteResp{ID: req.ID, OK: false}) })
+}
+
+func (p *port) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
+	dstID := p.f.RouteOf(req.Addr)
+	local := &axi.ReadReq{Addr: p.f.LocalAddr(req.Addr), ID: req.ID, Len: req.Len}
+	p.deliver(dstID, 4, func(dst axi.Target) {
+		dst.Read(local, func(r *axi.ReadResp) {
+			// r-channel data crosses back.
+			p.f.eng.Schedule(p.f.delay(dstID, req.Len), func() { done(r) })
+		})
+	}, func() { done(&axi.ReadResp{ID: req.ID, OK: false}) })
+}

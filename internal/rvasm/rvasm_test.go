@@ -1,0 +1,308 @@
+package rvasm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func words(t *testing.T, src string) []uint32 {
+	t.Helper()
+	p, err := Assemble(0x1000, src)
+	if err != nil {
+		t.Fatalf("assemble %q: %v", src, err)
+	}
+	if len(p.Bytes)%4 != 0 {
+		t.Fatalf("odd byte count %d", len(p.Bytes))
+	}
+	out := make([]uint32, len(p.Bytes)/4)
+	for i := range out {
+		out[i] = uint32(p.Bytes[4*i]) | uint32(p.Bytes[4*i+1])<<8 |
+			uint32(p.Bytes[4*i+2])<<16 | uint32(p.Bytes[4*i+3])<<24
+	}
+	return out
+}
+
+func TestEncodingsMatchSpec(t *testing.T) {
+	// Golden encodings cross-checked against the RISC-V ISA manual.
+	cases := map[string]uint32{
+		"addi x1, x2, 5":    0x00510093,
+		"add x3, x4, x5":    0x005201B3,
+		"sub x3, x4, x5":    0x405201B3,
+		"lui x1, 0x12345":   0x123450B7,
+		"ld x6, 8(x7)":      0x0083B303,
+		"sd x6, 16(x7)":     0x0063B823,
+		"mul x1, x2, x3":    0x023100B3,
+		"ecall":             0x00000073,
+		"ebreak":            0x00100073,
+		"mret":              0x30200073,
+		"wfi":               0x10500073,
+		"slli x1, x1, 12":   0x00C09093,
+		"srai x1, x1, 3":    0x4030D093,
+		"amoadd.d x5, x6, (x7)": 0x0063B2AF,
+		"lr.d x5, (x7)":     0x1003B2AF,
+	}
+	for src, want := range cases {
+		got := words(t, src)
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("%s = %#08x, want %#08x", src, got[0], want)
+		}
+	}
+}
+
+func TestBranchOffsets(t *testing.T) {
+	w := words(t, `
+	top:	nop
+		beq x1, x2, top
+	`)
+	// beq at 0x1004 targeting 0x1000: offset -4.
+	// imm[12|10:5]=1111111 rs2=00010 rs1=00001 f3=000 imm[4:1|11]=11101 op=1100011
+	if w[1] != 0xFE208EE3 {
+		t.Fatalf("backward beq = %#08x, want 0xFE208EE3", w[1])
+	}
+}
+
+func TestJalEncoding(t *testing.T) {
+	w := words(t, `
+		jal x1, next
+		nop
+	next:	nop
+	`)
+	// jal at 0x1000 to 0x1008: offset +8.
+	if w[0] != 0x008000EF {
+		t.Fatalf("jal = %#08x, want 0x008000EF", w[0])
+	}
+}
+
+func TestRegisterNamesEquivalence(t *testing.T) {
+	a := words(t, "add ra, sp, gp")
+	b := words(t, "add x1, x2, x3")
+	if a[0] != b[0] {
+		t.Fatalf("ABI names encode differently: %#x vs %#x", a[0], b[0])
+	}
+	if words(t, "mv s0, a0")[0] != words(t, "mv fp, a0")[0] {
+		t.Fatal("fp alias broken")
+	}
+}
+
+func TestPseudoExpansions(t *testing.T) {
+	if w := words(t, "nop"); w[0] != 0x00000013 {
+		t.Fatalf("nop = %#08x", w[0])
+	}
+	if w := words(t, "ret"); w[0] != 0x00008067 {
+		t.Fatalf("ret = %#08x", w[0])
+	}
+	// li small = addi.
+	if w := words(t, "li a0, 42"); len(w) != 1 || w[0] != 0x02A00513 {
+		t.Fatalf("li small = %v", w)
+	}
+	// li 32-bit = lui + addiw.
+	if w := words(t, "li a0, 0x12345678"); len(w) != 2 {
+		t.Fatalf("li 32-bit expanded to %d words", len(w))
+	}
+}
+
+func TestLabelArithmeticForbidden(t *testing.T) {
+	if _, err := Assemble(0x1000, "la a0, foo+4\nfoo: nop"); err == nil {
+		t.Fatal("label arithmetic should be rejected")
+	}
+}
+
+func TestSymbolLoadFixedLength(t *testing.T) {
+	// la of a forward symbol always occupies 8 words so pass-1 sizes hold.
+	p := MustAssemble(0x1000, `
+		la a0, target
+	mark:	nop
+	target:	nop
+	`)
+	if p.Symbols["mark"] != 0x1000+8*4 {
+		t.Fatalf("mark at %#x, want la to occupy exactly 8 words", p.Symbols["mark"])
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := MustAssemble(0x1000, `
+		.byte 1, 2, 3
+		.align 2
+		.word 0xAABBCCDD
+		.dword 0x1122334455667788
+		.space 4
+		.asciz "ok"
+	`)
+	b := p.Bytes
+	if b[0] != 1 || b[1] != 2 || b[2] != 3 || b[3] != 0 {
+		t.Fatalf("byte/align wrong: %v", b[:4])
+	}
+	if b[4] != 0xDD || b[7] != 0xAA {
+		t.Fatal(".word endianness wrong")
+	}
+	if b[8] != 0x88 || b[15] != 0x11 {
+		t.Fatal(".dword endianness wrong")
+	}
+	if string(b[20:23]) != "ok\x00" {
+		t.Fatalf(".asciz wrong: %q", b[20:23])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := MustAssemble(0x1000, `
+		# full-line comment
+		nop   # trailing comment
+		// C++-style comment
+
+		nop
+	`)
+	if len(p.Bytes) != 8 {
+		t.Fatalf("comments miscounted: %d bytes", len(p.Bytes))
+	}
+}
+
+func TestEntryAndSymbols(t *testing.T) {
+	p := MustAssemble(0x2000, `
+	start:	nop
+	loop:	j loop
+	`)
+	if p.Entry("start") != 0x2000 || p.Entry("loop") != 0x2004 {
+		t.Fatalf("symbols: %v", p.Symbols)
+	}
+	if p.Entry("missing") != 0x2000 {
+		t.Fatal("Entry of missing label should return base")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"unknowninsn a0, a1",
+		"addi a0, nosuchreg, 1",
+		".bogusdirective 1",
+		"csrw nosuchcsr, a0",
+		"lw a0, 4(nope)",
+		"jal a0",                 // jal with one operand must be a label
+		"beq a0, a1, 99999999",   // branch out of range (absolute target)
+	}
+	for _, src := range bad {
+		if _, err := Assemble(0x1000, src); err == nil {
+			t.Errorf("%q assembled without error", src)
+		}
+	}
+}
+
+// Property: assembling the same source twice is byte-identical, and every
+// instruction line contributes a multiple of 4 bytes.
+func TestAssembleDeterministic(t *testing.T) {
+	srcs := []string{
+		"nop\nadd a0, a1, a2\n",
+		"li a0, 0x123456789\nret\n",
+		"loop: addi a0, a0, -1\nbnez a0, loop\n",
+	}
+	f := func(pick uint8) bool {
+		src := srcs[int(pick)%len(srcs)]
+		a := MustAssemble(0x1000, src)
+		b := MustAssemble(0x1000, src)
+		if len(a.Bytes) != len(b.Bytes) || len(a.Bytes)%4 != 0 {
+			return false
+		}
+		for i := range a.Bytes {
+			if a.Bytes[i] != b.Bytes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Round-trip property: assemble -> disassemble -> assemble reaches a fixed
+// point for a broad sample of the supported instruction space.
+func TestDisassembleRoundTrip(t *testing.T) {
+	sources := []string{
+		"addi a0, a1, -7",
+		"add s0, s1, s2",
+		"subw t0, t1, t2",
+		"mul a0, a1, a2",
+		"divu a3, a4, a5",
+		"lui a0, 0x12345",
+		"auipc t0, 0xFF",
+		"ld a0, 40(sp)",
+		"sb t1, -3(gp)",
+		"slli a0, a0, 17",
+		"sraiw a1, a1, 5",
+		"beq a0, a1, 8",      // forward branch offset within one insn
+		"jalr ra, t0, 16",
+		"amoadd.d t0, t1, (t2)",
+		"amoswap.w a0, a1, (a2)",
+		"lr.d s0, (s1)",
+		"sc.w s2, s3, (s4)",
+		"ecall",
+		"ebreak",
+		"mret",
+		"wfi",
+		"fence",
+		"csrrw a0, mstatus, a1",
+		"csrrs zero, mie, t0",
+	}
+	for _, src := range sources {
+		// Branch/jump operands are absolute targets in assembler syntax but
+		// print as offsets; assembling at base 0 makes the two coincide.
+		p1, err := Assemble(0, src)
+		if err != nil {
+			t.Fatalf("assemble %q: %v", src, err)
+		}
+		w1 := uint32(p1.Bytes[0]) | uint32(p1.Bytes[1])<<8 | uint32(p1.Bytes[2])<<16 | uint32(p1.Bytes[3])<<24
+		dis := Disassemble(w1)
+		p2, err := Assemble(0, dis)
+		if err != nil {
+			t.Fatalf("reassemble %q (from %q): %v", dis, src, err)
+		}
+		w2 := uint32(p2.Bytes[0]) | uint32(p2.Bytes[1])<<8 | uint32(p2.Bytes[2])<<16 | uint32(p2.Bytes[3])<<24
+		if w1 != w2 {
+			t.Errorf("round trip diverged: %q -> %#08x -> %q -> %#08x", src, w1, dis, w2)
+		}
+	}
+}
+
+// Property: disassembling arbitrary words never panics and unknown words
+// render as .word directives that reassemble to themselves.
+func TestDisassembleTotal(t *testing.T) {
+	f := func(w uint32) bool {
+		s := Disassemble(w)
+		if s == "" {
+			return false
+		}
+		if len(s) >= 5 && s[:5] == ".word" {
+			p, err := Assemble(0, s)
+			if err != nil || len(p.Bytes) != 4 {
+				return false
+			}
+			got := uint32(p.Bytes[0]) | uint32(p.Bytes[1])<<8 | uint32(p.Bytes[2])<<16 | uint32(p.Bytes[3])<<24
+			return got == w
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleAllListing(t *testing.T) {
+	p := MustAssemble(0x1000, "nop\naddi a0, a0, 1\nebreak\n")
+	listing := DisassembleAll(p)
+	for _, want := range []string{"00001000", "addi", "ebreak"} {
+		if !containsStr(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

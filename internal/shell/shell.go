@@ -1,0 +1,162 @@
+// Package shell models the AWS F1 Hard Shell (HS): the fixed partition of
+// each F1 FPGA that converts the host/peer PCIe connection into the AXI4 and
+// AXI-Lite interfaces Custom Logic (CL) sees (paper Fig. 2).
+//
+// The shell owns one PCIe endpoint. Traffic arriving over PCIe is converted
+// to AXI4 and forwarded to the CL's inbound port, except for the AXI-Lite
+// aperture, which the shell decodes itself onto up to three register taps
+// (used in SMAPPIC for the UART tunnel and management). Outbound AXI4 from
+// the CL is converted to PCIe transfers routed by address.
+package shell
+
+import (
+	"fmt"
+
+	"smappic/internal/axi"
+	"smappic/internal/pcie"
+	"smappic/internal/sim"
+)
+
+// NumLiteTaps is the number of AXI-Lite interfaces the F1 shell provides.
+const NumLiteTaps = 3
+
+// LiteTapBase is the offset of the AXI-Lite aperture inside an FPGA's PCIe
+// window; tap i occupies [LiteTapBase + i*LiteTapSize, +LiteTapSize).
+const (
+	LiteTapBase axi.Addr = 1 << 39
+	LiteTapSize uint64   = 1 << 24
+)
+
+// ConversionDelay is the PCIe<->AXI4 conversion latency inside the shell,
+// in cycles. One conversion on each side of each crossing brings the
+// measured fabric RTT to the paper's ~125 cycles.
+const ConversionDelay sim.Time = 1
+
+// Shell is one FPGA's hard shell.
+type Shell struct {
+	eng    *sim.Engine
+	id     int
+	fabric *pcie.Fabric
+	cl     axi.Target
+	lite   [NumLiteTaps]axi.LiteTarget
+	stats  *sim.Stats
+}
+
+// New creates the shell for FPGA id and attaches it to the fabric.
+func New(eng *sim.Engine, fabric *pcie.Fabric, id int, stats *sim.Stats) *Shell {
+	s := &Shell{eng: eng, id: id, fabric: fabric, stats: stats}
+	fabric.Attach(id, (*inbound)(s))
+	return s
+}
+
+// ID returns the FPGA index of this shell.
+func (s *Shell) ID() int { return s.id }
+
+// SetCustomLogic registers the CL's inbound AXI4 port.
+func (s *Shell) SetCustomLogic(t axi.Target) { s.cl = t }
+
+// RegisterLite installs a register file behind AXI-Lite tap i.
+func (s *Shell) RegisterLite(i int, t axi.LiteTarget) {
+	if i < 0 || i >= NumLiteTaps {
+		panic(fmt.Sprintf("shell: lite tap %d out of range", i))
+	}
+	s.lite[i] = t
+}
+
+// LiteAddr returns the global PCIe address of register reg behind tap i of
+// this FPGA, as a host program would compute it from the BAR mapping.
+func (s *Shell) LiteAddr(tap int, reg axi.Addr) axi.Addr {
+	base, _ := s.fabric.Window(s.id)
+	return base + LiteTapBase + axi.Addr(uint64(tap)*LiteTapSize) + reg
+}
+
+// WindowAddr returns the global PCIe address corresponding to local offset
+// off inside this FPGA's window.
+func (s *Shell) WindowAddr(off axi.Addr) axi.Addr {
+	base, _ := s.fabric.Window(s.id)
+	return base + off
+}
+
+// Outbound returns the CL's outbound AXI4 master: requests are converted to
+// PCIe and routed by address (to peer FPGAs or the host).
+func (s *Shell) Outbound() axi.Target { return &outbound{s} }
+
+type outbound struct{ s *Shell }
+
+func (o *outbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
+	o.s.eng.Schedule(ConversionDelay, func() {
+		o.s.fabric.Master(o.s.id).Write(req, func(r *axi.WriteResp) {
+			o.s.eng.Schedule(ConversionDelay, func() { done(r) })
+		})
+	})
+}
+
+func (o *outbound) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
+	o.s.eng.Schedule(ConversionDelay, func() {
+		o.s.fabric.Master(o.s.id).Read(req, func(r *axi.ReadResp) {
+			o.s.eng.Schedule(ConversionDelay, func() { done(r) })
+		})
+	})
+}
+
+// inbound is the shell's PCIe-facing target (what the fabric delivers to).
+type inbound Shell
+
+func (in *inbound) isLite(addr axi.Addr) (tap int, reg axi.Addr, ok bool) {
+	if addr < LiteTapBase {
+		return 0, 0, false
+	}
+	off := uint64(addr - LiteTapBase)
+	tap = int(off / LiteTapSize)
+	if tap >= NumLiteTaps {
+		return 0, 0, false
+	}
+	return tap, axi.Addr(off % LiteTapSize), true
+}
+
+func (in *inbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
+	s := (*Shell)(in)
+	if tap, reg, ok := in.isLite(req.Addr); ok {
+		s.eng.Schedule(ConversionDelay, func() {
+			t := s.lite[tap]
+			if t == nil || len(req.Data) < 4 {
+				done(&axi.WriteResp{ID: req.ID, OK: false})
+				return
+			}
+			v := uint32(req.Data[0]) | uint32(req.Data[1])<<8 | uint32(req.Data[2])<<16 | uint32(req.Data[3])<<24
+			t.WriteReg(reg, v)
+			done(&axi.WriteResp{ID: req.ID, OK: true})
+		})
+		return
+	}
+	if s.cl == nil {
+		done(&axi.WriteResp{ID: req.ID, OK: false})
+		return
+	}
+	s.eng.Schedule(ConversionDelay, func() { s.cl.Write(req, done) })
+}
+
+func (in *inbound) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
+	s := (*Shell)(in)
+	if tap, reg, ok := in.isLite(req.Addr); ok {
+		s.eng.Schedule(ConversionDelay, func() {
+			t := s.lite[tap]
+			if t == nil {
+				done(&axi.ReadResp{ID: req.ID, OK: false})
+				return
+			}
+			v := t.ReadReg(reg)
+			done(&axi.ReadResp{
+				ID:   req.ID,
+				Data: []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)},
+				OK:   true,
+			})
+		})
+		return
+	}
+	if s.cl == nil {
+		done(&axi.ReadResp{ID: req.ID, OK: false})
+		return
+	}
+	s.eng.Schedule(ConversionDelay, func() { s.cl.Read(req, done) })
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%16), func() {})
+		if i%1024 == 0 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkProcessContextSwitch(b *testing.B) {
+	e := NewEngine()
+	Go(e, "bench", func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkStatsCounter(b *testing.B) {
+	var s Stats
+	c := s.Counter("bench.counter")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,135 @@
+// Package sim provides a deterministic cycle-level discrete-event simulation
+// kernel. It is the substrate every hardware model in this repository is
+// built on: the NoC, caches, memory controllers, PCIe links, bridges and
+// cores all schedule work on a shared Engine.
+//
+// Determinism: events are ordered by (time, sequence number), where the
+// sequence number is assigned at scheduling time. Two runs with the same
+// inputs produce identical event orders and therefore identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, measured in clock cycles of the
+// prototype's reference clock (100 MHz by default, so one cycle is 10 ns).
+type Time uint64
+
+// TimeMax is the largest representable simulation time.
+const TimeMax Time = math.MaxUint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (out any)    { old := *h; n := len(old); out = old[n-1]; old[n-1] = nil; *h = old[:n-1]; return }
+func (h eventHeap) peek() *event       { return h[0] }
+
+// Engine is a discrete-event simulation engine. The zero value is not ready
+// to use; construct one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// stats
+	executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay cycles. A delay of zero runs fn later in the
+// current cycle (after all previously scheduled work for this cycle).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past panics: it is always
+// a model bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the single next event. It reports false when the queue is
+// empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final simulation time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is left at min(deadline,
+// last executed event time).
+func (e *Engine) RunUntil(deadline Time) Time {
+	for !e.stopped && len(e.queue) > 0 && e.queue.peek().at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunFor advances the clock by d cycles, executing everything in between.
+func (e *Engine) RunFor(d Time) Time { return e.RunUntil(e.now + d) }
+
+// Stop halts Run/RunUntil after the current event completes. Pending events
+// remain queued; a stopped engine can be resumed with Resume.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears the stopped flag set by Stop.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Stopped reports whether the engine is currently stopped.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,128 @@
+package sim
+
+import "fmt"
+
+// Process is a coroutine running against an Engine. Each Process has its own
+// goroutine; the engine resumes it at scheduled times, and the process yields
+// back by calling Wait, WaitUntil or one of the blocking helpers. Exactly one
+// of {engine, any process} runs at a time, so models stay deterministic and
+// need no locking among themselves.
+//
+// A Process is the execution vehicle for anything with sequential control
+// flow: workload threads, the RISC-V core's instruction loop, test drivers.
+type Process struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	err    any // panic value from the process body, re-raised in the engine
+}
+
+// Go starts fn as a new process at the current simulation time. fn receives
+// the Process handle and must use it for all time-consuming operations.
+func Go(eng *Engine, name string, fn func(*Process)) *Process {
+	p := &Process{
+		eng:    eng,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = r
+			}
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	eng.Schedule(0, p.dispatch)
+	return p
+}
+
+// dispatch hands control to the process goroutine and blocks the engine until
+// the process yields or finishes.
+func (p *Process) dispatch() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.err != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.err))
+	}
+}
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Name returns the process name (for diagnostics).
+func (p *Process) Name() string { return p.name }
+
+// Now returns the current simulation time.
+func (p *Process) Now() Time { return p.eng.Now() }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Wait suspends the process for d cycles.
+func (p *Process) Wait(d Time) {
+	p.eng.Schedule(d, p.dispatch)
+	p.block()
+}
+
+// WaitUntil suspends the process until absolute time t (no-op if t <= now).
+func (p *Process) WaitUntil(t Time) {
+	if t <= p.eng.Now() {
+		return
+	}
+	p.eng.At(t, p.dispatch)
+	p.block()
+}
+
+// block yields control back to the engine until dispatch resumes us.
+func (p *Process) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Suspend parks the process indefinitely. The returned wake function
+// reschedules it; it may be called from any event callback exactly once per
+// Suspend. Typical use: issue a request to a model, Suspend, and have the
+// model's completion event call wake.
+func (p *Process) Suspend() (wake func()) {
+	woken := false
+	wake = func() {
+		if woken {
+			panic(fmt.Sprintf("sim: process %q woken twice", p.name))
+		}
+		woken = true
+		p.eng.Schedule(0, p.dispatch)
+	}
+	return wake
+}
+
+// Park suspends until wake is invoked. It is split from Suspend so callers
+// can publish the wake function before blocking.
+func (p *Process) Park() { p.block() }
+
+// Call issues an asynchronous operation and blocks until it completes.
+// start receives a completion callback; the model must invoke it exactly once
+// (possibly immediately). Call returns at the simulation time of completion.
+func (p *Process) Call(start func(done func())) {
+	fired := false
+	start(func() {
+		if fired {
+			panic(fmt.Sprintf("sim: completion for process %q fired twice", p.name))
+		}
+		fired = true
+		// The engine cannot execute this dispatch before we yield below,
+		// even when the completion is synchronous, because the engine is
+		// blocked waiting on this process.
+		p.eng.Schedule(0, p.dispatch)
+	})
+	p.block()
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a named monotonically increasing statistic. Models expose
+// counters through a Stats registry so experiments can read congestion,
+// hit rates and traffic volumes after a run.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Stats is a registry of counters, hierarchical by dot-separated names
+// ("node0.tile3.bpc.miss"). The zero value is ready to use.
+type Stats struct {
+	counters map[string]*Counter
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (s *Stats) Counter(name string) *Counter {
+	if s.counters == nil {
+		s.counters = make(map[string]*Counter)
+	}
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{Name: name}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Get returns the value of a counter, or zero if it was never touched.
+func (s *Stats) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value
+	}
+	return 0
+}
+
+// Sum returns the sum of all counters whose names begin with prefix.
+func (s *Stats) Sum(prefix string) uint64 {
+	var total uint64
+	for name, c := range s.counters {
+		if strings.HasPrefix(name, prefix) {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// Names returns all counter names in sorted order.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for name := range s.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all counters, one per line, sorted by name.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, name := range s.Names() {
+		fmt.Fprintf(&b, "%-48s %d\n", name, s.counters[name].Value)
+	}
+	return b.String()
+}
+
+// Histogram records a distribution of integer samples in fixed-width bins
+// plus explicit min/max/sum for summary statistics.
+type Histogram struct {
+	Name    string
+	Samples uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h.Samples == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Samples++
+	h.Sum += v
+}
+
+// Mean returns the mean of observed samples (zero if none).
+func (h *Histogram) Mean() float64 {
+	if h.Samples == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Samples)
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tracer records cycle-stamped events into a bounded ring buffer — the
+// debugging companion to the Stats counters. It is nil-safe: all methods
+// are no-ops on a nil receiver, so models can trace unconditionally and
+// pay nothing unless a tracer is installed.
+type Tracer struct {
+	eng     *Engine
+	cap     int
+	events  []TraceEvent
+	next    int
+	wrapped bool
+	filter  func(category string) bool
+}
+
+// TraceEvent is one recorded occurrence.
+type TraceEvent struct {
+	At       Time
+	Category string
+	Message  string
+}
+
+// NewTracer creates a tracer holding the last capacity events.
+func NewTracer(eng *Engine, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{eng: eng, cap: capacity, events: make([]TraceEvent, 0, capacity)}
+}
+
+// SetFilter restricts recording to categories the predicate accepts.
+func (t *Tracer) SetFilter(f func(category string) bool) {
+	if t != nil {
+		t.filter = f
+	}
+}
+
+// Emit records an event at the current simulation time.
+func (t *Tracer) Emit(category, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if t.filter != nil && !t.filter(category) {
+		return
+	}
+	ev := TraceEvent{At: t.eng.Now(), Category: category, Message: fmt.Sprintf(format, args...)}
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+	} else {
+		t.events[t.next] = ev
+		t.next = (t.next + 1) % t.cap
+		t.wrapped = true
+	}
+}
+
+// Events returns the recorded events in time order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		out := make([]TraceEvent, len(t.events))
+		copy(out, t.events)
+		return out
+	}
+	out := make([]TraceEvent, 0, t.cap)
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// String renders the retained events, one per line.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	for _, ev := range t.Events() {
+		fmt.Fprintf(&b, "%10d %-12s %s\n", ev.At, ev.Category, ev.Message)
+	}
+	return b.String()
+}
