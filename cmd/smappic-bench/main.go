@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	smappic-bench [-exp table1,...,fig14|all] [-quick]
+//	smappic-bench [-exp table1,...,fig14|all] [-quick] [-counters-out dir]
+//
+// With -counters-out, every experiment sub-run writes its full counter
+// state (the same JSON smappic-run's -metrics-json produces) into the given
+// directory, one file per sub-run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -20,7 +25,22 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: table1-table4, fig7-fig14, or all")
 	quick := flag.Bool("quick", false, "reduced problem sizes (same shapes)")
+	countersOut := flag.String("counters-out", "", "directory for per-sub-run counter snapshots (JSON)")
 	flag.Parse()
+
+	if *countersOut != "" {
+		if err := os.MkdirAll(*countersOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dir := *countersOut
+		experiments.SnapshotHook = func(label string, metrics []byte) {
+			name := strings.NewReplacer("/", "_", "=", "-").Replace(label) + ".json"
+			if err := os.WriteFile(filepath.Join(dir, name), metrics, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "counter snapshot %s: %v\n", label, err)
+			}
+		}
+	}
 
 	runs := map[string]func(bool) string{
 		"table1": func(bool) string { return experiments.Table1() },
@@ -31,13 +51,13 @@ func main() {
 			r := experiments.Fig7(q)
 			return r.String() + "\n\nHeatmap (cycles):\n" + r.Heatmap
 		},
-		"fig8":  func(q bool) string { return experiments.Fig8(q).String() },
-		"fig9":  func(q bool) string { return experiments.Fig9(q).String() },
-		"fig10": func(q bool) string { return experiments.Fig10(q).String() },
-		"fig11": func(q bool) string { return experiments.Fig11(q).String() },
-		"fig12": func(bool) string { return experiments.Fig12().String() },
-		"fig13": func(bool) string { return experiments.Fig13().String() },
-		"fig14": func(bool) string { return experiments.Fig14().String() },
+		"fig8":                  func(q bool) string { return experiments.Fig8(q).String() },
+		"fig9":                  func(q bool) string { return experiments.Fig9(q).String() },
+		"fig10":                 func(q bool) string { return experiments.Fig10(q).String() },
+		"fig11":                 func(q bool) string { return experiments.Fig11(q).String() },
+		"fig12":                 func(bool) string { return experiments.Fig12().String() },
+		"fig13":                 func(bool) string { return experiments.Fig13().String() },
+		"fig14":                 func(bool) string { return experiments.Fig14().String() },
 		"ablation-homing":       func(bool) string { return experiments.AblationHoming().String() },
 		"ablation-credits":      func(bool) string { return experiments.AblationCredits().String() },
 		"ablation-interconnect": func(bool) string { return experiments.AblationInterconnect().String() },

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	smappic-run -shape 1x1x2 [-prog program.s] [-max-cycles N]
+//	            [-metrics-json out.json] [-trace-out trace.json]
+//	            [-sample-every N] [-sample-out samples.csv]
 //
 // Without -prog a built-in hello-world runs. Programs are RV64IMA assembly
 // (see internal/rvasm); execution starts at the reset PC on every hart.
+//
+// -metrics-json dumps every counter, gauge and histogram as JSON;
+// -trace-out writes a Chrome trace-event file loadable in Perfetto;
+// -sample-every N snapshots the default counter set every N cycles
+// (written into the metrics JSON, or as CSV with -sample-out).
 package main
 
 import (
@@ -45,6 +52,11 @@ func main() {
 	maxCycles := flag.Uint64("max-cycles", 50_000_000, "abort after this many cycles")
 	stats := flag.Bool("stats", false, "dump hardware counters after the run")
 	disasm := flag.Bool("disasm", false, "print a disassembly listing before running")
+	metricsJSON := flag.String("metrics-json", "", "write all counters/gauges/histograms as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto) to this file")
+	traceCap := flag.Int("trace-cap", 1<<20, "event trace ring-buffer capacity (with -trace-out)")
+	sampleEvery := flag.Uint64("sample-every", 0, "snapshot the default counter set every N cycles (0 = off)")
+	sampleOut := flag.String("sample-out", "", "write the sampled time series as CSV to this file")
 	flag.Parse()
 
 	a, b, c, err := smappic.ParseShape(*shape)
@@ -78,6 +90,13 @@ func main() {
 		fmt.Print(rvasm.DisassembleAll(prog))
 	}
 
+	if *traceOut != "" {
+		proto.EnableTrace(*traceCap)
+	}
+	if *sampleEvery > 0 || *sampleOut != "" {
+		proto.EnableSampler(smappic.Time(*sampleEvery))
+	}
+
 	host := proto.Host()
 	for n := 0; n < proto.Cfg.TotalNodes(); n++ {
 		host.LoadProgram(n, prog)
@@ -97,6 +116,35 @@ func main() {
 	}
 	if *stats {
 		fmt.Println("--- hardware counters ---")
-		fmt.Print(proto.Stats.String())
+		fmt.Print(proto.Report())
+	}
+	if *metricsJSON != "" {
+		out, err := proto.MetricsJSON()
+		if err == nil {
+			err = os.WriteFile(*metricsJSON, out, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = proto.WriteTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *sampleOut != "" && proto.Sampler != nil {
+		if err := os.WriteFile(*sampleOut, []byte(proto.Sampler.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -16,6 +16,9 @@ type Shaper struct {
 	BytesPerCycle int
 
 	busy sim.Time
+
+	cThrottle *sim.Counter // cycles requests waited on the busy link
+	cBytes    *sim.Counter // bytes pushed through the shaper
 }
 
 // NewShaper wraps t. With zero latency and bandwidth it is a transparent
@@ -24,8 +27,19 @@ func NewShaper(eng *sim.Engine, t Target, extraLatency sim.Time, bytesPerCycle i
 	return &Shaper{eng: eng, t: t, ExtraLatency: extraLatency, BytesPerCycle: bytesPerCycle}
 }
 
+// SetStats registers throttle telemetry under name ("<name>.throttle_cycles",
+// "<name>.shaped_bytes"). A nil stats leaves the shaper un-instrumented.
+func (s *Shaper) SetStats(stats *sim.Stats, name string) {
+	if stats == nil {
+		return
+	}
+	s.cThrottle = stats.Counter(name + ".throttle_cycles")
+	s.cBytes = stats.Counter(name + ".shaped_bytes")
+}
+
 func (s *Shaper) delay(n int) sim.Time {
 	d := s.ExtraLatency
+	s.cBytes.Add(uint64(n))
 	if s.BytesPerCycle > 0 {
 		beats := sim.Time((n + s.BytesPerCycle - 1) / s.BytesPerCycle)
 		if beats == 0 {
@@ -33,6 +47,7 @@ func (s *Shaper) delay(n int) sim.Time {
 		}
 		start := s.eng.Now() + d
 		if s.busy > start {
+			s.cThrottle.Add(uint64(s.busy - start))
 			start = s.busy
 		}
 		s.busy = start + beats

@@ -16,13 +16,13 @@ import (
 type Tool string
 
 const (
-	SMAPPIC         Tool = "SMAPPIC"
-	FireSimSingle   Tool = "FireSim single-node"
-	FireSimSuper    Tool = "FireSim supernode"
-	Sniper          Tool = "Sniper"
-	Gem5            Tool = "gem5"
-	Verilator       Tool = "Verilator"
-	SiliconU740     Tool = "SiFive U740"
+	SMAPPIC       Tool = "SMAPPIC"
+	FireSimSingle Tool = "FireSim single-node"
+	FireSimSuper  Tool = "FireSim supernode"
+	Sniper        Tool = "Sniper"
+	Gem5          Tool = "gem5"
+	Verilator     Tool = "Verilator"
+	SiliconU740   Tool = "SiFive U740"
 )
 
 // Model captures a tool's cost-relevant behavior.
@@ -73,10 +73,10 @@ func ModelFor(t Tool) Model {
 // Benchmark is one SPECint 2017 component with its "test"-input dynamic
 // instruction count (billions), reconstructed from the U740 runtimes.
 type Benchmark struct {
-	Name         string
-	GInstr       float64 // dynamic instructions, billions
-	Gem5MemGB    int     // host memory gem5 needed
-	SniperOK     bool    // perlbench forks break Sniper
+	Name      string
+	GInstr    float64 // dynamic instructions, billions
+	Gem5MemGB int     // host memory gem5 needed
+	SniperOK  bool    // perlbench forks break Sniper
 }
 
 // SPECint2017 lists the paper's benchmark suite ("test" inputs).

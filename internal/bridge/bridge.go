@@ -67,10 +67,22 @@ type Bridge struct {
 	out    axi.Target
 	addrOf func(dstNode int) axi.Addr
 
-	credits    map[int]int         // send credits per destination node
-	sendq      map[int][]*Envelope // packets stalled on credits
-	creditRead map[int]bool        // outstanding credit-return read per dst
-	freed      map[int]int         // receive side: credits to return per src
+	credits    map[int]int       // send credits per destination node
+	sendq      map[int][]stalled // packets stalled on credits
+	creditRead map[int]bool      // outstanding credit-return read per dst
+	freed      map[int]int       // receive side: credits to return per src
+	tracer     *sim.Tracer
+
+	hCreditWait *sim.Histogram // cycles spent queued waiting for credits
+	gSendq      *sim.Gauge     // total packets stalled on credits
+	nStalled    int
+}
+
+// stalled is one packet queued on credit exhaustion, with the cycle it
+// stalled at for wait-time accounting.
+type stalled struct {
+	env *Envelope
+	at  sim.Time
 }
 
 // New creates a bridge for the given node and registers it at the mesh's
@@ -79,20 +91,30 @@ func New(eng *sim.Engine, mesh *noc.Mesh, node int, p Params, stats *sim.Stats, 
 	b := &Bridge{
 		eng: eng, mesh: mesh, node: node, p: p, stats: stats, name: name,
 		credits:    make(map[int]int),
-		sendq:      make(map[int][]*Envelope),
+		sendq:      make(map[int][]stalled),
 		creditRead: make(map[int]bool),
 		freed:      make(map[int]int),
+	}
+	if stats != nil {
+		b.hCreditWait = stats.Histogram(name + ".credit_wait")
+		b.gSendq = stats.Gauge(name + ".sendq")
 	}
 	mesh.AttachBridge(b.handleMeshPacket)
 	return b
 }
+
+// SetTracer installs an event tracer; tx/rx instants appear on the bridge's
+// own track ("<node>.bridge") in exported timelines.
+func (b *Bridge) SetTracer(t *sim.Tracer) { b.tracer = t }
 
 // ConnectOut wires the bridge's outbound AXI path: out is the crossbar or
 // shell port, addrOf maps a destination node to the AXI address of its
 // bridge window. A shaper is inserted when Params request one.
 func (b *Bridge) ConnectOut(out axi.Target, addrOf func(dstNode int) axi.Addr) {
 	if b.p.ExtraLatency > 0 || b.p.BytesPerCycle > 0 {
-		out = axi.NewShaper(b.eng, out, b.p.ExtraLatency, b.p.BytesPerCycle)
+		sh := axi.NewShaper(b.eng, out, b.p.ExtraLatency, b.p.BytesPerCycle)
+		sh.SetStats(b.stats, b.name+".shaper")
+		out = sh
 	}
 	b.out = out
 	b.addrOf = addrOf
@@ -126,7 +148,9 @@ func (b *Bridge) trySend(env *Envelope) {
 	}
 	if len(b.sendq[dst]) > 0 || b.credits[dst] < env.Flits {
 		// Preserve order behind already-stalled packets.
-		b.sendq[dst] = append(b.sendq[dst], env)
+		b.sendq[dst] = append(b.sendq[dst], stalled{env: env, at: b.eng.Now()})
+		b.nStalled++
+		b.gSendq.Set(int64(b.nStalled))
 		b.count("credit_stall", 1)
 		b.fetchCredits(dst)
 		return
@@ -143,6 +167,7 @@ func (b *Bridge) transmit(env *Envelope) {
 		axi.Addr(uint64(env.Class)<<4)
 	b.count("tx_packets", 1)
 	b.count("tx_flits", uint64(env.Flits))
+	b.tracer.Instant(b.name, sim.CatBridge, "tx")
 	for i := 0; i < chunks; i++ {
 		req := &axi.WriteReq{
 			Addr: addr,
@@ -180,16 +205,19 @@ func (b *Bridge) fetchCredits(dst int) {
 // drain retries queued packets after credits arrive.
 func (b *Bridge) drain(dst int) {
 	for len(b.sendq[dst]) > 0 {
-		env := b.sendq[dst][0]
-		if b.credits[dst] < env.Flits {
+		st := b.sendq[dst][0]
+		if b.credits[dst] < st.env.Flits {
 			// Still short: poll again. The receiver frees credits as it
 			// injects, so this terminates.
 			b.eng.Schedule(b.p.ProcessDelay*4, func() { b.fetchCredits(dst) })
 			return
 		}
 		b.sendq[dst] = b.sendq[dst][1:]
-		b.credits[dst] -= env.Flits
-		b.transmit(env)
+		b.nStalled--
+		b.gSendq.Set(int64(b.nStalled))
+		b.hCreditWait.Observe(uint64(b.eng.Now() - st.at))
+		b.credits[dst] -= st.env.Flits
+		b.transmit(st.env)
 	}
 }
 
@@ -211,6 +239,7 @@ func (in *inbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 	b.eng.Schedule(b.p.ProcessDelay, func() {
 		b.count("rx_packets", 1)
 		b.count("rx_flits", uint64(env.Flits))
+		b.tracer.Instant(b.name, sim.CatBridge, "rx")
 		// Inject into the local mesh toward the destination tile; the
 		// buffer slot is freed at injection, returning credits to the
 		// sender on its next credit read.

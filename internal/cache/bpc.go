@@ -11,6 +11,7 @@ import (
 type mshr struct {
 	line    uint64
 	op      MsgOp // GetS or GetM
+	start   sim.Time
 	waiters []func()
 }
 
@@ -33,17 +34,35 @@ type Private struct {
 
 	mshrs   map[uint64]*mshr
 	blocked []func() // accesses stalled on MSHR exhaustion
+
+	// Pre-resolved hot-path instruments; nil (and therefore free no-ops)
+	// when telemetry is disabled.
+	cL1Hit   *sim.Counter
+	cL1Miss  *sim.Counter
+	cBpcHit  *sim.Counter
+	cBpcMiss *sim.Counter
+	hMissLat *sim.Histogram // BPC miss to grant, cycles
+	gMSHR    *sim.Gauge     // MSHR occupancy
 }
 
 // NewPrivate builds a tile's private cache stack.
 func NewPrivate(eng *sim.Engine, id GID, p Params, conn Conn, home HomeFunc, stats *sim.Stats, name string) *Private {
-	return &Private{
+	c := &Private{
 		eng: eng, id: id, p: p, conn: conn, home: home, stats: stats, name: name,
 		l1i:   newSetAssoc(p.L1ISizeBytes, p.Ways),
 		l1d:   newSetAssoc(p.L1DSizeBytes, p.Ways),
 		bpc:   newSetAssoc(p.BPCSizeBytes, p.Ways),
 		mshrs: make(map[uint64]*mshr),
 	}
+	if stats != nil {
+		c.cL1Hit = stats.Counter(name + ".l1_hit")
+		c.cL1Miss = stats.Counter(name + ".l1_miss")
+		c.cBpcHit = stats.Counter(name + ".bpc_hit")
+		c.cBpcMiss = stats.Counter(name + ".bpc_miss")
+		c.hMissLat = stats.Histogram(name + ".miss_latency")
+		c.gMSHR = stats.Gauge(name + ".mshr_occ")
+	}
+	return c
 }
 
 // ID returns the global tile id of this cache.
@@ -76,12 +95,12 @@ func (c *Private) access(addr uint64, write bool, l1 *setAssoc, done func()) {
 	// L1 hit: the L1s are inclusive in the BPC and mirror its permissions.
 	if w := l1.lookup(line); w != nil {
 		if !write || w.st == stModified {
-			c.count("l1_hit")
+			c.cL1Hit.Inc()
 			c.eng.Schedule(sim.Time(c.p.L1Latency), done)
 			return
 		}
 	}
-	c.count("l1_miss")
+	c.cL1Miss.Inc()
 	// BPC lookup after the L1 latency.
 	c.eng.Schedule(sim.Time(c.p.L1Latency+c.p.BPCLatency), func() {
 		c.bpcAccess(line, write, l1, done)
@@ -93,12 +112,12 @@ func (c *Private) bpcAccess(line uint64, write bool, l1 *setAssoc, done func()) 
 	if w != nil {
 		switch {
 		case !write:
-			c.count("bpc_hit")
+			c.cBpcHit.Inc()
 			c.fillL1(l1, line, w.st)
 			done()
 			return
 		case w.st == stModified:
-			c.count("bpc_hit")
+			c.cBpcHit.Inc()
 			c.fillL1(l1, line, stModified)
 			done()
 			return
@@ -114,7 +133,7 @@ func (c *Private) bpcAccess(line uint64, write bool, l1 *setAssoc, done func()) 
 		}
 		// Shared and writing: fall through to GetM.
 	}
-	c.count("bpc_miss")
+	c.cBpcMiss.Inc()
 	c.miss(line, write, l1, done)
 }
 
@@ -142,12 +161,13 @@ func (c *Private) miss(line uint64, write bool, l1 *setAssoc, done func()) {
 		c.blocked = append(c.blocked, func() { c.bpcAccess(line, write, l1, done) })
 		return
 	}
-	m := &mshr{line: line, op: op}
+	m := &mshr{line: line, op: op, start: c.eng.Now()}
 	m.waiters = append(m.waiters, func() {
 		c.fillL1(l1, line, c.grantState(write))
 		done()
 	})
 	c.mshrs[line] = m
+	c.gMSHR.Set(int64(len(c.mshrs)))
 	c.count(op.String())
 	c.conn.SendProto(c.id, c.home(line), &Msg{Op: op, Line: line, From: c.id, Req: c.id})
 }
@@ -189,6 +209,8 @@ func (c *Private) handleGrant(msg *Msg) {
 		panic(fmt.Sprintf("cache: %s: grant %v for line %#x with no MSHR", c.name, msg.Op, msg.Line))
 	}
 	delete(c.mshrs, msg.Line)
+	c.hMissLat.Observe(uint64(c.eng.Now() - m.start))
+	c.gMSHR.Set(int64(len(c.mshrs)))
 
 	var st state
 	switch msg.Op {

@@ -467,3 +467,98 @@ func TestMsgFlitsAndClass(t *testing.T) {
 		t.Error("message classes misassigned")
 	}
 }
+
+// newBareCache builds a single private cache + home slice with no stats
+// registry: the disabled-telemetry configuration.
+func newBareCache() (*sim.Engine, *Private) {
+	eng := sim.NewEngine()
+	conn := newFakeConn(eng)
+	homeID := GID{Node: 0, Tile: 99}
+	id := GID{Node: 0, Tile: 0}
+	pc := NewPrivate(eng, id, DefaultParams(), conn, func(uint64) GID { return homeID }, nil, "priv")
+	conn.privs[id] = pc
+	conn.slices[homeID] = NewSlice(eng, homeID, DefaultParams(), conn, nil, "home")
+	return eng, pc
+}
+
+// With telemetry disabled, the L1-hit fast path must not allocate beyond
+// the engine's own event record: the nil-instrument idiom makes counters
+// free, and enabling stats must not add allocations either.
+func TestL1HitFastPathAllocations(t *testing.T) {
+	measure := func(eng *sim.Engine, pc *Private) float64 {
+		done := func() {}
+		warm := false
+		pc.Load(0x1000, func() { warm = true })
+		eng.Run()
+		if !warm {
+			t.Fatal("warm-up load never completed")
+		}
+		return testing.AllocsPerRun(200, func() {
+			pc.Load(0x1000, done)
+			eng.Run()
+		})
+	}
+
+	eng, pc := newBareCache()
+	disabled := measure(eng, pc)
+	// One *event escapes per Schedule; anything more means telemetry leaked
+	// into the fast path.
+	if disabled > 1 {
+		t.Fatalf("L1 hit with telemetry disabled allocates %.1f/op, want <=1", disabled)
+	}
+
+	r := newRig(t, 1)
+	enabled := measure(r.eng, r.privs[0])
+	if enabled > disabled {
+		t.Fatalf("enabling telemetry added allocations to the L1-hit path: %.1f > %.1f", enabled, disabled)
+	}
+}
+
+// A miss must appear in the hit/miss counters, the miss-latency histogram
+// and the MSHR occupancy gauge.
+func TestCacheTelemetryOnMiss(t *testing.T) {
+	r := newRig(t, 1)
+	r.load(0, 0x4000)
+
+	if got := r.stats.Get("priv.l1_miss"); got != 1 {
+		t.Fatalf("l1_miss = %d, want 1", got)
+	}
+	if got := r.stats.Get("priv.bpc_miss"); got != 1 {
+		t.Fatalf("bpc_miss = %d, want 1", got)
+	}
+	h := r.stats.FindHistogram("priv.miss_latency")
+	if h == nil || h.Samples != 1 {
+		t.Fatalf("miss_latency histogram missing or empty: %+v", h)
+	}
+	if h.Min < 80 {
+		t.Fatalf("miss latency %d cycles, want >= memory latency 80", h.Min)
+	}
+	g, ok := r.stats.GaugeValue("priv.mshr_occ")
+	if !ok || g != 0 {
+		t.Fatalf("mshr_occ = %d,%v, want 0 after completion", g, ok)
+	}
+
+	r.load(0, 0x4000) // now an L1 hit
+	if got := r.stats.Get("priv.l1_hit"); got != 1 {
+		t.Fatalf("l1_hit = %d, want 1", got)
+	}
+	if h.Samples != 1 {
+		t.Fatalf("L1 hit observed a miss latency: n=%d", h.Samples)
+	}
+}
+
+// The LLC slice must record directory-queue depth and memory round trips.
+func TestLLCTelemetry(t *testing.T) {
+	r := newRig(t, 1)
+	r.load(0, 0x8000)
+	h := r.stats.FindHistogram("home.mem_latency")
+	if h == nil || h.Samples != 1 {
+		t.Fatalf("mem_latency histogram missing or empty: %+v", h)
+	}
+	if h.Min < 80 {
+		t.Fatalf("memory latency %d, want >= 80", h.Min)
+	}
+	if _, ok := r.stats.GaugeValue("home.dir_queue"); !ok {
+		t.Fatal("dir_queue gauge never registered")
+	}
+}

@@ -54,20 +54,36 @@ type Slice struct {
 
 	busy    map[uint64]*txn
 	pending map[uint64][]*Msg
-	memTags map[uint64]func() // outstanding memory fetches by tag
+	memTags map[uint64]memFetch // outstanding memory fetches by tag
 	nextTag uint64
+
+	nq      int            // total requests queued behind busy lines
+	gQueue  *sim.Gauge     // directory queue depth
+	hMemLat *sim.Histogram // LLC miss memory fetch latency, cycles
+}
+
+// memFetch is one outstanding memory fetch: the continuation to run on the
+// response plus the issue time for latency accounting.
+type memFetch struct {
+	k  func()
+	at sim.Time
 }
 
 // NewSlice builds an LLC slice.
 func NewSlice(eng *sim.Engine, id GID, p Params, conn Conn, stats *sim.Stats, name string) *Slice {
-	return &Slice{
+	s := &Slice{
 		eng: eng, id: id, p: p, conn: conn, stats: stats, name: name,
 		tags:    newSetAssoc(p.LLCSliceSize, p.Ways),
 		dir:     make(map[uint64]*dirEntry),
 		busy:    make(map[uint64]*txn),
 		pending: make(map[uint64][]*Msg),
-		memTags: make(map[uint64]func()),
+		memTags: make(map[uint64]memFetch),
 	}
+	if stats != nil {
+		s.gQueue = stats.Gauge(name + ".dir_queue")
+		s.hMemLat = stats.Histogram(name + ".mem_latency")
+	}
+	return s
 }
 
 func (s *Slice) count(what string) {
@@ -91,6 +107,8 @@ func (s *Slice) HandleMsg(msg *Msg) {
 	case GetS, GetM:
 		if _, inFlight := s.busy[msg.Line]; inFlight {
 			s.pending[msg.Line] = append(s.pending[msg.Line], msg)
+			s.nq++
+			s.gQueue.Set(int64(s.nq))
 			s.count("queued")
 			return
 		}
@@ -147,7 +165,7 @@ func (s *Slice) lookup(msg *Msg) {
 	s.count("llc_miss")
 	s.nextTag++
 	tag := s.nextTag
-	s.memTags[tag] = func() { s.fill(msg) }
+	s.memTags[tag] = memFetch{k: func() { s.fill(msg) }, at: s.eng.Now()}
 	s.conn.SendMem(s.id, &mem.Req{
 		Addr: msg.Line,
 		Size: LineBytes,
@@ -169,12 +187,13 @@ func (s *Slice) HandleMemResp(r *mem.Resp) {
 	if r.Write {
 		return // writeback acks need no action
 	}
-	k, ok := s.memTags[r.Tag]
+	f, ok := s.memTags[r.Tag]
 	if !ok {
 		panic(fmt.Sprintf("cache: %s: memory response with unknown tag %d", s.name, r.Tag))
 	}
 	delete(s.memTags, r.Tag)
-	k()
+	s.hMemLat.Observe(uint64(s.eng.Now() - f.at))
+	f.k()
 }
 
 // fill installs a fetched line and continues the transaction.
@@ -343,6 +362,8 @@ func (s *Slice) finish(line uint64) {
 	} else {
 		s.pending[line] = q[1:]
 	}
+	s.nq--
+	s.gQueue.Set(int64(s.nq))
 	s.begin(next)
 }
 

@@ -44,11 +44,11 @@ func TestCheapestForPicksTable3Choices(t *testing.T) {
 		req  Requirements
 		want string
 	}{
-		{Requirements{VCPUs: 2, MemoryGB: 8}, "t3.m"},           // Sniper
-		{Requirements{VCPUs: 1, MemoryGB: 64}, "r5.2xl"},        // gem5
-		{Requirements{VCPUs: 1, MemoryGB: 8}, "t3.m"},           // Verilator
+		{Requirements{VCPUs: 2, MemoryGB: 8}, "t3.m"},             // Sniper
+		{Requirements{VCPUs: 1, MemoryGB: 64}, "r5.2xl"},          // gem5
+		{Requirements{VCPUs: 1, MemoryGB: 8}, "t3.m"},             // Verilator
 		{Requirements{VCPUs: 1, MemoryGB: 8, FPGAs: 1}, "f1.2xl"}, // SMAPPIC/FireSim
-		{Requirements{MemoryGB: 350}, "r5.12xl"},                // gem5 + mcf
+		{Requirements{MemoryGB: 350}, "r5.12xl"},                  // gem5 + mcf
 	}
 	for _, c := range cases {
 		got, err := CheapestFor(c.req)

@@ -78,10 +78,15 @@ type mmioResp struct {
 
 // tileHandler dispatches packets delivered to a tile port.
 func (p *Prototype) tileHandler(t *Tile) noc.Handler {
+	// The tile's trace track is fixed for the prototype's lifetime; compute
+	// it once so the hot path never formats strings.
+	track := fmt.Sprintf("node%d.tile%d", t.ID.Node, t.ID.Tile)
 	return func(pkt *noc.Packet) {
 		switch m := pkt.Payload.(type) {
 		case *cache.Msg:
-			p.Tracer.Emit("coherence", "%v line=%#x req=%v at tile %v", m.Op, m.Line, m.Req, t.ID)
+			if p.Tracer.Enabled() {
+				p.Tracer.EmitT(track, sim.CatCoherence, "%v line=%#x req=%v at tile %v", m.Op, m.Line, m.Req, t.ID)
+			}
 			switch m.Op {
 			case cache.GetS, cache.GetM, cache.PutS, cache.PutM, cache.InvAck, cache.DownAck:
 				t.LLC.HandleMsg(m)
@@ -162,7 +167,9 @@ func (p *Prototype) deviceAccess(n *Node, m *mmioReq) {
 				} else {
 					val = r.dev.Read(off-r.base, m.size)
 				}
-				p.Tracer.Emit("mmio", "%s %s off=%#x val=%#x", rw(m.write), r.dev.Name(), off-r.base, val|m.val)
+				if p.Tracer.Enabled() {
+					p.Tracer.EmitT(n.Name(), sim.CatMMIO, "%s %s off=%#x val=%#x", rw(m.write), r.dev.Name(), off-r.base, val|m.val)
+				}
 				n.Mesh.Send(&noc.Packet{
 					Class:   noc.NoC2,
 					Src:     noc.Dest{Port: noc.PortChipset},

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -578,5 +580,148 @@ func TestMixedTopologyCoherentAcrossBothPaths(t *testing.T) {
 	p.Run()
 	if got := p.Backing.ReadU64(addr); got != 4*each {
 		t.Fatalf("counter = %d, want %d (coherence broken across mixed topology)", got, 4*each)
+	}
+}
+
+// runTelemetryWorkload builds a 2x1x4 CoreNone prototype with tracing and
+// sampling enabled and drives cross-node traffic through it.
+func runTelemetryWorkload(t *testing.T) *Prototype {
+	t.Helper()
+	cfg := DefaultConfig(2, 1, 4)
+	cfg.Core = CoreNone
+	p := buildQuiet(t, cfg)
+	p.EnableTrace(1 << 16)
+	p.EnableSampler(100)
+	a := p.PortAt(cache.GID{Node: 0, Tile: 0})
+	b := p.PortAt(cache.GID{Node: 1, Tile: 0})
+	remote := p.Map.NodeDRAMBase(1) + 0x2000
+	sim.Go(p.Eng, "wl0", func(proc *sim.Process) {
+		for i := uint64(0); i < 32; i++ {
+			a.Store(proc, remote+i*64, 8, i)
+			a.Load(proc, p.Map.NodeDRAMBase(0)+i*64, 8)
+		}
+	})
+	sim.Go(p.Eng, "wl1", func(proc *sim.Process) {
+		for i := uint64(0); i < 32; i++ {
+			b.Load(proc, p.Map.NodeDRAMBase(1)+0x8000+i*64, 8)
+		}
+	})
+	p.Run()
+	return p
+}
+
+func TestMetricsJSONEndToEnd(t *testing.T) {
+	p := runTelemetryWorkload(t)
+	out, err := p.MetricsJSON()
+	if err != nil {
+		t.Fatalf("MetricsJSON: %v", err)
+	}
+	var doc struct {
+		Meta struct {
+			FPGAs  int    `json:"fpgas"`
+			Cycles uint64 `json:"cycles"`
+			Seed   uint64 `json:"seed"`
+		} `json:"meta"`
+		Stats struct {
+			Counters   map[string]uint64 `json:"counters"`
+			Gauges     map[string]any    `json:"gauges"`
+			Histograms map[string]struct {
+				Samples uint64 `json:"samples"`
+				P50     uint64 `json:"p50"`
+				P95     uint64 `json:"p95"`
+				P99     uint64 `json:"p99"`
+			} `json:"histograms"`
+		} `json:"stats"`
+		Samples struct {
+			Rows [][]uint64 `json:"rows"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("invalid metrics JSON: %v", err)
+	}
+	if doc.Meta.FPGAs != 2 || doc.Meta.Cycles == 0 {
+		t.Fatalf("bad meta: %+v", doc.Meta)
+	}
+	// Per-node merged cache histograms with percentiles.
+	for _, node := range []string{"node0", "node1"} {
+		h, ok := doc.Stats.Histograms[node+".bpc.miss_latency"]
+		if !ok || h.Samples == 0 {
+			t.Fatalf("missing merged histogram for %s (have %d histograms)", node, len(doc.Stats.Histograms))
+		}
+		if h.P50 == 0 || h.P95 < h.P50 || h.P99 < h.P95 {
+			t.Fatalf("%s percentiles not ordered: %+v", node, h)
+		}
+	}
+	// Per-link NoC counters were flushed.
+	found := false
+	for name := range doc.Stats.Counters {
+		if strings.Contains(name, ".link") && strings.HasSuffix(name, ".flits") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no per-link flit counters in metrics JSON")
+	}
+	if len(doc.Samples.Rows) == 0 {
+		t.Fatal("sampler recorded no rows")
+	}
+}
+
+func TestMetricsAndTraceDeterministic(t *testing.T) {
+	render := func() ([]byte, []byte) {
+		p := runTelemetryWorkload(t)
+		m, err := p.MetricsJSON()
+		if err != nil {
+			t.Fatalf("MetricsJSON: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteTrace(&buf); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		return m, buf.Bytes()
+	}
+	m1, t1 := render()
+	m2, t2 := render()
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("same-seed metrics JSON differs between runs")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("same-seed trace differs between runs")
+	}
+	// Report (which also flushes telemetry) must be idempotent: a second
+	// flush must not double-count the merged histograms or link counters.
+	p := runTelemetryWorkload(t)
+	r1 := p.Report()
+	r2 := p.Report()
+	if r1 != r2 {
+		t.Fatal("Report is not idempotent")
+	}
+}
+
+func TestPrototypeTraceHasPerNodeTracks(t *testing.T) {
+	p := runTelemetryWorkload(t)
+	var buf bytes.Buffer
+	if err := p.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	procs := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "process_name" {
+			procs[ev.Args["name"].(string)] = true
+		}
+	}
+	if !procs["node0"] || !procs["node1"] {
+		t.Fatalf("want node0 and node1 process tracks, got %v", procs)
 	}
 }

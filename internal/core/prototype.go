@@ -79,8 +79,12 @@ type Node struct {
 	Pack  *interrupt.Packetizer
 
 	proto   *Prototype
+	name    string
 	devices []devRegion
 }
+
+// Name returns the node's hierarchical stats/trace prefix ("node3").
+func (n *Node) Name() string { return n.name }
 
 // Prototype is a built SMAPPIC system.
 type Prototype struct {
@@ -96,11 +100,18 @@ type Prototype struct {
 	// Tracer, when installed with EnableTrace, records protocol and MMIO
 	// events (nil-safe: tracing is free when disabled).
 	Tracer *sim.Tracer
+	// Sampler, when installed with EnableSampler, snapshots selected
+	// counters at a fixed cycle interval.
+	Sampler *sim.Sampler
 }
 
-// EnableTrace installs an event tracer retaining the last capacity events.
+// EnableTrace installs an event tracer retaining the last capacity events
+// and propagates it to subsystems that emit their own tracks (bridges).
 func (p *Prototype) EnableTrace(capacity int) *sim.Tracer {
 	p.Tracer = sim.NewTracer(p.Eng, capacity)
+	for _, n := range p.Nodes {
+		n.Bridge.SetTracer(p.Tracer)
+	}
 	return p.Tracer
 }
 
@@ -142,7 +153,7 @@ func Build(cfg Config) (*Prototype, error) {
 	for nID := 0; nID < cfg.TotalNodes(); nID++ {
 		f := nID / cfg.NodesPerFPGA
 		name := fmt.Sprintf("node%d", nID)
-		n := &Node{ID: nID, FPGA: f, proto: p}
+		n := &Node{ID: nID, FPGA: f, proto: p, name: name}
 		// Router/link delays calibrated so a 12-tile node reproduces the
 		// paper's ~100-cycle intra-node round trip (Fig. 7).
 		n.Mesh = noc.New(eng, name+".mesh", noc.Params{

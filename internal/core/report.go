@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"smappic/internal/sim"
+)
+
+// flushTelemetry publishes derived statistics that are kept out of the hot
+// path during simulation: per-link NoC counters (accumulated in flat arrays
+// inside each mesh) and per-node cache-miss latency histograms (merged from
+// the per-tile ones). It is idempotent — calling it twice does not
+// double-count — so Report and MetricsJSON may both be used on one run.
+func (p *Prototype) flushTelemetry() {
+	if p.Stats == nil {
+		return
+	}
+	for _, n := range p.Nodes {
+		n.Mesh.FlushLinkStats()
+		merged := p.Stats.Histogram(n.name + ".bpc.miss_latency")
+		merged.Reset()
+		for tID := range n.Tiles {
+			h := p.Stats.FindHistogram(fmt.Sprintf("%s.tile%d.bpc.miss_latency", n.name, tID))
+			merged.Merge(h)
+		}
+	}
+}
+
+// Report renders the end-of-run statistics as text: a run header followed by
+// every counter, gauge and histogram in the registry.
+func (p *Prototype) Report() string {
+	p.flushTelemetry()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# shape %dx%dx%d, %d cycles (%.6f s at %d MHz), seed %d\n",
+		p.Cfg.FPGAs, p.Cfg.NodesPerFPGA, p.Cfg.TilesPerNode,
+		p.Eng.Now(), p.Seconds(p.Eng.Now()), p.Cfg.ClockMHz, p.Cfg.Seed)
+	b.WriteString(p.Stats.String())
+	return b.String()
+}
+
+// metricsDoc is the wire form of MetricsJSON. Field order is fixed and all
+// maps inside are rendered with sorted keys, so two identical runs produce
+// byte-identical documents.
+type metricsDoc struct {
+	Meta    metricsMeta  `json:"meta"`
+	Stats   *sim.Stats   `json:"stats"`
+	Samples *sim.Sampler `json:"samples,omitempty"`
+}
+
+type metricsMeta struct {
+	FPGAs        int    `json:"fpgas"`
+	NodesPerFPGA int    `json:"nodes_per_fpga"`
+	TilesPerNode int    `json:"tiles_per_node"`
+	Cycles       uint64 `json:"cycles"`
+	ClockMHz     int    `json:"clock_mhz"`
+	Seed         uint64 `json:"seed"`
+}
+
+// MetricsJSON renders the run's metadata, full statistics registry and (when
+// a sampler is installed) the sampled time series as one JSON document.
+func (p *Prototype) MetricsJSON() ([]byte, error) {
+	p.flushTelemetry()
+	doc := metricsDoc{
+		Meta: metricsMeta{
+			FPGAs:        p.Cfg.FPGAs,
+			NodesPerFPGA: p.Cfg.NodesPerFPGA,
+			TilesPerNode: p.Cfg.TilesPerNode,
+			Cycles:       uint64(p.Eng.Now()),
+			ClockMHz:     p.Cfg.ClockMHz,
+			Seed:         p.Cfg.Seed,
+		},
+		Stats:   p.Stats,
+		Samples: p.Sampler,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// EnableSampler installs an interval sampler snapshotting the given counter
+// or gauge names (trailing "*" sums a prefix) every `every` cycles. With no
+// names it samples a default set: per-node NoC flit totals per class, bridge
+// traffic, DRAM accesses and memory-engine occupancy.
+func (p *Prototype) EnableSampler(every sim.Time, names ...string) *sim.Sampler {
+	if len(names) == 0 {
+		names = p.defaultSampleSet()
+	}
+	p.Sampler = sim.NewSampler(p.Eng, p.Stats, every, names...)
+	return p.Sampler
+}
+
+// defaultSampleSet lists the sampler columns used when the caller names none.
+func (p *Prototype) defaultSampleSet() []string {
+	var names []string
+	for _, n := range p.Nodes {
+		names = append(names,
+			n.name+".mesh.noc1.flits",
+			n.name+".mesh.noc2.flits",
+			n.name+".mesh.noc3.flits",
+			n.name+".bridge.tx_flits",
+			n.name+".dram.reads",
+			n.name+".dram.writes",
+			n.name+".memctl.rd_inflight",
+			n.name+".memctl.wr_inflight",
+		)
+	}
+	return names
+}
+
+// WriteTrace exports the recorded event trace in Chrome trace-event JSON
+// (load in Perfetto or chrome://tracing). Safe to call with no tracer
+// installed; the result is then a valid empty trace.
+func (p *Prototype) WriteTrace(w io.Writer) error {
+	return p.Tracer.WriteChrome(w)
+}

@@ -46,6 +46,7 @@ func AblationHoming() AblationHomingResult {
 		if !r.Sorted {
 			panic("ablation: unsorted")
 		}
+		snapshot(fmt.Sprintf("ablation-homing/global=%v", global), p)
 		return r.Cycles
 	}
 	region, inter := run(false), run(true)
@@ -93,6 +94,7 @@ func AblationCredits() AblationCreditsResult {
 			took = proc.Now() - start
 		})
 		p.Run()
+		snapshot(fmt.Sprintf("ablation-credits/c%d", credits), p)
 		res.Credits = append(res.Credits, credits)
 		res.Cycles = append(res.Cycles, took)
 		res.Stalls = append(res.Stalls, p.Stats.Get("node0.bridge.credit_stall"))
@@ -133,6 +135,7 @@ func AblationInterconnect() AblationInterconnectResult {
 			panic(err)
 		}
 		lat := p.MeasureLatency(cache.GID{Node: 0, Tile: 0}, cache.GID{Node: 1, Tile: 0}, 1)
+		snapshot(fmt.Sprintf("ablation-interconnect/extra%d", extra), p)
 		res.ExtraLatency = append(res.ExtraLatency, extra)
 		res.InterCycles = append(res.InterCycles, float64(lat))
 	}
@@ -178,7 +181,9 @@ func AblationCore() AblationCoreResult {
 			ebreak
 		`))
 		p.Start()
-		return p.RunUntilHalted(50_000_000)
+		t := p.RunUntilHalted(50_000_000)
+		snapshot(fmt.Sprintf("ablation-core/%v", ct), p)
+		return t
 	}
 	return AblationCoreResult{
 		ArianeCycles: run(core.CoreAriane),
@@ -191,4 +196,3 @@ func (r AblationCoreResult) String() string {
 	return fmt.Sprintf("Ablation (core model): same program, Ariane %d cycles vs PicoRV32 %d cycles (%.2fx)",
 		r.ArianeCycles, r.PicoCycles, float64(r.PicoCycles)/float64(r.ArianeCycles))
 }
-

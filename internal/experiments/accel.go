@@ -37,8 +37,11 @@ func Fig10(quick bool) Fig10Result {
 	}
 	var genSW, appSW float64
 	for _, mode := range workload.NoiseModes {
-		g := workload.RunNoiseGenerator(gngSystem(), mode, np)
-		a := workload.RunNoiseApplier(gngSystem(), mode, np)
+		genSys, appSys := gngSystem(), gngSystem()
+		g := workload.RunNoiseGenerator(genSys, mode, np)
+		a := workload.RunNoiseApplier(appSys, mode, np)
+		snapshot(fmt.Sprintf("fig10/gen/%v", mode), genSys.Prototype())
+		snapshot(fmt.Sprintf("fig10/apply/%v", mode), appSys.Prototype())
 		if mode == workload.NoiseSW {
 			genSW, appSW = float64(g.Cycles), float64(a.Cycles)
 		}
@@ -89,6 +92,7 @@ func Fig11(quick bool) Fig11Result {
 		for _, mode := range []workload.IrregularMode{workload.OneThread, workload.WithMAPLE, workload.TwoThreads} {
 			k := kernel.New(newPrototype(1, 1, 6), kernel.DefaultConfig())
 			r := workload.RunIrregular(k, kind, mode, p)
+			snapshot(fmt.Sprintf("fig11/%v/%v", kind, mode), k.Prototype())
 			if mode == workload.OneThread {
 				base = float64(r.Cycles)
 			}

@@ -105,10 +105,10 @@ type Fig13Result struct {
 	Gem5Total  float64
 	// HelloWorld anchor, measured by running the program on the RISC-V
 	// prototype.
-	HelloCycles        uint64
-	HelloSMAPPICSec    float64
-	HelloVerilatorSec  float64
-	HelloCostEffRatio  float64
+	HelloCycles       uint64
+	HelloSMAPPICSec   float64
+	HelloVerilatorSec float64
+	HelloCostEffRatio float64
 }
 
 // fig13Tools are the bars shown in the figure (gem5 is annotated off-chart).

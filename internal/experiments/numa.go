@@ -41,6 +41,7 @@ func Fig7(quick bool) Fig7Result {
 	p := newPrototype(a, 1, c)
 	m := p.LatencyMatrix()
 	intra, inter := p.LatencySummary(m)
+	snapshot(fmt.Sprintf("fig7/%dx1x%d", a, c), p)
 	out := Fig7Result{
 		Intra:   intra,
 		Inter:   inter,
@@ -106,6 +107,7 @@ func Fig8(quick bool) Fig8Result {
 			if !r.Sorted {
 				panic("experiments: Fig8 run produced unsorted output")
 			}
+			snapshot(fmt.Sprintf("fig8/t%d/numa=%v", t, numa), p)
 			scale := float64(classCKeys) / float64(keys)
 			if numa {
 				row.OnSeconds = r.Seconds
@@ -169,6 +171,7 @@ func Fig9(quick bool) Fig9Result {
 			if !r.Sorted {
 				panic("experiments: Fig9 run produced unsorted output")
 			}
+			snapshot(fmt.Sprintf("fig9/nodes%d/numa=%v", nodes, numa), p)
 			scale := float64(classCKeys) / float64(keys)
 			if numa {
 				row.OnSeconds = r.Seconds * scale

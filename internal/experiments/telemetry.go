@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"smappic/internal/core"
+)
+
+// SnapshotHook, when set, receives a metrics-JSON snapshot of every
+// experiment sub-run, labeled "fig8/t12/numa=on"-style. smappic-bench wires
+// it to -counters-out; tests can capture it directly. Nil disables
+// snapshotting entirely (the default).
+var SnapshotHook func(label string, metrics []byte)
+
+// snapshot publishes a sub-run's full counter state through SnapshotHook.
+func snapshot(label string, p *core.Prototype) {
+	if SnapshotHook == nil {
+		return
+	}
+	out, err := p.MetricsJSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s: metrics snapshot failed: %v\n", label, err)
+		return
+	}
+	SnapshotHook(label, out)
+}

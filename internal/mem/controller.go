@@ -57,18 +57,37 @@ type Controller struct {
 	IDsPerEngine int
 
 	inflight [2]int
-	queue    [2][]*Req
+	queue    [2][]queuedReq
 	nextID   axi.ID
+
+	gInflight [2]*sim.Gauge  // read/write engine occupancy
+	gQueue    [2]*sim.Gauge  // requests waiting for a free AXI ID
+	hQWait    *sim.Histogram // cycles spent in the management queue
+}
+
+// queuedReq is a request waiting for a free engine ID, with its enqueue
+// time for wait accounting.
+type queuedReq struct {
+	req *Req
+	at  sim.Time
 }
 
 // NewController creates a controller that replies through mesh and issues
 // to dram (typically a *DRAM, possibly wrapped in an axi.Shaper).
 func NewController(eng *sim.Engine, mesh *noc.Mesh, name string, dram axi.Target, stats *sim.Stats) *Controller {
-	return &Controller{
+	c := &Controller{
 		eng: eng, mesh: mesh, name: name, stats: stats, dram: dram,
 		DeserializeDelay: 4,
 		IDsPerEngine:     16,
 	}
+	if stats != nil {
+		c.gInflight[readEngine] = stats.Gauge(name + ".rd_inflight")
+		c.gInflight[writeEngine] = stats.Gauge(name + ".wr_inflight")
+		c.gQueue[readEngine] = stats.Gauge(name + ".rd_queue")
+		c.gQueue[writeEngine] = stats.Gauge(name + ".wr_queue")
+		c.hQWait = stats.Histogram(name + ".queue_wait")
+	}
+	return c
 }
 
 // Handle accepts a memory request delivered from the NoC. It is wired to
@@ -87,7 +106,8 @@ func (c *Controller) enqueue(req *Req) {
 		k = writeEngine
 	}
 	if c.inflight[k] >= c.IDsPerEngine {
-		c.queue[k] = append(c.queue[k], req)
+		c.queue[k] = append(c.queue[k], queuedReq{req: req, at: c.eng.Now()})
+		c.gQueue[k].Set(int64(len(c.queue[k])))
 		if c.stats != nil {
 			c.stats.Counter(c.name + ".queued").Inc()
 		}
@@ -98,6 +118,7 @@ func (c *Controller) enqueue(req *Req) {
 
 func (c *Controller) issue(k engineKind, req *Req) {
 	c.inflight[k]++
+	c.gInflight[k].Set(int64(c.inflight[k]))
 	c.nextID++
 	id := c.nextID
 	aligned, _ := axi.Align(req.Addr)
@@ -108,11 +129,14 @@ func (c *Controller) issue(k engineKind, req *Req) {
 	}
 	doneOne := func() {
 		c.inflight[k]--
+		c.gInflight[k].Set(int64(c.inflight[k]))
 		c.respond(req)
 		if len(c.queue[k]) > 0 {
 			next := c.queue[k][0]
 			c.queue[k] = c.queue[k][1:]
-			c.issue(k, next)
+			c.gQueue[k].Set(int64(len(c.queue[k])))
+			c.hQWait.Observe(uint64(c.eng.Now() - next.at))
+			c.issue(k, next.req)
 		}
 	}
 	if req.Write {

@@ -25,15 +25,32 @@ type DRAM struct {
 	BytesPerCycle int
 
 	busy sim.Time
+
+	// Pre-resolved instruments (nil and free when telemetry is disabled).
+	cReads      *sim.Counter
+	cWrites     *sim.Counter
+	cReadBytes  *sim.Counter
+	cWriteBytes *sim.Counter
+	cConflicts  *sim.Counter // accesses that found the channel busy
+	cConfCycles *sim.Counter // cycles those accesses waited
 }
 
 // NewDRAM creates a DRAM channel. backing may be nil for timing-only use.
 func NewDRAM(eng *sim.Engine, name string, latency sim.Time, bytesPerCycle int, backing *Backing, base uint64, stats *sim.Stats) *DRAM {
-	return &DRAM{
+	d := &DRAM{
 		eng: eng, name: name, stats: stats,
 		backing: backing, base: base,
 		Latency: latency, BytesPerCycle: bytesPerCycle,
 	}
+	if stats != nil {
+		d.cReads = stats.Counter(name + ".reads")
+		d.cWrites = stats.Counter(name + ".writes")
+		d.cReadBytes = stats.Counter(name + ".read_bytes")
+		d.cWriteBytes = stats.Counter(name + ".write_bytes")
+		d.cConflicts = stats.Counter(name + ".conflicts")
+		d.cConfCycles = stats.Counter(name + ".conflict_cycles")
+	}
+	return d
 }
 
 func (d *DRAM) delay(n int) sim.Time {
@@ -46,6 +63,8 @@ func (d *DRAM) delay(n int) sim.Time {
 	}
 	start := d.eng.Now()
 	if d.busy > start {
+		d.cConflicts.Inc()
+		d.cConfCycles.Add(uint64(d.busy - start))
 		start = d.busy
 	}
 	d.busy = start + beats
@@ -54,10 +73,8 @@ func (d *DRAM) delay(n int) sim.Time {
 
 // Write applies a write after the access latency.
 func (d *DRAM) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
-	if d.stats != nil {
-		d.stats.Counter(d.name + ".writes").Inc()
-		d.stats.Counter(d.name + ".write_bytes").Add(uint64(len(req.Data)))
-	}
+	d.cWrites.Inc()
+	d.cWriteBytes.Add(uint64(len(req.Data)))
 	d.eng.Schedule(d.delay(len(req.Data)), func() {
 		if d.backing != nil && len(req.Data) > 0 {
 			d.backing.WriteBytes(d.base+req.Addr, req.Data)
@@ -68,10 +85,8 @@ func (d *DRAM) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 
 // Read returns data after the access latency.
 func (d *DRAM) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
-	if d.stats != nil {
-		d.stats.Counter(d.name + ".reads").Inc()
-		d.stats.Counter(d.name + ".read_bytes").Add(uint64(req.Len))
-	}
+	d.cReads.Inc()
+	d.cReadBytes.Add(uint64(req.Len))
 	d.eng.Schedule(d.delay(req.Len), func() {
 		resp := &axi.ReadResp{ID: req.ID, OK: true}
 		if d.backing != nil && req.Len > 0 {

@@ -88,17 +88,34 @@ func DefaultParams(w, h int) Params {
 	return Params{RouterDelay: 2, LinkDelay: 1, Width: w, Height: h}
 }
 
+// chanStats is the pre-resolved telemetry of one NoC class. All pointers
+// are nil when the mesh was built without a Stats registry; the instrument
+// methods are nil-safe, so the send path stays branch-cheap either way.
+type chanStats struct {
+	packets    *sim.Counter
+	flits      *sim.Counter
+	hopCycles  *sim.Counter
+	waitCycles *sim.Counter // cycles spent queued on busy links
+	inflight   *sim.Gauge   // packets in flight on this class
+	latency    *sim.Histogram
+}
+
 // Mesh is one node's three-network mesh interconnect.
 type Mesh struct {
-	eng    *sim.Engine
-	name   string
-	p      Params
-	stats  *sim.Stats
-	tiles  []Handler
-	exit   [2]Handler // chipset, bridge
+	eng   *sim.Engine
+	name  string
+	p     Params
+	stats *sim.Stats
+	tiles []Handler
+	exit  [2]Handler // chipset, bridge
 	// nextFree[class][link] is the earliest time the link can accept the
 	// next packet. Links are indexed per directed edge; see linkIndex.
 	nextFree [][]sim.Time
+	cs       [numClasses]chanStats
+	// Per-link traffic accounting, kept in flat arrays on the hot path and
+	// published to the Stats registry by FlushLinkStats.
+	linkFlits [numClasses][]uint64
+	linkBusy  [numClasses][]sim.Time
 }
 
 // New creates a mesh with nTiles = p.Width*p.Height tile ports.
@@ -119,6 +136,21 @@ func New(eng *sim.Engine, name string, p Params, stats *sim.Stats) *Mesh {
 	m.nextFree = make([][]sim.Time, numClasses)
 	for c := range m.nextFree {
 		m.nextFree[c] = make([]sim.Time, links)
+		m.linkFlits[c] = make([]uint64, links)
+		m.linkBusy[c] = make([]sim.Time, links)
+	}
+	if stats != nil {
+		for c := Class(0); c < numClasses; c++ {
+			base := name + "." + c.String()
+			m.cs[c] = chanStats{
+				packets:    stats.Counter(base + ".packets"),
+				flits:      stats.Counter(base + ".flits"),
+				hopCycles:  stats.Counter(base + ".hop_cycles"),
+				waitCycles: stats.Counter(base + ".wait_cycles"),
+				inflight:   stats.Gauge(base + ".inflight"),
+				latency:    stats.Histogram(base + ".latency"),
+			}
+		}
 	}
 	return m
 }
@@ -223,30 +255,61 @@ func (m *Mesh) Send(pkt *Packet) {
 	links := m.route(pkt.Src, pkt.Dst)
 	now := m.eng.Now()
 	t := now
+	var wait sim.Time
 	serial := sim.Time(pkt.Flits)
 	free := m.nextFree[pkt.Class]
+	flits := uint64(pkt.Flits)
+	lf := m.linkFlits[pkt.Class]
+	lb := m.linkBusy[pkt.Class]
 	for _, l := range links {
 		// Router pipeline + wire for this hop.
 		t += m.p.RouterDelay + m.p.LinkDelay
 		// Link serialization: wait if a previous packet still occupies it.
 		if free[l] > t {
+			wait += free[l] - t
 			t = free[l]
 		}
 		free[l] = t + serial
+		lf[l] += flits
+		lb[l] += serial
 	}
 	if len(links) == 0 {
 		// Same-port delivery still pays one router traversal.
 		t += m.p.RouterDelay
 	}
-	if m.stats != nil {
-		m.stats.Counter(m.name + "." + pkt.Class.String() + ".packets").Inc()
-		m.stats.Counter(m.name + "." + pkt.Class.String() + ".flits").Add(uint64(pkt.Flits))
-		m.stats.Counter(m.name + "." + pkt.Class.String() + ".hop_cycles").Add(uint64(t - now))
-	}
+	cs := &m.cs[pkt.Class]
+	cs.packets.Inc()
+	cs.flits.Add(flits)
+	cs.hopCycles.Add(uint64(t - now))
+	cs.waitCycles.Add(uint64(wait))
+	cs.inflight.Inc()
+	cs.latency.Observe(uint64(t - now))
 	m.eng.At(t, func() { m.deliver(pkt) })
 }
 
+// FlushLinkStats publishes the per-link flit and busy-cycle totals into the
+// Stats registry under "<mesh>.<class>.linkNNN.{flits,busy_cycles}". It
+// assigns (rather than accumulates) counter values, so calling it repeatedly
+// is idempotent. Links that never carried traffic are skipped.
+func (m *Mesh) FlushLinkStats() {
+	if m.stats == nil {
+		return
+	}
+	for c := Class(0); c < numClasses; c++ {
+		for l := range m.linkFlits[c] {
+			f, busy := m.linkFlits[c][l], m.linkBusy[c][l]
+			if f == 0 && busy == 0 {
+				continue
+			}
+			prefix := fmt.Sprintf("%s.%s.link%03d", m.name, c, l)
+			m.stats.Counter(prefix + ".flits").Value = f
+			m.stats.Counter(prefix + ".busy_cycles").Value = uint64(busy)
+		}
+	}
+}
+
 func (m *Mesh) deliver(pkt *Packet) {
+	m.cs[pkt.Class].inflight.Dec()
 	var h Handler
 	switch pkt.Dst.Port {
 	case PortTile:

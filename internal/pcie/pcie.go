@@ -37,6 +37,15 @@ func DefaultParams() Params {
 	return Params{OneWay: 60, BytesPerCycle: 160}
 }
 
+// epStats is the pre-resolved telemetry of one fabric endpoint; created
+// lazily at first traffic, nil instruments when the fabric has no registry.
+type epStats struct {
+	txBytes     *sim.Counter
+	txTransfers *sim.Counter
+	rtt         *sim.Histogram // request round-trip as seen by the master
+	inflight    *sim.Gauge     // outstanding transactions from this endpoint
+}
+
 // Fabric is the PCIe switch connecting FPGAs and the host.
 type Fabric struct {
 	eng    *sim.Engine
@@ -44,6 +53,7 @@ type Fabric struct {
 	stats  *sim.Stats
 	eps    map[int]axi.Target
 	egress map[int]sim.Time // per-endpoint egress link reservation
+	epTel  map[int]*epStats
 	// Address windows: FPGA i owns [WindowBase + i*WindowSize, +WindowSize).
 	// Anything else routes to the host.
 	windowBase axi.Addr
@@ -64,9 +74,28 @@ func New(eng *sim.Engine, p Params, stats *sim.Stats) *Fabric {
 		stats:      stats,
 		eps:        make(map[int]axi.Target),
 		egress:     make(map[int]sim.Time),
+		epTel:      make(map[int]*epStats),
 		windowBase: WindowBase,
 		windowSize: WindowSize,
 	}
+}
+
+// ep returns the telemetry of endpoint id, creating it on first use. The
+// zero-instrument struct is returned when the fabric has no registry, so
+// callers can use the nil-safe instrument methods unconditionally.
+func (f *Fabric) ep(id int) *epStats {
+	t, ok := f.epTel[id]
+	if !ok {
+		t = &epStats{}
+		if f.stats != nil {
+			t.txBytes = f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_bytes", id))
+			t.txTransfers = f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_transfers", id))
+			t.rtt = f.stats.Histogram(fmt.Sprintf("pcie.ep%d.rtt", id))
+			t.inflight = f.stats.Gauge(fmt.Sprintf("pcie.ep%d.inflight", id))
+		}
+		f.epTel[id] = t
+	}
+	return t
 }
 
 // Attach registers the inbound AXI target for endpoint id (an FPGA index in
@@ -116,10 +145,9 @@ func (f *Fabric) delay(src, n int) sim.Time {
 		start = b
 	}
 	f.egress[src] = start + beats
-	if f.stats != nil {
-		f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_bytes", src)).Add(uint64(n))
-		f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_transfers", src)).Inc()
-	}
+	t := f.ep(src)
+	t.txBytes.Add(uint64(n))
+	t.txTransfers.Inc()
 	return (start - f.eng.Now()) + beats + f.p.OneWay
 }
 
@@ -146,21 +174,35 @@ func (p *port) deliver(dstID, nbytes int, fwd func(axi.Target), fail func()) {
 func (p *port) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 	dstID := p.f.RouteOf(req.Addr)
 	local := &axi.WriteReq{Addr: p.f.LocalAddr(req.Addr), ID: req.ID, Data: req.Data, User: req.User}
+	tel := p.f.ep(p.src)
+	start := p.f.eng.Now()
+	tel.inflight.Inc()
 	p.deliver(dstID, len(req.Data), func(dst axi.Target) {
 		dst.Write(local, func(r *axi.WriteResp) {
 			// b-channel response crosses back (small TLP).
-			p.f.eng.Schedule(p.f.delay(dstID, 4), func() { done(r) })
+			p.f.eng.Schedule(p.f.delay(dstID, 4), func() {
+				tel.rtt.Observe(uint64(p.f.eng.Now() - start))
+				tel.inflight.Dec()
+				done(r)
+			})
 		})
-	}, func() { done(&axi.WriteResp{ID: req.ID, OK: false}) })
+	}, func() { tel.inflight.Dec(); done(&axi.WriteResp{ID: req.ID, OK: false}) })
 }
 
 func (p *port) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 	dstID := p.f.RouteOf(req.Addr)
 	local := &axi.ReadReq{Addr: p.f.LocalAddr(req.Addr), ID: req.ID, Len: req.Len}
+	tel := p.f.ep(p.src)
+	start := p.f.eng.Now()
+	tel.inflight.Inc()
 	p.deliver(dstID, 4, func(dst axi.Target) {
 		dst.Read(local, func(r *axi.ReadResp) {
 			// r-channel data crosses back.
-			p.f.eng.Schedule(p.f.delay(dstID, req.Len), func() { done(r) })
+			p.f.eng.Schedule(p.f.delay(dstID, req.Len), func() {
+				tel.rtt.Observe(uint64(p.f.eng.Now() - start))
+				tel.inflight.Dec()
+				done(r)
+			})
 		})
-	}, func() { done(&axi.ReadResp{ID: req.ID, OK: false}) })
+	}, func() { tel.inflight.Dec(); done(&axi.ReadResp{ID: req.ID, OK: false}) })
 }

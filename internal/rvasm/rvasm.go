@@ -230,7 +230,7 @@ var rTypes = map[string][3]uint32{ // f3, f7, op
 	"add": {0, 0, 0x33}, "sub": {0, 0x20, 0x33}, "sll": {1, 0, 0x33},
 	"slt": {2, 0, 0x33}, "sltu": {3, 0, 0x33}, "xor": {4, 0, 0x33},
 	"srl": {5, 0, 0x33}, "sra": {5, 0x20, 0x33}, "or": {6, 0, 0x33},
-	"and": {7, 0, 0x33},
+	"and":  {7, 0, 0x33},
 	"addw": {0, 0, 0x3B}, "subw": {0, 0x20, 0x3B}, "sllw": {1, 0, 0x3B},
 	"srlw": {5, 0, 0x3B}, "sraw": {5, 0x20, 0x3B},
 	"mul": {0, 1, 0x33}, "mulh": {1, 1, 0x33}, "mulhsu": {2, 1, 0x33},

@@ -25,21 +25,21 @@ func words(t *testing.T, src string) []uint32 {
 func TestEncodingsMatchSpec(t *testing.T) {
 	// Golden encodings cross-checked against the RISC-V ISA manual.
 	cases := map[string]uint32{
-		"addi x1, x2, 5":    0x00510093,
-		"add x3, x4, x5":    0x005201B3,
-		"sub x3, x4, x5":    0x405201B3,
-		"lui x1, 0x12345":   0x123450B7,
-		"ld x6, 8(x7)":      0x0083B303,
-		"sd x6, 16(x7)":     0x0063B823,
-		"mul x1, x2, x3":    0x023100B3,
-		"ecall":             0x00000073,
-		"ebreak":            0x00100073,
-		"mret":              0x30200073,
-		"wfi":               0x10500073,
-		"slli x1, x1, 12":   0x00C09093,
-		"srai x1, x1, 3":    0x4030D093,
+		"addi x1, x2, 5":        0x00510093,
+		"add x3, x4, x5":        0x005201B3,
+		"sub x3, x4, x5":        0x405201B3,
+		"lui x1, 0x12345":       0x123450B7,
+		"ld x6, 8(x7)":          0x0083B303,
+		"sd x6, 16(x7)":         0x0063B823,
+		"mul x1, x2, x3":        0x023100B3,
+		"ecall":                 0x00000073,
+		"ebreak":                0x00100073,
+		"mret":                  0x30200073,
+		"wfi":                   0x10500073,
+		"slli x1, x1, 12":       0x00C09093,
+		"srai x1, x1, 3":        0x4030D093,
 		"amoadd.d x5, x6, (x7)": 0x0063B2AF,
-		"lr.d x5, (x7)":     0x1003B2AF,
+		"lr.d x5, (x7)":         0x1003B2AF,
 	}
 	for src, want := range cases {
 		got := words(t, src)
@@ -176,8 +176,8 @@ func TestErrors(t *testing.T) {
 		".bogusdirective 1",
 		"csrw nosuchcsr, a0",
 		"lw a0, 4(nope)",
-		"jal a0",                 // jal with one operand must be a label
-		"beq a0, a1, 99999999",   // branch out of range (absolute target)
+		"jal a0",               // jal with one operand must be a label
+		"beq a0, a1, 99999999", // branch out of range (absolute target)
 	}
 	for _, src := range bad {
 		if _, err := Assemble(0x1000, src); err == nil {
@@ -228,7 +228,7 @@ func TestDisassembleRoundTrip(t *testing.T) {
 		"sb t1, -3(gp)",
 		"slli a0, a0, 17",
 		"sraiw a1, a1, 5",
-		"beq a0, a1, 8",      // forward branch offset within one insn
+		"beq a0, a1, 8", // forward branch offset within one insn
 		"jalr ra, t0, 16",
 		"amoadd.d t0, t1, (t2)",
 		"amoswap.w a0, a1, (a2)",

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Chrome trace-event export: the retained ring buffer renders as a JSON
+// document loadable by chrome://tracing and Perfetto (ui.perfetto.dev).
+// Each distinct track prefix up to the first "." becomes a process
+// ("node0", "node1", ...) and each full track name a thread within it
+// ("node0.tile3", "node0.bridge"), so multi-node prototypes display one
+// swimlane group per node. Timestamps are simulation cycles presented as
+// trace microseconds (1 cycle == 1 us on the viewer's axis).
+//
+// The export is deterministic: ids are assigned from sorted name sets and
+// events appear in ring-buffer order, so two same-seed runs produce
+// byte-identical files.
+
+// defaultTrack is the timeline for events emitted without a track.
+const defaultTrack = "sim"
+
+// chromeEvent is one trace-event JSON record. Field order is fixed by the
+// struct, keeping output deterministic.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// procOf maps a track name to its process (swimlane group) name.
+func procOf(track string) string {
+	if i := strings.IndexByte(track, '.'); i > 0 {
+		return track[:i]
+	}
+	return track
+}
+
+// WriteChrome writes the retained events as a Chrome trace-event JSON
+// document. A nil tracer writes a valid empty trace.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+
+	// Assign deterministic pids/tids from the sorted name sets.
+	trackSet := make(map[string]struct{})
+	for _, ev := range events {
+		track := ev.Track
+		if track == "" {
+			track = defaultTrack
+		}
+		trackSet[track] = struct{}{}
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for tr := range trackSet {
+		tracks = append(tracks, tr)
+	}
+	sort.Strings(tracks)
+
+	pids := make(map[string]int)
+	tids := make(map[string]int)
+	var procs []string
+	for _, tr := range tracks {
+		p := procOf(tr)
+		if _, ok := pids[p]; !ok {
+			pids[p] = len(pids) + 1
+			procs = append(procs, p)
+		}
+		tids[tr] = len(tids) + 1
+	}
+
+	var out []chromeEvent
+	for _, p := range procs {
+		out = append(out, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pids[p],
+			Args: map[string]any{"name": p},
+		})
+	}
+	for _, tr := range tracks {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pids[procOf(tr)], TID: tids[tr],
+			Args: map[string]any{"name": tr},
+		})
+	}
+	for _, ev := range events {
+		track := ev.Track
+		if track == "" {
+			track = defaultTrack
+		}
+		ce := chromeEvent{
+			Cat: ev.Category,
+			TS:  uint64(ev.At),
+			PID: pids[procOf(track)],
+			TID: tids[track],
+		}
+		if ce.Name = ev.Name; ce.Name == "" {
+			ce.Name = ev.Category
+		}
+		if ev.Message != "" {
+			ce.Args = map[string]any{"msg": ev.Message}
+		}
+		if ev.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = uint64(ev.Dur)
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out = append(out, ce)
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ce := range out {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(out)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

@@ -38,10 +38,17 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (out any)    { old := *h; n := len(old); out = old[n-1]; old[n-1] = nil; *h = old[:n-1]; return }
-func (h eventHeap) peek() *event       { return h[0] }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+func (h eventHeap) peek() *event { return h[0] }
 
 // Engine is a discrete-event simulation engine. The zero value is not ready
 // to use; construct one with NewEngine.

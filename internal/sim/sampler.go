@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Sampler snapshots a fixed set of counters and gauges every N cycles into
+// a time series, so experiments can plot NoC link traffic, queue depths or
+// MSHR occupancy over a run instead of seeing only end-of-run totals.
+//
+// Sampled names resolve in this order: a trailing "*" sums all counters
+// under the prefix (Sum semantics, "." boundary aware); otherwise an exact
+// counter match wins, then an exact gauge match; unknown names read as zero
+// until the instrument is created.
+//
+// The sampler re-schedules itself on the engine it was created on. When a
+// tick observes that nothing but the sampler itself has executed since the
+// previous tick, it stops re-arming: this keeps Engine.Run (which drains the
+// queue) terminating once the simulated system quiesces.
+type Sampler struct {
+	eng      *Engine
+	stats    *Stats
+	every    Time
+	names    []string
+	rows     []SampleRow
+	lastExec uint64
+	stopped  bool
+}
+
+// SampleRow is one snapshot: the cycle it was taken at and the sampled
+// values, parallel to the sampler's name list.
+type SampleRow struct {
+	At     Time
+	Values []uint64
+}
+
+// NewSampler creates a sampler ticking every `every` cycles and arms its
+// first tick. A non-positive interval defaults to 1000 cycles.
+func NewSampler(eng *Engine, stats *Stats, every Time, names ...string) *Sampler {
+	if every <= 0 {
+		every = 1000
+	}
+	s := &Sampler{eng: eng, stats: stats, every: every, names: names}
+	s.lastExec = eng.Executed()
+	eng.Schedule(every, s.tick)
+	return s
+}
+
+// Names returns the sampled column names.
+func (s *Sampler) Names() []string { return s.names }
+
+// Rows returns the recorded time series.
+func (s *Sampler) Rows() []SampleRow { return s.rows }
+
+// Every returns the sampling interval in cycles.
+func (s *Sampler) Every() Time { return s.every }
+
+// Stop prevents any further samples from being taken.
+func (s *Sampler) Stop() { s.stopped = true }
+
+func (s *Sampler) tick() {
+	if s.stopped {
+		return
+	}
+	row := SampleRow{At: s.eng.Now(), Values: make([]uint64, len(s.names))}
+	for i, n := range s.names {
+		row.Values[i] = s.sample(n)
+	}
+	s.rows = append(s.rows, row)
+	// Quiesce detection: if only our own tick executed since the last one,
+	// the simulation is idle; re-arming would keep Engine.Run alive forever.
+	exec := s.eng.Executed()
+	if exec-s.lastExec <= 1 {
+		s.stopped = true
+		return
+	}
+	s.lastExec = exec
+	s.eng.Schedule(s.every, s.tick)
+}
+
+func (s *Sampler) sample(name string) uint64 {
+	if strings.HasSuffix(name, "*") {
+		return s.stats.Sum(strings.TrimSuffix(name, "*"))
+	}
+	if c, ok := s.stats.counters[name]; ok {
+		return c.Value
+	}
+	if g, ok := s.stats.gauges[name]; ok {
+		if g.Value < 0 {
+			return 0
+		}
+		return uint64(g.Value)
+	}
+	return 0
+}
+
+// CSV renders the time series with a header row ("cycle,<name>,...").
+func (s *Sampler) CSV() string {
+	var b strings.Builder
+	b.WriteString("cycle")
+	for _, n := range s.names {
+		b.WriteByte(',')
+		b.WriteString(n)
+	}
+	b.WriteByte('\n')
+	for _, r := range s.rows {
+		fmt.Fprintf(&b, "%d", r.At)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MarshalJSON renders {"every":N,"names":[...],"rows":[[cycle,v0,v1,...],...]}.
+func (s *Sampler) MarshalJSON() ([]byte, error) {
+	rows := make([][]uint64, len(s.rows))
+	for i, r := range s.rows {
+		row := make([]uint64, 0, len(r.Values)+1)
+		row = append(row, uint64(r.At))
+		row = append(row, r.Values...)
+		rows[i] = row
+	}
+	names := s.names
+	if names == nil {
+		names = []string{}
+	}
+	return json.Marshal(map[string]any{
+		"every": uint64(s.every),
+		"names": names,
+		"rows":  rows,
+	})
+}

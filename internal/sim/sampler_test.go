@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// workload drives a counter for `until` cycles: one event per cycle.
+func sampledWorkload(eng *Engine, s *Stats, until Time) {
+	var step func()
+	c := s.Counter("node0.mesh.noc1.flits")
+	g := s.Gauge("node0.memctl.rd_inflight")
+	step = func() {
+		c.Add(2)
+		g.Set(int64(eng.Now() % 5))
+		if eng.Now() < until {
+			eng.Schedule(1, step)
+		}
+	}
+	eng.Schedule(1, step)
+}
+
+func TestSamplerRecordsTimeSeries(t *testing.T) {
+	eng := NewEngine()
+	var s Stats
+	sampledWorkload(eng, &s, 100)
+	sm := NewSampler(eng, &s, 10, "node0.mesh.noc1.flits", "node0.memctl.rd_inflight", "node0.*", "missing")
+	eng.Run()
+
+	rows := sm.Rows()
+	if len(rows) < 10 {
+		t.Fatalf("got %d rows, want >=10", len(rows))
+	}
+	r0 := rows[0]
+	if r0.At != 10 {
+		t.Fatalf("first sample at %d, want 10", r0.At)
+	}
+	// The tick was scheduled before the cycle-10 workload step, so it runs
+	// first within the cycle and sees the 9 completed steps of +2 each.
+	if r0.Values[0] != 18 {
+		t.Fatalf("counter sample = %d, want 18", r0.Values[0])
+	}
+	if r0.Values[1] != 9%5 {
+		t.Fatalf("gauge sample = %d, want %d", r0.Values[1], 9%5)
+	}
+	// The prefix column sums the flit counter (the gauge is not a counter).
+	if r0.Values[2] != r0.Values[0] {
+		t.Fatalf("prefix sum = %d, want %d", r0.Values[2], r0.Values[0])
+	}
+	if r0.Values[3] != 0 {
+		t.Fatalf("unknown name sampled %d, want 0", r0.Values[3])
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Values[0] < rows[i-1].Values[0] {
+			t.Fatalf("counter series not monotonic at row %d", i)
+		}
+	}
+}
+
+// The sampler re-schedules itself, which would keep Engine.Run alive
+// forever; once nothing else executes between ticks it must stop re-arming
+// so the run terminates.
+func TestSamplerStopsWhenSimulationQuiesces(t *testing.T) {
+	eng := NewEngine()
+	var s Stats
+	sampledWorkload(eng, &s, 50)
+	sm := NewSampler(eng, &s, 10, "node0.mesh.noc1.flits")
+	end := eng.Run() // must return
+
+	if end > 200 {
+		t.Fatalf("engine ran to %d; sampler kept the queue alive", end)
+	}
+	n := len(sm.Rows())
+	eng.Schedule(1, func() {})
+	eng.Run()
+	if len(sm.Rows()) != n {
+		t.Fatal("stopped sampler recorded more rows")
+	}
+}
+
+func TestSamplerStopIsImmediate(t *testing.T) {
+	eng := NewEngine()
+	var s Stats
+	sampledWorkload(eng, &s, 100)
+	sm := NewSampler(eng, &s, 10, "node0.mesh.noc1.flits")
+	sm.Stop()
+	eng.Run()
+	if len(sm.Rows()) != 0 {
+		t.Fatalf("stopped sampler recorded %d rows", len(sm.Rows()))
+	}
+}
+
+func TestSamplerCSVAndJSON(t *testing.T) {
+	eng := NewEngine()
+	var s Stats
+	sampledWorkload(eng, &s, 30)
+	sm := NewSampler(eng, &s, 10, "node0.mesh.noc1.flits")
+	eng.Run()
+
+	csv := sm.CSV()
+	if !strings.HasPrefix(csv, "cycle,node0.mesh.noc1.flits\n10,18\n") {
+		t.Fatalf("unexpected CSV:\n%s", csv)
+	}
+
+	out, err := json.Marshal(sm)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var doc struct {
+		Every uint64     `json:"every"`
+		Names []string   `json:"names"`
+		Rows  [][]uint64 `json:"rows"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if doc.Every != 10 || len(doc.Names) != 1 || len(doc.Rows) == 0 {
+		t.Fatalf("unexpected doc: %+v", doc)
+	}
+	if doc.Rows[0][0] != 10 || doc.Rows[0][1] != 18 {
+		t.Fatalf("first row = %v, want [10 18]", doc.Rows[0])
+	}
+}
+
+func TestSamplerDefaultInterval(t *testing.T) {
+	eng := NewEngine()
+	var s Stats
+	sm := NewSampler(eng, &s, 0)
+	if sm.Every() != 1000 {
+		t.Fatalf("default interval = %d, want 1000", sm.Every())
+	}
+}

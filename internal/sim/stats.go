@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -9,21 +11,198 @@ import (
 // Counter is a named monotonically increasing statistic. Models expose
 // counters through a Stats registry so experiments can read congestion,
 // hit rates and traffic volumes after a run.
+//
+// All instrument types (Counter, Gauge, Histogram) are nil-safe on their
+// mutating methods: models pre-resolve instruments at construction time and
+// leave the pointers nil when telemetry is disabled, so the hot path pays a
+// single predictable branch and performs no allocation.
 type Counter struct {
 	Name  string
 	Value uint64
 }
 
-// Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.Value += n }
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.Value += n
+	}
+}
 
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.Value++ }
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.Value++
+	}
+}
 
-// Stats is a registry of counters, hierarchical by dot-separated names
-// ("node0.tile3.bpc.miss"). The zero value is ready to use.
+// Gauge is a named instantaneous level (queue depth, MSHR occupancy,
+// in-flight transactions). It tracks the high-water mark alongside the
+// current value. The simulation is single-threaded, so unsynchronized
+// updates are safe.
+type Gauge struct {
+	Name  string
+	Value int64
+	High  int64
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.Value = v
+	if v > g.High {
+		g.High = v
+	}
+}
+
+// Add moves the gauge by d (negative to decrease). No-op on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Value += d
+	if g.Value > g.High {
+		g.High = g.Value
+	}
+}
+
+// Inc increases the gauge by one. No-op on a nil receiver.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decreases the gauge by one. No-op on a nil receiver.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// histBins is the number of log2 bins: bin 0 holds the value 0, bin i
+// (1 <= i <= 64) holds values in [2^(i-1), 2^i).
+const histBins = 65
+
+// Histogram records a distribution of integer samples in logarithmic
+// (power-of-two) bins plus explicit min/max/sum, giving O(1) observation
+// and approximate quantiles with bounded relative error. The zero value is
+// ready to use.
+type Histogram struct {
+	Name    string
+	Samples uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Bins    [histBins]uint64
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	if h.Samples == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Samples++
+	h.Sum += v
+	h.Bins[bits.Len64(v)]++
+}
+
+// Mean returns the mean of observed samples (zero if none).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.Samples == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Samples)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the upper edge of the first bin at which the cumulative sample count
+// reaches q*Samples, clamped to the observed [Min, Max] range.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil || h.Samples == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Samples))
+	if float64(target) < q*float64(h.Samples) {
+		target++
+	}
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range h.Bins {
+		cum += n
+		if cum >= target {
+			// Upper edge of bin i: 0 for bin 0, 2^i - 1 otherwise.
+			var edge uint64
+			if i > 0 {
+				if i >= 64 {
+					edge = ^uint64(0)
+				} else {
+					edge = 1<<uint(i) - 1
+				}
+			}
+			if edge > h.Max {
+				edge = h.Max
+			}
+			if edge < h.Min {
+				edge = h.Min
+			}
+			return edge
+		}
+	}
+	return h.Max
+}
+
+// P50 returns the estimated median.
+func (h *Histogram) P50() uint64 { return h.Quantile(0.50) }
+
+// P95 returns the estimated 95th percentile.
+func (h *Histogram) P95() uint64 { return h.Quantile(0.95) }
+
+// P99 returns the estimated 99th percentile.
+func (h *Histogram) P99() uint64 { return h.Quantile(0.99) }
+
+// Merge folds the samples of o into h (used to aggregate per-tile
+// distributions into per-node ones). No-op when either side is nil.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.Samples == 0 {
+		return
+	}
+	if h.Samples == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Samples += o.Samples
+	h.Sum += o.Sum
+	for i := range h.Bins {
+		h.Bins[i] += o.Bins[i]
+	}
+}
+
+// Reset clears all recorded samples, keeping the name.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	*h = Histogram{Name: h.Name}
+}
+
+// summary renders the one-line text form of a histogram.
+func (h *Histogram) summary() string {
+	return fmt.Sprintf("n=%d min=%d mean=%.1f p50=%d p95=%d p99=%d max=%d",
+		h.Samples, h.Min, h.Mean(), h.P50(), h.P95(), h.P99(), h.Max)
+}
+
+// Stats is a registry of counters, gauges and histograms, hierarchical by
+// dot-separated names ("node0.tile3.bpc.miss"). The zero value is ready to
+// use. It is not synchronized: the single-threaded simulation engine is the
+// only writer.
 type Stats struct {
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // Counter returns the counter with the given name, creating it on first use.
@@ -39,6 +218,33 @@ func (s *Stats) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the gauge with the given name, creating it on first use.
+func (s *Stats) Gauge(name string) *Gauge {
+	if s.gauges == nil {
+		s.gauges = make(map[string]*Gauge)
+	}
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{Name: name}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (s *Stats) Histogram(name string) *Histogram {
+	if s.hists == nil {
+		s.hists = make(map[string]*Histogram)
+	}
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{Name: name}
+		s.hists[name] = h
+	}
+	return h
+}
+
 // Get returns the value of a counter, or zero if it was never touched.
 func (s *Stats) Get(name string) uint64 {
 	if c, ok := s.counters[name]; ok {
@@ -47,15 +253,41 @@ func (s *Stats) Get(name string) uint64 {
 	return 0
 }
 
-// Sum returns the sum of all counters whose names begin with prefix.
+// GaugeValue returns the current value of a gauge and whether it exists.
+func (s *Stats) GaugeValue(name string) (int64, bool) {
+	if g, ok := s.gauges[name]; ok {
+		return g.Value, true
+	}
+	return 0, false
+}
+
+// FindHistogram returns the named histogram, or nil if it was never created.
+func (s *Stats) FindHistogram(name string) *Histogram { return s.hists[name] }
+
+// Sum returns the sum of all counters under prefix. A counter matches when
+// its name equals the prefix exactly or extends it at a "." boundary, so
+// Sum("node1") covers "node1.tile0.miss" but not "node10.tile0.miss".
 func (s *Stats) Sum(prefix string) uint64 {
 	var total uint64
 	for name, c := range s.counters {
-		if strings.HasPrefix(name, prefix) {
+		if matchesPrefix(name, prefix) {
 			total += c.Value
 		}
 	}
 	return total
+}
+
+// matchesPrefix reports whether name equals prefix or extends it at a "."
+// boundary (a trailing "." in prefix already is the boundary; the empty
+// prefix matches everything).
+func matchesPrefix(name, prefix string) bool {
+	if !strings.HasPrefix(name, prefix) {
+		return false
+	}
+	if len(name) == len(prefix) || prefix == "" || strings.HasSuffix(prefix, ".") {
+		return true
+	}
+	return name[len(prefix)] == '.'
 }
 
 // Names returns all counter names in sorted order.
@@ -68,41 +300,119 @@ func (s *Stats) Names() []string {
 	return names
 }
 
-// String renders all counters, one per line, sorted by name.
+// GaugeNames returns all gauge names in sorted order.
+func (s *Stats) GaugeNames() []string {
+	names := make([]string, 0, len(s.gauges))
+	for name := range s.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns all histogram names in sorted order.
+func (s *Stats) HistogramNames() []string {
+	names := make([]string, 0, len(s.hists))
+	for name := range s.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all instruments, one per line, sorted by name within each
+// section. Counters come first (matching the registry's historical output),
+// then gauges and histogram summaries.
 func (s *Stats) String() string {
 	var b strings.Builder
 	for _, name := range s.Names() {
 		fmt.Fprintf(&b, "%-48s %d\n", name, s.counters[name].Value)
 	}
+	for _, name := range s.GaugeNames() {
+		g := s.gauges[name]
+		fmt.Fprintf(&b, "%-48s %d (high %d)\n", name, g.Value, g.High)
+	}
+	for _, name := range s.HistogramNames() {
+		h := s.hists[name]
+		if h.Samples == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-48s %s\n", name, h.summary())
+	}
 	return b.String()
 }
 
-// Histogram records a distribution of integer samples in fixed-width bins
-// plus explicit min/max/sum for summary statistics.
-type Histogram struct {
-	Name    string
-	Samples uint64
-	Sum     uint64
-	Min     uint64
-	Max     uint64
+// gaugeJSON is the wire form of a gauge.
+type gaugeJSON struct {
+	Value int64 `json:"value"`
+	High  int64 `json:"high"`
 }
 
-// Observe records one sample.
-func (h *Histogram) Observe(v uint64) {
-	if h.Samples == 0 || v < h.Min {
-		h.Min = v
-	}
-	if v > h.Max {
-		h.Max = v
-	}
-	h.Samples++
-	h.Sum += v
+// histJSON is the wire form of a histogram summary.
+type histJSON struct {
+	Samples uint64  `json:"samples"`
+	Sum     uint64  `json:"sum"`
+	Min     uint64  `json:"min"`
+	Max     uint64  `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     uint64  `json:"p50"`
+	P95     uint64  `json:"p95"`
+	P99     uint64  `json:"p99"`
 }
 
-// Mean returns the mean of observed samples (zero if none).
-func (h *Histogram) Mean() float64 {
-	if h.Samples == 0 {
-		return 0
+// MarshalJSON renders the registry as a deterministic JSON document with
+// "counters", "gauges" and "histograms" sections (encoding/json sorts map
+// keys, so two identical runs produce byte-identical output).
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	counters := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		counters[name] = c.Value
 	}
-	return float64(h.Sum) / float64(h.Samples)
+	gauges := make(map[string]gaugeJSON, len(s.gauges))
+	for name, g := range s.gauges {
+		gauges[name] = gaugeJSON{Value: g.Value, High: g.High}
+	}
+	hists := make(map[string]histJSON, len(s.hists))
+	for name, h := range s.hists {
+		if h.Samples == 0 {
+			continue
+		}
+		hists[name] = histJSON{
+			Samples: h.Samples, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			Mean: h.Mean(), P50: h.P50(), P95: h.P95(), P99: h.P99(),
+		}
+	}
+	return json.Marshal(map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	})
+}
+
+// WriteCSV renders the registry as CSV rows "kind,name,fields..." sorted by
+// kind then name, for spreadsheet import.
+func (s *Stats) WriteCSV(w *strings.Builder) {
+	for _, name := range s.Names() {
+		fmt.Fprintf(w, "counter,%s,%d\n", name, s.counters[name].Value)
+	}
+	for _, name := range s.GaugeNames() {
+		g := s.gauges[name]
+		fmt.Fprintf(w, "gauge,%s,%d,%d\n", name, g.Value, g.High)
+	}
+	for _, name := range s.HistogramNames() {
+		h := s.hists[name]
+		if h.Samples == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "histogram,%s,%d,%d,%d,%.3f,%d,%d,%d\n",
+			name, h.Samples, h.Min, h.Max, h.Mean(), h.P50(), h.P95(), h.P99())
+	}
+}
+
+// CSV returns the WriteCSV rendering with a header line.
+func (s *Stats) CSV() string {
+	var b strings.Builder
+	b.WriteString("kind,name,value_or_samples,high_or_min,max,mean,p50,p95,p99\n")
+	s.WriteCSV(&b)
+	return b.String()
 }

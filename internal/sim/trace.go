@@ -5,10 +5,25 @@ import (
 	"strings"
 )
 
+// Trace categories shared across packages, so filters and exporters see
+// consistent labels no matter which subsystem emitted an event.
+const (
+	CatCoherence = "coherence" // cache protocol messages
+	CatMMIO      = "mmio"      // uncacheable device accesses
+	CatNoC       = "noc"       // mesh traffic
+	CatBridge    = "bridge"    // inter-node bridge activity
+	CatMem       = "mem"       // memory controller / DRAM
+	CatPCIe      = "pcie"      // inter-FPGA fabric
+	CatIRQ       = "irq"       // interrupt delivery
+	CatKernel    = "kernel"    // mini-kernel scheduling
+)
+
 // Tracer records cycle-stamped events into a bounded ring buffer — the
 // debugging companion to the Stats counters. It is nil-safe: all methods
 // are no-ops on a nil receiver, so models can trace unconditionally and
-// pay nothing unless a tracer is installed.
+// pay nothing unless a tracer is installed. Call sites that format
+// arguments should still guard with Enabled() to avoid boxing them for a
+// nil tracer.
 type Tracer struct {
 	eng     *Engine
 	cap     int
@@ -18,11 +33,25 @@ type Tracer struct {
 	filter  func(category string) bool
 }
 
-// TraceEvent is one recorded occurrence.
+// TraceEvent is one recorded occurrence. Track names the timeline the event
+// belongs to ("node0.tile3", "node1.bridge"); an empty track renders on the
+// shared "sim" timeline. Dur is non-zero for span events (an operation that
+// started Dur cycles before At).
 type TraceEvent struct {
 	At       Time
+	Dur      Time
 	Category string
+	Track    string
+	Name     string
 	Message  string
+}
+
+// Text returns the human-readable label of the event.
+func (ev TraceEvent) Text() string {
+	if ev.Message != "" {
+		return ev.Message
+	}
+	return ev.Name
 }
 
 // NewTracer creates a tracer holding the last capacity events.
@@ -33,6 +62,10 @@ func NewTracer(eng *Engine, capacity int) *Tracer {
 	return &Tracer{eng: eng, cap: capacity, events: make([]TraceEvent, 0, capacity)}
 }
 
+// Enabled reports whether events will be recorded; callers building
+// expensive event payloads should check it first.
+func (t *Tracer) Enabled() bool { return t != nil }
+
 // SetFilter restricts recording to categories the predicate accepts.
 func (t *Tracer) SetFilter(f func(category string) bool) {
 	if t != nil {
@@ -40,25 +73,65 @@ func (t *Tracer) SetFilter(f func(category string) bool) {
 	}
 }
 
-// Emit records an event at the current simulation time.
+// Emit records a formatted event at the current simulation time on the
+// shared timeline.
 func (t *Tracer) Emit(category, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.EmitT("", category, format, args...)
+}
+
+// EmitT records a formatted event on a specific track.
+func (t *Tracer) EmitT(track, category, format string, args ...any) {
 	if t == nil {
 		return
 	}
 	if t.filter != nil && !t.filter(category) {
 		return
 	}
-	ev := TraceEvent{At: t.eng.Now(), Category: category, Message: fmt.Sprintf(format, args...)}
-	if len(t.events) < t.cap {
-		t.events = append(t.events, ev)
-	} else {
-		t.events[t.next] = ev
-		t.next = (t.next + 1) % t.cap
-		t.wrapped = true
-	}
+	t.record(TraceEvent{
+		At: t.eng.Now(), Category: category, Track: track,
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
-// Events returns the recorded events in time order.
+// Instant records an unformatted point event — the cheap emission path for
+// hot subsystems (no fmt, no argument boxing).
+func (t *Tracer) Instant(track, category, name string) {
+	if t == nil {
+		return
+	}
+	if t.filter != nil && !t.filter(category) {
+		return
+	}
+	t.record(TraceEvent{At: t.eng.Now(), Category: category, Track: track, Name: name})
+}
+
+// Span records an operation that began at start and completed now; trace
+// viewers render it as a duration bar on the track.
+func (t *Tracer) Span(track, category, name string, start Time) {
+	if t == nil {
+		return
+	}
+	if t.filter != nil && !t.filter(category) {
+		return
+	}
+	now := t.eng.Now()
+	t.record(TraceEvent{At: start, Dur: now - start, Category: category, Track: track, Name: name})
+}
+
+func (t *Tracer) record(ev TraceEvent) {
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+		return
+	}
+	t.events[t.next] = ev
+	t.next = (t.next + 1) % t.cap
+	t.wrapped = true
+}
+
+// Events returns the recorded events in emission order.
 func (t *Tracer) Events() []TraceEvent {
 	if t == nil {
 		return nil
@@ -86,7 +159,7 @@ func (t *Tracer) Len() int {
 func (t *Tracer) String() string {
 	var b strings.Builder
 	for _, ev := range t.Events() {
-		fmt.Fprintf(&b, "%10d %-12s %s\n", ev.At, ev.Category, ev.Message)
+		fmt.Fprintf(&b, "%10d %-12s %s\n", ev.At, ev.Category, ev.Text())
 	}
 	return b.String()
 }

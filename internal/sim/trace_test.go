@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fill emits n instant events on alternating tracks, one per cycle.
+func fillTracer(eng *Engine, tr *Tracer, n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Schedule(Time(i+1), func() {
+			track := "node0.tile0"
+			if i%2 == 1 {
+				track = "node1.bridge"
+			}
+			tr.Instant(track, CatNoC, fmt.Sprintf("ev%d", i))
+		})
+	}
+	eng.Run()
+}
+
+// After the ring wraps, Events must return the newest `cap` events in
+// emission order, oldest first.
+func TestTracerWrapKeepsEmissionOrder(t *testing.T) {
+	eng := NewEngine()
+	tr := NewTracer(eng, 4)
+	fillTracer(eng, tr, 10)
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf("ev%d", 6+i)
+		if ev.Name != want {
+			t.Fatalf("event %d = %q, want %q", i, ev.Name, want)
+		}
+		if i > 0 && evs[i-1].At > ev.At {
+			t.Fatalf("events out of time order: %d after %d", evs[i-1].At, ev.At)
+		}
+	}
+}
+
+// A category filter must apply before ring admission, so a wrapped buffer
+// holds only accepted events and ordering survives the wrap.
+func TestTracerFilterWithWrap(t *testing.T) {
+	eng := NewEngine()
+	tr := NewTracer(eng, 3)
+	tr.SetFilter(func(cat string) bool { return cat == CatBridge })
+	for i := 0; i < 12; i++ {
+		i := i
+		eng.Schedule(Time(i+1), func() {
+			if i%2 == 0 {
+				tr.Instant("node0.bridge", CatBridge, fmt.Sprintf("keep%d", i))
+			} else {
+				tr.Instant("node0.tile0", CatCoherence, fmt.Sprintf("drop%d", i))
+			}
+		})
+	}
+	eng.Run()
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Category != CatBridge || !strings.HasPrefix(ev.Name, "keep") {
+			t.Fatalf("event %d = %v, want filtered bridge event", i, ev)
+		}
+		want := fmt.Sprintf("keep%d", 6+2*i)
+		if ev.Name != want {
+			t.Fatalf("event %d = %q, want %q", i, ev.Name, want)
+		}
+	}
+}
+
+func TestTracerSpanRecordsDuration(t *testing.T) {
+	eng := NewEngine()
+	tr := NewTracer(eng, 8)
+	eng.Schedule(5, func() {
+		start := eng.Now()
+		eng.Schedule(7, func() { tr.Span("node0.memctl", CatMem, "drain", start) })
+	})
+	eng.Run()
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].At != 5 || evs[0].Dur != 7 {
+		t.Fatalf("span = %+v, want At=5 Dur=7", evs)
+	}
+}
+
+// Two identical runs must render byte-identical text and Chrome traces:
+// trace diffs across same-seed runs are the debugging workflow the
+// single-threaded deterministic engine guarantees.
+func TestTraceOutputsDeterministic(t *testing.T) {
+	render := func() (string, []byte) {
+		eng := NewEngine()
+		tr := NewTracer(eng, 64)
+		fillTracer(eng, tr, 20)
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		return tr.String(), buf.Bytes()
+	}
+	s1, c1 := render()
+	s2, c2 := render()
+	if s1 != s2 {
+		t.Fatal("same-seed text traces differ")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("same-seed Chrome traces differ")
+	}
+}
+
+func TestWriteChromeValidJSONWithProcessTracks(t *testing.T) {
+	eng := NewEngine()
+	tr := NewTracer(eng, 64)
+	fillTracer(eng, tr, 6)
+	eng.Schedule(1, func() {
+		tr.Span("node0.memctl", CatMem, "xfer", 0)
+		tr.EmitT("node1.tile2", CatCoherence, "line=%#x", 0x40)
+	})
+	eng.Run()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			TS    uint64         `json:"ts"`
+			Dur   uint64         `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+
+	pids := map[int]bool{}
+	var procNames, threadNames, spans int
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+		switch {
+		case ev.Name == "process_name":
+			procNames++
+		case ev.Name == "thread_name":
+			threadNames++
+		case ev.Phase == "X":
+			spans++
+			if ev.Dur == 0 {
+				t.Fatalf("span with zero dur: %+v", ev)
+			}
+		}
+	}
+	if procNames < 2 || len(pids) < 2 {
+		t.Fatalf("want >=2 process tracks, got %d names over %d pids", procNames, len(pids))
+	}
+	if threadNames < 3 {
+		t.Fatalf("want >=3 thread tracks (tile0, bridge, memctl...), got %d", threadNames)
+	}
+	if spans != 1 {
+		t.Fatalf("want 1 span event, got %d", spans)
+	}
+}
+
+func TestWriteChromeNilTracerEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome on nil tracer: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer produced invalid JSON: %v", err)
+	}
+}

@@ -96,9 +96,9 @@ func buildCSR(k *kernel.Kernel, p IrregularParams, denseCols int) *csr {
 
 // IrregularResult reports one (kernel, mode) cell of Fig. 11.
 type IrregularResult struct {
-	Kernel  IrregularKernel
-	Mode    IrregularMode
-	Cycles  sim.Time
+	Kernel   IrregularKernel
+	Mode     IrregularMode
+	Cycles   sim.Time
 	Checksum uint64
 }
 

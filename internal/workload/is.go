@@ -67,10 +67,10 @@ func RunIS(k *kernel.Kernel, p ISParams) ISResult {
 	}
 
 	// Memory layout (virtual; pages placed by the kernel's policy).
-	keys := make([]uint64, t)    // input keys, first-touched by owner
-	hist := make([]uint64, t)    // per-thread histogram
-	recv := make([]uint64, t)    // redistribution target, 2x slack
-	offs := make([]uint64, t)    // per-(src,dst) write cursors
+	keys := make([]uint64, t) // input keys, first-touched by owner
+	hist := make([]uint64, t) // per-thread histogram
+	recv := make([]uint64, t) // redistribution target, 2x slack
+	offs := make([]uint64, t) // per-(src,dst) write cursors
 	for i := 0; i < t; i++ {
 		keys[i] = k.Alloc(uint64(perThread) * 4)
 		hist[i] = k.Alloc(uint64(p.MaxKey) * 4)
@@ -196,4 +196,3 @@ func RunIS(k *kernel.Kernel, p ISParams) ISResult {
 	}
 	return res
 }
-

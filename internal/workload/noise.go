@@ -26,7 +26,7 @@ var NoiseModes = []NoiseMode{NoiseSW, NoiseHW1, NoiseHW2, NoiseHW4}
 // noise (benchmark A) and applies noise to a 32 MB sequence (benchmark B);
 // runs here scale the volume down.
 type NoiseParams struct {
-	Samples int // benchmark A: 16-bit samples to generate
+	Samples  int // benchmark A: 16-bit samples to generate
 	ApplyLen int // benchmark B: bytes of input sequence
 	// UnpackCost models the shift/mask instructions per sample when
 	// multiple samples arrive packed in one register.
