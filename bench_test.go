@@ -175,6 +175,19 @@ func BenchmarkAblation_InterconnectShaper(b *testing.B) {
 	b.ReportMetric(r.InterCycles[len(r.InterCycles)-1], "altra_like_rtt_cycles")
 }
 
+func BenchmarkAblation_FaultTolerance(b *testing.B) {
+	var r experiments.AblationFaultToleranceResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationFaultTolerance()
+	}
+	report("Ablation: fault tolerance", r.String())
+	b.ReportMetric(r.MaxSlowdown, "worst_slowdown_x")
+	b.ReportMetric(float64(r.Rows[len(r.Rows)-1].Retransmits), "retransmits_at_p5")
+	if !r.Identical {
+		b.Fatal("lossy runs diverged from the fault-free output")
+	}
+}
+
 func BenchmarkAblation_CoreModels(b *testing.B) {
 	var r experiments.AblationCoreResult
 	for i := 0; i < b.N; i++ {

@@ -8,6 +8,7 @@
 //	smappic-run -shape 1x1x2 [-prog program.s] [-max-cycles N]
 //	            [-metrics-json out.json] [-trace-out trace.json]
 //	            [-sample-every N] [-sample-out samples.csv]
+//	            [-faults SPEC] [-fault-seed N] [-watchdog N]
 //
 // Without -prog a built-in hello-world runs. Programs are RV64IMA assembly
 // (see internal/rvasm); execution starts at the reset PC on every hart.
@@ -16,6 +17,26 @@
 // -trace-out writes a Chrome trace-event file loadable in Perfetto;
 // -sample-every N snapshots the default counter set every N cycles
 // (written into the metrics JSON, or as CSV with -sample-out).
+//
+// -faults enables deterministic fault injection. A spec is a semicolon-
+// separated list of rules, each "site-pattern.kind:opts":
+//
+//	pcie.*.drop:p=0.01,seed=7;node0.dram.flip:n=3
+//
+// The site pattern matches dot-separated site names (pcie.ep<N>.link,
+// node<N>.bridge, node<N>.dram) with "*" wildcards; a trailing "*" matches
+// any remainder. Kinds: drop (lose a transfer), corrupt (deliver garbage;
+// retransmitted like a drop), delay (add cycles=N latency), stall (pause a
+// site for cycles=N), hang (site goes permanently dead), flip (single-bit
+// upset, ECC-correctable), flip2 (double-bit upset, uncorrectable).
+// Options: p=F (per-transfer probability), n=N (fire at most N times),
+// after=N (skip the first N transfers), cycles=N (delay/stall length),
+// seed=N (per-rule RNG seed; -fault-seed sets the default).
+//
+// -watchdog N arms the forward-progress watchdog: if no event executes for
+// N cycles while transactions are in flight, the run prints a stall
+// diagnosis (outstanding gauges plus fault-site status) instead of
+// draining silently.
 package main
 
 import (
@@ -57,6 +78,9 @@ func main() {
 	traceCap := flag.Int("trace-cap", 1<<20, "event trace ring-buffer capacity (with -trace-out)")
 	sampleEvery := flag.Uint64("sample-every", 0, "snapshot the default counter set every N cycles (0 = off)")
 	sampleOut := flag.String("sample-out", "", "write the sampled time series as CSV to this file")
+	faults := flag.String("faults", "", `fault-injection spec, e.g. "pcie.*.drop:p=0.01;node0.dram.flip:n=3" (see doc comment)`)
+	faultSeed := flag.Uint64("fault-seed", 1, "default RNG seed for fault rules without an explicit seed=")
+	watchdog := flag.Uint64("watchdog", 0, "stall-detection window in cycles (0 = off)")
 	flag.Parse()
 
 	a, b, c, err := smappic.ParseShape(*shape)
@@ -64,7 +88,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	proto, err := smappic.Build(smappic.DefaultConfig(a, b, c))
+	cfg := smappic.DefaultConfig(a, b, c)
+	cfg.Faults, err = smappic.ParseFaults(*faults, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg.WatchdogInterval = smappic.Time(*watchdog)
+	proto, err := smappic.Build(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -108,6 +139,12 @@ func main() {
 		proto.Eng.Now(), proto.Seconds(proto.Eng.Now())*1e3, proto.Cfg.ClockMHz)
 	if !proto.AllHalted() {
 		fmt.Println("warning: not all harts halted before the cycle limit")
+	}
+	if proto.StallDiagnosis != "" {
+		fmt.Print(proto.StallDiagnosis)
+	} else if proto.Injector != nil && !*stats {
+		fmt.Println("--- fault injection ---")
+		fmt.Print(proto.Injector.String())
 	}
 	for n := 0; n < proto.Cfg.TotalNodes(); n++ {
 		if out := host.Console(n); out != "" {

@@ -19,12 +19,29 @@ import (
 	"fmt"
 
 	"smappic/internal/axi"
+	"smappic/internal/fault"
 	"smappic/internal/noc"
 	"smappic/internal/sim"
 )
 
 // ChunkFlits is the number of NoC flits carried per AXI4 write (w channel).
 const ChunkFlits = 3
+
+// ReconcileFlag marks a credit read as a reconciliation request: the receive
+// side answers with its cumulative freed-flit count instead of the increment
+// since the last read. The bit sits inside the 16 MB bridge window, above the
+// source-node and class fields.
+const ReconcileFlag axi.Addr = 1 << 20
+
+const (
+	// reconcileInterval is the period of the credit-reconciliation watchdog
+	// while packets are stalled on credits (a few PCIe round trips).
+	reconcileInterval sim.Time = 2048
+	// creditReadFailLimit bounds consecutive failed credit/reconcile reads
+	// toward one destination before the bridge declares it wedged and stops
+	// polling, leaving the stall visible to the forward-progress watchdog.
+	creditReadFailLimit = 4
+)
 
 // Envelope is an inter-node NoC packet in flight between bridges. The
 // platform's transport wraps coherence/interrupt messages in one.
@@ -70,8 +87,16 @@ type Bridge struct {
 	credits    map[int]int       // send credits per destination node
 	sendq      map[int][]stalled // packets stalled on credits
 	creditRead map[int]bool      // outstanding credit-return read per dst
-	freed      map[int]int       // receive side: credits to return per src
-	tracer     *sim.Tracer
+	returned   map[int]uint64    // cumulative credits received back per dst
+	crFails    map[int]int       // consecutive failed credit reads per dst
+	wedged     map[int]bool      // dst declared unreachable after crFails limit
+	reconArmed map[int]bool      // reconciliation watchdog armed per dst
+
+	freed      map[int]int    // receive side: credits to return per src
+	freedTotal map[int]uint64 // receive side: cumulative freed per src
+
+	site   *fault.Site // receive-side fault site ("<name>"), nil when clean
+	tracer *sim.Tracer
 
 	hCreditWait *sim.Histogram // cycles spent queued waiting for credits
 	gSendq      *sim.Gauge     // total packets stalled on credits
@@ -93,7 +118,12 @@ func New(eng *sim.Engine, mesh *noc.Mesh, node int, p Params, stats *sim.Stats, 
 		credits:    make(map[int]int),
 		sendq:      make(map[int][]stalled),
 		creditRead: make(map[int]bool),
+		returned:   make(map[int]uint64),
+		crFails:    make(map[int]int),
+		wedged:     make(map[int]bool),
+		reconArmed: make(map[int]bool),
 		freed:      make(map[int]int),
+		freedTotal: make(map[int]uint64),
 	}
 	if stats != nil {
 		b.hCreditWait = stats.Histogram(name + ".credit_wait")
@@ -101,6 +131,21 @@ func New(eng *sim.Engine, mesh *noc.Mesh, node int, p Params, stats *sim.Stats, 
 	}
 	mesh.AttachBridge(b.handleMeshPacket)
 	return b
+}
+
+// SetInjector resolves this bridge's receive-side fault site (named after the
+// bridge itself, e.g. "node1.bridge"). A triggered drop there loses a
+// credit-return update — the classic leak the reconciliation watchdog exists
+// to repair. Must be called before traffic; nil-safe.
+func (b *Bridge) SetInjector(inj *fault.Injector) { b.site = inj.Site(b.name) }
+
+// Credits returns the current send-credit level toward dst, for diagnostics
+// (the watchdog's stall dump) and tests.
+func (b *Bridge) Credits(dst int) int {
+	if _, ok := b.credits[dst]; !ok {
+		return b.p.CreditsPerDst
+	}
+	return b.credits[dst]
 }
 
 // SetTracer installs an event tracer; tx/rx instants appear on the bridge's
@@ -153,6 +198,7 @@ func (b *Bridge) trySend(env *Envelope) {
 		b.gSendq.Set(int64(b.nStalled))
 		b.count("credit_stall", 1)
 		b.fetchCredits(dst)
+		b.armReconcileWatchdog(dst)
 		return
 	}
 	b.credits[dst] -= env.Flits
@@ -160,6 +206,9 @@ func (b *Bridge) trySend(env *Envelope) {
 }
 
 // transmit issues ceil(flits/3) AXI writes; the last carries the envelope.
+// A failed final chunk means the packet never reaches the remote bridge: its
+// flits can never be freed there, so the sender reclaims the credits it
+// charged and counts the loss instead of leaking them.
 func (b *Bridge) transmit(env *Envelope) {
 	chunks := (env.Flits + ChunkFlits - 1) / ChunkFlits
 	addr := b.addrOf(env.DstNode) |
@@ -175,15 +224,35 @@ func (b *Bridge) transmit(env *Envelope) {
 		}
 		if i == chunks-1 {
 			req.User = env
+			b.out.Write(req, func(r *axi.WriteResp) {
+				if r.OK {
+					return
+				}
+				b.count("axi_errors", 1)
+				b.count("tx_lost", 1)
+				b.count("credit_reclaimed", uint64(env.Flits))
+				b.credits[env.DstNode] += env.Flits
+				b.drain(env.DstNode)
+			})
+			continue
 		}
-		b.out.Write(req, func(*axi.WriteResp) {})
+		b.out.Write(req, func(r *axi.WriteResp) {
+			if !r.OK {
+				// Payload chunk lost; the envelope chunk decides the
+				// packet's fate, so only the error is recorded here.
+				b.count("axi_errors", 1)
+			}
+		})
 	}
 }
 
 // fetchCredits issues the credit-return AXI read (ar channel) unless one is
-// already outstanding toward dst.
+// already outstanding toward dst. A failed read escalates to a reconciliation
+// read; creditReadFailLimit consecutive failures declare dst wedged and stop
+// polling so the stall surfaces to the forward-progress watchdog instead of
+// spinning the event queue forever.
 func (b *Bridge) fetchCredits(dst int) {
-	if b.creditRead[dst] {
+	if b.creditRead[dst] || b.wedged[dst] {
 		return
 	}
 	b.creditRead[dst] = true
@@ -193,12 +262,89 @@ func (b *Bridge) fetchCredits(dst int) {
 		Len:  8,
 	}, func(r *axi.ReadResp) {
 		b.creditRead[dst] = false
+		if !r.OK {
+			b.creditReadFailed(dst)
+			return
+		}
+		b.crFails[dst] = 0
 		got := 0
 		if cr, ok := r.User.(int); ok {
 			got = cr
 		}
 		b.credits[dst] += got
+		b.returned[dst] += uint64(got)
 		b.drain(dst)
+	})
+}
+
+// reconcile issues a reconciliation read: the receiver answers with its
+// cumulative freed-flit count, and any gap against the credits this sender
+// has actually received back is restored. This repairs credit-return updates
+// lost in flight (the receive side decrements its pending count before its
+// response is known to arrive).
+func (b *Bridge) reconcile(dst int) {
+	if b.creditRead[dst] || b.wedged[dst] {
+		return
+	}
+	b.creditRead[dst] = true
+	b.count("credit_reconciles", 1)
+	b.out.Read(&axi.ReadReq{
+		Addr: b.addrOf(dst) | ReconcileFlag | axi.Addr(uint64(b.node)<<8),
+		Len:  8,
+	}, func(r *axi.ReadResp) {
+		b.creditRead[dst] = false
+		if !r.OK {
+			b.creditReadFailed(dst)
+			return
+		}
+		b.crFails[dst] = 0
+		var freedTotal uint64
+		if ft, ok := r.User.(uint64); ok {
+			freedTotal = ft
+		}
+		if leaked := int64(freedTotal) - int64(b.returned[dst]); leaked > 0 {
+			b.count("credit_restored", uint64(leaked))
+			b.credits[dst] += int(leaked)
+			if b.credits[dst] > b.p.CreditsPerDst {
+				b.credits[dst] = b.p.CreditsPerDst
+			}
+		}
+		b.returned[dst] = freedTotal
+		b.drain(dst)
+	})
+}
+
+// creditReadFailed counts a failed credit read and gives up on dst after the
+// limit.
+func (b *Bridge) creditReadFailed(dst int) {
+	b.count("axi_errors", 1)
+	b.crFails[dst]++
+	if b.crFails[dst] >= creditReadFailLimit {
+		b.wedged[dst] = true
+		b.count("dst_wedged", 1)
+		return
+	}
+	// Escalate to reconciliation: the increment the failed read consumed at
+	// the receiver is only recoverable from the cumulative count.
+	b.eng.Schedule(b.p.ProcessDelay*4, func() { b.reconcile(dst) })
+}
+
+// armReconcileWatchdog starts the periodic credit-reconciliation check for
+// dst. It runs while packets are stalled toward dst and disarms as soon as
+// the queue empties (trySend re-arms on the next stall), so an idle bridge
+// schedules nothing.
+func (b *Bridge) armReconcileWatchdog(dst int) {
+	if b.reconArmed[dst] {
+		return
+	}
+	b.reconArmed[dst] = true
+	b.eng.Schedule(reconcileInterval, func() {
+		b.reconArmed[dst] = false
+		if len(b.sendq[dst]) == 0 || b.wedged[dst] {
+			return
+		}
+		b.reconcile(dst)
+		b.armReconcileWatchdog(dst)
 	})
 }
 
@@ -208,7 +354,8 @@ func (b *Bridge) drain(dst int) {
 		st := b.sendq[dst][0]
 		if b.credits[dst] < st.env.Flits {
 			// Still short: poll again. The receiver frees credits as it
-			// injects, so this terminates.
+			// injects, so this terminates (the wedged flag bounds the
+			// pathological case of an unreachable receiver).
 			b.eng.Schedule(b.p.ProcessDelay*4, func() { b.fetchCredits(dst) })
 			return
 		}
@@ -244,6 +391,7 @@ func (in *inbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 		// buffer slot is freed at injection, returning credits to the
 		// sender on its next credit read.
 		b.freed[env.SrcNode] += env.Flits
+		b.freedTotal[env.SrcNode] += uint64(env.Flits)
 		b.mesh.Send(&noc.Packet{
 			Class:   env.Class,
 			Src:     noc.Dest{Port: noc.PortBridge},
@@ -254,12 +402,29 @@ func (in *inbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 	})
 }
 
-// Read answers a credit-return request: the r channel carries the number of
-// credits freed since the source's last read.
+// Read answers a credit-return request. An incremental read (the common
+// case) returns the credits freed since the source's last read; a read with
+// ReconcileFlag set returns the cumulative freed count instead, which the
+// sender diffs against what it has actually received to restore leaked
+// credits. Both zero the pending increment — the cumulative count subsumes
+// it.
+//
+// The bridge's fault site models loss of the credit-return update itself: a
+// triggered drop or corruption consumes the pending increment but reports
+// zero credits back, leaking them until a reconciliation read repairs the
+// gap.
 func (in *inbound) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 	b := (*Bridge)(in)
 	src := int(uint64(req.Addr) >> 8 & 0xFF)
 	n := b.freed[src]
 	b.freed[src] = 0
+	if req.Addr&ReconcileFlag != 0 {
+		done(&axi.ReadResp{ID: req.ID, Data: make([]byte, 8), OK: true, User: b.freedTotal[src]})
+		return
+	}
+	if fate := b.site.Transfer(); fate.Drop || fate.Corrupt {
+		b.count("credit_loss", uint64(n))
+		n = 0
+	}
 	done(&axi.ReadResp{ID: req.ID, Data: make([]byte, 8), OK: true, User: n})
 }

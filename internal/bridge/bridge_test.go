@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"smappic/internal/axi"
+	"smappic/internal/fault"
 	"smappic/internal/noc"
 	"smappic/internal/pcie"
 	"smappic/internal/shell"
@@ -14,6 +15,7 @@ import (
 // shells and the PCIe fabric, with a bridge on each node.
 type pair struct {
 	eng    *sim.Engine
+	fab    *pcie.Fabric
 	meshes [2]*noc.Mesh
 	bs     [2]*Bridge
 	stats  *sim.Stats
@@ -24,7 +26,7 @@ func newPair(t *testing.T, p Params) *pair {
 	eng := sim.NewEngine()
 	var stats sim.Stats
 	fab := pcie.New(eng, pcie.DefaultParams(), &stats)
-	pr := &pair{eng: eng, stats: &stats}
+	pr := &pair{eng: eng, fab: fab, stats: &stats}
 	var shells [2]*shell.Shell
 	for i := 0; i < 2; i++ {
 		shells[i] = shell.New(eng, fab, i, &stats)
@@ -239,4 +241,64 @@ func TestUnconnectedBridgePanics(t *testing.T) {
 		}
 	}()
 	eng.Run()
+}
+
+func TestLeakedCreditsRestoredByReconciliation(t *testing.T) {
+	p := DefaultParams()
+	p.CreditsPerDst = 9 // room for just one 9-flit packet
+	pr := newPair(t, p)
+	// Lose the first credit-return update at the receive side: its increment
+	// is consumed but zero credits come back — a leak only the cumulative
+	// reconciliation read can repair.
+	inj := fault.NewInjector(pr.eng, fault.MustParse("bridge.drop:n=1", 5))
+	for _, b := range pr.bs {
+		b.SetInjector(inj)
+	}
+	got := 0
+	pr.meshes[1].AttachTile(0, func(pkt *noc.Packet) { got++ })
+	for i := 0; i < 5; i++ {
+		pr.send(0, 1, 0, 9, i)
+	}
+	pr.eng.Run()
+	if got != 5 {
+		t.Fatalf("delivered %d/5 after a leaked credit return", got)
+	}
+	if pr.stats.Get("bridge.credit_loss") == 0 {
+		t.Error("credit_loss not counted")
+	}
+	if pr.stats.Get("bridge.credit_restored") == 0 {
+		t.Error("reconciliation restored nothing")
+	}
+	if c := pr.bs[0].Credits(1); c < 0 || c > p.CreditsPerDst {
+		t.Fatalf("credits[1] = %d out of [0, %d]", c, p.CreditsPerDst)
+	}
+}
+
+func TestWedgedDestinationStopsPolling(t *testing.T) {
+	p := DefaultParams()
+	p.CreditsPerDst = 9
+	pr := newPair(t, p)
+	// Hang endpoint 0's PCIe egress after the first packet's chunks (3 writes
+	// + headroom for their deliveries): every later chunk and credit read
+	// fails after bounded retries.
+	inj := fault.NewInjector(pr.eng, fault.MustParse("pcie.ep0.link.hang:after=6", 5))
+	pr.fab.SetInjector(inj)
+	got := 0
+	pr.meshes[1].AttachTile(0, func(pkt *noc.Packet) { got++ })
+	for i := 0; i < 3; i++ {
+		pr.send(0, 1, 0, 9, i)
+	}
+	pr.eng.Run() // must terminate: the bridge gives up instead of spinning
+	if pr.stats.Get("bridge.dst_wedged") == 0 {
+		t.Error("bridge never declared the hung destination wedged")
+	}
+	if pr.stats.Get("bridge.axi_errors") == 0 {
+		t.Error("failed transfers not counted as axi_errors")
+	}
+	if pr.stats.Get("bridge.tx_lost") == 0 {
+		t.Error("lost packets not counted")
+	}
+	if got >= 3 {
+		t.Error("all packets delivered despite a hung link")
+	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"smappic/internal/bridge"
 	"smappic/internal/cache"
+	"smappic/internal/fault"
 	"smappic/internal/pcie"
 	"smappic/internal/sim"
 )
@@ -68,6 +69,16 @@ type Config struct {
 	ClockMHz int
 
 	Seed uint64
+
+	// Faults, when non-nil, is a parsed fault-injection plan (see the fault
+	// package's grammar). Build wires its sites into the PCIe fabric, the
+	// bridges and the DRAM channels. Nil disables injection at zero cost.
+	Faults *fault.Plan
+
+	// WatchdogInterval, when nonzero, arms the forward-progress watchdog:
+	// if no event executes for this many cycles while transactions are in
+	// flight, the run records a stall diagnosis instead of draining silently.
+	WatchdogInterval sim.Time
 }
 
 // DefaultConfig returns the paper's Table 2 system for the given shape.

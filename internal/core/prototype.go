@@ -7,6 +7,7 @@ import (
 	"smappic/internal/bridge"
 	"smappic/internal/cache"
 	"smappic/internal/dev"
+	"smappic/internal/fault"
 	"smappic/internal/interrupt"
 	"smappic/internal/mem"
 	"smappic/internal/noc"
@@ -103,6 +104,15 @@ type Prototype struct {
 	// Sampler, when installed with EnableSampler, snapshots selected
 	// counters at a fixed cycle interval.
 	Sampler *sim.Sampler
+	// Injector resolves fault sites against Cfg.Faults; nil when no plan is
+	// configured (injection disabled, zero cost).
+	Injector *fault.Injector
+	// Watchdog is the forward-progress monitor armed by EnableWatchdog (or
+	// by Build when Cfg.WatchdogInterval is set).
+	Watchdog *sim.Watchdog
+	// StallDiagnosis is filled when the watchdog detects a wedged run: no
+	// event executed for a full interval while transactions were in flight.
+	StallDiagnosis string
 }
 
 // EnableTrace installs an event tracer retaining the last capacity events
@@ -132,6 +142,11 @@ func Build(cfg Config) (*Prototype, error) {
 		Map:     NewAddrMap(cfg.TotalNodes(), cfg.TilesPerNode, cfg.UnifiedMemory),
 		Fabric:  pcie.New(eng, cfg.PCIe, stats),
 		RNG:     sim.NewRNG(cfg.Seed),
+	}
+	p.Injector = fault.NewInjector(eng, cfg.Faults)
+	p.Fabric.SetInjector(p.Injector)
+	if cfg.WatchdogInterval > 0 {
+		p.EnableWatchdog(cfg.WatchdogInterval)
 	}
 
 	w, h := cfg.MeshDims()
@@ -164,6 +179,7 @@ func Build(cfg Config) (*Prototype, error) {
 		// controller sees node-local offsets; translate by the region base
 		// for the (timing-only) channel.
 		n.DRAM = mem.NewDRAM(eng, name+".dram", cfg.DRAMLatency, cfg.DRAMBytesPerCycle, nil, 0, stats)
+		n.DRAM.SetInjector(p.Injector)
 		n.MemCtl = mem.NewController(eng, n.Mesh, name+".memctl", n.DRAM, stats)
 
 		// Interrupt fabric: global hart numbering node*C + tile.
@@ -216,6 +232,7 @@ func Build(cfg Config) (*Prototype, error) {
 
 		// Inter-node bridge.
 		n.Bridge = bridge.New(eng, n.Mesh, nID, cfg.Bridge, stats, name+".bridge")
+		n.Bridge.SetInjector(p.Injector)
 		cls[f].xbar.Map(axi.Region{
 			Base:   bridgeWindow(nID % cfg.NodesPerFPGA),
 			Size:   bridgeWindowSize,

@@ -38,6 +38,13 @@ func (p *Prototype) Report() string {
 		p.Cfg.FPGAs, p.Cfg.NodesPerFPGA, p.Cfg.TilesPerNode,
 		p.Eng.Now(), p.Seconds(p.Eng.Now()), p.Cfg.ClockMHz, p.Cfg.Seed)
 	b.WriteString(p.Stats.String())
+	if p.Injector != nil {
+		b.WriteString("# fault injection\n")
+		b.WriteString(p.Injector.String())
+	}
+	if p.StallDiagnosis != "" {
+		b.WriteString(p.StallDiagnosis)
+	}
 	return b.String()
 }
 
@@ -117,4 +124,49 @@ func (p *Prototype) defaultSampleSet() []string {
 // installed; the result is then a valid empty trace.
 func (p *Prototype) WriteTrace(w io.Writer) error {
 	return p.Tracer.WriteChrome(w)
+}
+
+// EnableWatchdog arms the forward-progress watchdog: if no event executes for
+// interval cycles while any occupancy gauge is nonzero, the run is wedged —
+// the watchdog records a diagnosis (StallDiagnosis, also appended to Report)
+// built from the stats registry instead of letting the queue drain silently.
+func (p *Prototype) EnableWatchdog(interval sim.Time) *sim.Watchdog {
+	p.Watchdog = sim.NewWatchdog(p.Eng, interval, p.hasInflight, func() {
+		p.StallDiagnosis = p.stallDiagnosis(interval)
+	})
+	return p.Watchdog
+}
+
+// hasInflight reports whether any transaction is outstanding anywhere in the
+// model, judged by the occupancy gauges every subsystem maintains (MSHRs,
+// memory engines, PCIe in-flight, bridge send queues).
+func (p *Prototype) hasInflight() bool {
+	if p.Stats == nil {
+		return false
+	}
+	for _, name := range p.Stats.GaugeNames() {
+		if v, ok := p.Stats.GaugeValue(name); ok && v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// stallDiagnosis renders the watchdog's dump: where the outstanding work is
+// stuck (every nonzero gauge) and what the fault injector has done so far.
+func (p *Prototype) stallDiagnosis(interval sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WATCHDOG: no forward progress for %d cycles at cycle %d with transactions in flight\n",
+		interval, p.Eng.Now())
+	b.WriteString("outstanding (nonzero gauges):\n")
+	for _, name := range p.Stats.GaugeNames() {
+		if v, ok := p.Stats.GaugeValue(name); ok && v != 0 {
+			fmt.Fprintf(&b, "  %-40s %d\n", name, v)
+		}
+	}
+	if p.Injector != nil {
+		b.WriteString("fault sites:\n")
+		b.WriteString(p.Injector.String())
+	}
+	return b.String()
 }

@@ -229,6 +229,29 @@ func TestAblationInterconnectShaperScales(t *testing.T) {
 	}
 }
 
+func TestAblationFaultToleranceRecovers(t *testing.T) {
+	r := AblationFaultTolerance()
+	if !r.Identical {
+		t.Fatal("lossy runs did not reproduce the fault-free output")
+	}
+	lossy := r.Rows[len(r.Rows)-1]
+	if lossy.Retransmits == 0 {
+		t.Error("p=0.05 run saw no retransmissions; injection not reaching the link")
+	}
+	if lossy.CreditRestored == 0 {
+		t.Error("bridge reconciliation never restored a leaked credit")
+	}
+	if lossy.EccCorrected == 0 {
+		t.Error("SECDED never corrected an injected upset")
+	}
+	if lossy.LinkFailed != 0 {
+		t.Errorf("%d transfers exhausted retries at p=0.05; recovery should absorb this rate", lossy.LinkFailed)
+	}
+	if r.MaxSlowdown > 5 {
+		t.Errorf("worst slowdown %.2fx; degradation should stay bounded", r.MaxSlowdown)
+	}
+}
+
 func TestAblationCoreProfiles(t *testing.T) {
 	r := AblationCore()
 	if float64(r.PicoCycles) < float64(r.ArianeCycles)*1.4 {

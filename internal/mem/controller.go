@@ -63,6 +63,7 @@ type Controller struct {
 	gInflight [2]*sim.Gauge  // read/write engine occupancy
 	gQueue    [2]*sim.Gauge  // requests waiting for a free AXI ID
 	hQWait    *sim.Histogram // cycles spent in the management queue
+	cErrors   *sim.Counter   // DRAM responses with OK:false (e.g. ECC fatal)
 }
 
 // queuedReq is a request waiting for a free engine ID, with its enqueue
@@ -86,6 +87,7 @@ func NewController(eng *sim.Engine, mesh *noc.Mesh, name string, dram axi.Target
 		c.gQueue[readEngine] = stats.Gauge(name + ".rd_queue")
 		c.gQueue[writeEngine] = stats.Gauge(name + ".wr_queue")
 		c.hQWait = stats.Histogram(name + ".queue_wait")
+		c.cErrors = stats.Counter(name + ".axi_errors")
 	}
 	return c
 }
@@ -127,7 +129,13 @@ func (c *Controller) issue(k engineKind, req *Req) {
 		size = axi.BeatBytes // AXI4 transfers are whole beats; narrow
 		// requests select the needed bytes on return (Fig. 5).
 	}
-	doneOne := func() {
+	doneOne := func(ok bool) {
+		if !ok {
+			// The requester's MSHR is still released and the tag echoed —
+			// the NoC response format has no error channel — but the fault
+			// is recorded instead of silently swallowed.
+			c.cErrors.Inc()
+		}
 		c.inflight[k]--
 		c.gInflight[k].Set(int64(c.inflight[k]))
 		c.respond(req)
@@ -144,13 +152,13 @@ func (c *Controller) issue(k engineKind, req *Req) {
 			c.stats.Counter(c.name + ".write_reqs").Inc()
 		}
 		c.dram.Write(&axi.WriteReq{Addr: aligned, ID: id, Data: make([]byte, size)},
-			func(*axi.WriteResp) { doneOne() })
+			func(r *axi.WriteResp) { doneOne(r.OK) })
 	} else {
 		if c.stats != nil {
 			c.stats.Counter(c.name + ".read_reqs").Inc()
 		}
 		c.dram.Read(&axi.ReadReq{Addr: aligned, ID: id, Len: size},
-			func(*axi.ReadResp) { doneOne() })
+			func(r *axi.ReadResp) { doneOne(r.OK) })
 	}
 }
 

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"smappic/internal/axi"
+	"smappic/internal/fault"
 	"smappic/internal/sim"
 )
 
@@ -25,6 +26,7 @@ type DRAM struct {
 	BytesPerCycle int
 
 	busy sim.Time
+	site *fault.Site // bit-flip fault site (the DRAM's own name)
 
 	// Pre-resolved instruments (nil and free when telemetry is disabled).
 	cReads      *sim.Counter
@@ -33,6 +35,8 @@ type DRAM struct {
 	cWriteBytes *sim.Counter
 	cConflicts  *sim.Counter // accesses that found the channel busy
 	cConfCycles *sim.Counter // cycles those accesses waited
+	cEccFixed   *sim.Counter // single-bit errors SECDED corrected
+	cEccFatal   *sim.Counter // double-bit errors SECDED detected (OK:false)
 }
 
 // NewDRAM creates a DRAM channel. backing may be nil for timing-only use.
@@ -49,9 +53,17 @@ func NewDRAM(eng *sim.Engine, name string, latency sim.Time, bytesPerCycle int, 
 		d.cWriteBytes = stats.Counter(name + ".write_bytes")
 		d.cConflicts = stats.Counter(name + ".conflicts")
 		d.cConfCycles = stats.Counter(name + ".conflict_cycles")
+		d.cEccFixed = stats.Counter(name + ".ecc_corrected")
+		d.cEccFatal = stats.Counter(name + ".ecc_uncorrectable")
 	}
 	return d
 }
+
+// SetInjector resolves this channel's bit-flip fault site (named after the
+// channel, e.g. "node0.dram"). flip rules model single-bit upsets the SECDED
+// code corrects; flip2 rules model double-bit upsets it can only detect,
+// failing the read with OK:false. Must be called before traffic; nil-safe.
+func (d *DRAM) SetInjector(inj *fault.Injector) { d.site = inj.Site(d.name) }
 
 func (d *DRAM) delay(n int) sim.Time {
 	beats := sim.Time(1)
@@ -83,13 +95,22 @@ func (d *DRAM) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 	})
 }
 
-// Read returns data after the access latency.
+// Read returns data after the access latency. The SECDED model runs on the
+// read path: a single-bit upset is corrected transparently (counted), a
+// double-bit upset is detected but uncorrectable and fails the read.
 func (d *DRAM) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 	d.cReads.Inc()
 	d.cReadBytes.Add(uint64(req.Len))
 	d.eng.Schedule(d.delay(req.Len), func() {
 		resp := &axi.ReadResp{ID: req.ID, OK: true}
-		if d.backing != nil && req.Len > 0 {
+		switch d.site.FlipBits() {
+		case 1:
+			d.cEccFixed.Inc()
+		case 2:
+			d.cEccFatal.Inc()
+			resp.OK = false
+		}
+		if resp.OK && d.backing != nil && req.Len > 0 {
 			resp.Data = make([]byte, req.Len)
 			d.backing.ReadBytes(d.base+req.Addr, resp.Data)
 		}

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"smappic/internal/axi"
+	"smappic/internal/fault"
 	"smappic/internal/noc"
 	"smappic/internal/sim"
 )
@@ -260,5 +261,53 @@ func TestFlitsFor(t *testing.T) {
 		if got := FlitsFor(data); got != want {
 			t.Errorf("FlitsFor(%d) = %d, want %d", data, got, want)
 		}
+	}
+}
+
+func TestSECDEDModel(t *testing.T) {
+	eng := sim.NewEngine()
+	var st sim.Stats
+	d := NewDRAM(eng, "node0.dram", 10, 64, nil, 0, &st)
+	d.SetInjector(fault.NewInjector(eng, fault.MustParse("node0.dram.flip:n=2;node0.dram.flip2:n=1,after=2", 3)))
+
+	var oks []bool
+	for i := 0; i < 4; i++ {
+		d.Read(&axi.ReadReq{Addr: 0, Len: 64}, func(r *axi.ReadResp) { oks = append(oks, r.OK) })
+	}
+	eng.Run()
+	want := []bool{true, true, false, true} // 2 corrected, then 1 fatal
+	for i, ok := range oks {
+		if ok != want[i] {
+			t.Fatalf("read %d OK=%v, want %v (all: %v)", i, ok, want[i], oks)
+		}
+	}
+	if st.Get("node0.dram.ecc_corrected") != 2 {
+		t.Errorf("ecc_corrected = %d, want 2", st.Get("node0.dram.ecc_corrected"))
+	}
+	if st.Get("node0.dram.ecc_uncorrectable") != 1 {
+		t.Errorf("ecc_uncorrectable = %d, want 1", st.Get("node0.dram.ecc_uncorrectable"))
+	}
+}
+
+func TestControllerCountsAXIErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	var st sim.Stats
+	mesh := noc.New(eng, "mesh", noc.DefaultParams(2, 2), nil)
+	d := NewDRAM(eng, "node0.dram", 10, 64, nil, 0, &st)
+	d.SetInjector(fault.NewInjector(eng, fault.MustParse("node0.dram.flip2:p=1", 3)))
+	ctl := NewController(eng, mesh, "memctl", d, &st)
+
+	responses := 0
+	mesh.AttachTile(1, func(pkt *noc.Packet) { responses++ })
+	ctl.Handle(&noc.Packet{Payload: &Req{
+		Addr: 0x100, Size: 64,
+		Src: noc.Dest{Port: noc.PortTile, Tile: 1},
+	}})
+	eng.Run()
+	if responses != 1 {
+		t.Fatalf("requester got %d responses, want 1 (MSHR must be released)", responses)
+	}
+	if st.Get("memctl.axi_errors") != 1 {
+		t.Errorf("axi_errors = %d, want 1", st.Get("memctl.axi_errors"))
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"smappic/internal/axi"
+	"smappic/internal/fault"
 	"smappic/internal/sim"
 )
 
@@ -39,11 +40,21 @@ func DefaultParams() Params {
 
 // epStats is the pre-resolved telemetry of one fabric endpoint; created
 // lazily at first traffic, nil instruments when the fabric has no registry.
+// The reliability counters are created eagerly alongside the rest so a run
+// with a fault-free plan reports the same metric set (all zero) as a run with
+// no injector at all.
 type epStats struct {
 	txBytes     *sim.Counter
 	txTransfers *sim.Counter
 	rtt         *sim.Histogram // request round-trip as seen by the master
 	inflight    *sim.Gauge     // outstanding transactions from this endpoint
+
+	retransmits *sim.Counter // reliable-link retransmissions issued
+	linkDrops   *sim.Counter // transfers lost at this endpoint's egress
+	linkCorrupt *sim.Counter // transfers the receiver's checksum rejected
+	linkFailed  *sim.Counter // exchanges that exhausted retries (OK:false)
+
+	site *fault.Site // egress fault site ("pcie.epN.link"), nil when clean
 }
 
 // Fabric is the PCIe switch connecting FPGAs and the host.
@@ -51,9 +62,11 @@ type Fabric struct {
 	eng    *sim.Engine
 	p      Params
 	stats  *sim.Stats
+	inj    *fault.Injector
 	eps    map[int]axi.Target
 	egress map[int]sim.Time // per-endpoint egress link reservation
 	epTel  map[int]*epStats
+	rel    map[pair]*relState // reliable-link state per directed endpoint pair
 	// Address windows: FPGA i owns [WindowBase + i*WindowSize, +WindowSize).
 	// Anything else routes to the host.
 	windowBase axi.Addr
@@ -75,10 +88,17 @@ func New(eng *sim.Engine, p Params, stats *sim.Stats) *Fabric {
 		eps:        make(map[int]axi.Target),
 		egress:     make(map[int]sim.Time),
 		epTel:      make(map[int]*epStats),
+		rel:        make(map[pair]*relState),
 		windowBase: WindowBase,
 		windowSize: WindowSize,
 	}
 }
+
+// SetInjector attaches a fault injector. Each endpoint resolves its egress
+// fault site "pcie.epN.link" at first traffic, so the injector must be set
+// before the fabric carries transfers. A nil injector leaves every link
+// infallible (the default).
+func (f *Fabric) SetInjector(inj *fault.Injector) { f.inj = inj }
 
 // ep returns the telemetry of endpoint id, creating it on first use. The
 // zero-instrument struct is returned when the fabric has no registry, so
@@ -92,7 +112,12 @@ func (f *Fabric) ep(id int) *epStats {
 			t.txTransfers = f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_transfers", id))
 			t.rtt = f.stats.Histogram(fmt.Sprintf("pcie.ep%d.rtt", id))
 			t.inflight = f.stats.Gauge(fmt.Sprintf("pcie.ep%d.inflight", id))
+			t.retransmits = f.stats.Counter(fmt.Sprintf("pcie.ep%d.retransmits", id))
+			t.linkDrops = f.stats.Counter(fmt.Sprintf("pcie.ep%d.link_drops", id))
+			t.linkCorrupt = f.stats.Counter(fmt.Sprintf("pcie.ep%d.link_corrupt", id))
+			t.linkFailed = f.stats.Counter(fmt.Sprintf("pcie.ep%d.link_failed", id))
 		}
+		t.site = f.inj.Site(fmt.Sprintf("pcie.ep%d.link", id))
 		f.epTel[id] = t
 	}
 	return t
@@ -103,6 +128,9 @@ func (f *Fabric) ep(id int) *epStats {
 func (f *Fabric) Attach(id int, t axi.Target) {
 	if id != HostID && (id < 0 || id >= MaxFPGAs) {
 		panic(fmt.Sprintf("pcie: endpoint id %d out of range", id))
+	}
+	if _, dup := f.eps[id]; dup {
+		panic(fmt.Sprintf("pcie: endpoint id %d attached twice", id))
 	}
 	f.eps[id] = t
 }
@@ -151,6 +179,178 @@ func (f *Fabric) delay(src, n int) sim.Time {
 	return (start - f.eng.Now()) + beats + f.p.OneWay
 }
 
+// Reliable link layer
+//
+// When a fault injector puts a site on an endpoint's link, every exchange
+// crossing that endpoint runs a lightweight reliability protocol modeled on
+// PCIe's own DLLP layer: the request carries a per-(src,dst) sequence number
+// and a checksum, the receiver deduplicates retransmissions against a replay
+// cache, and the sender arms an ACK timeout with capped exponential backoff.
+// After maxAttempts the sender gives up and propagates OK:false instead of
+// hanging. Endpoints without fault sites keep the original two-crossing fast
+// path with byte-identical timing and metrics.
+
+const (
+	// maxAttempts bounds retransmission: one original send plus seven
+	// retries, after which the exchange fails with OK:false.
+	maxAttempts = 8
+	// backoffCap caps the exponential timeout multiplier (1, 2, 4, 8, 8...).
+	backoffCap = 8
+	// replayWindow is how many completed sequence numbers the receiver keeps
+	// for duplicate detection before pruning.
+	replayWindow = 256
+	// timeoutSlack pads the ACK timeout beyond the nominal round trip to
+	// absorb egress queueing. A late ACK only costs a spurious (deduplicated)
+	// retransmit, never correctness.
+	timeoutSlack = 64
+)
+
+// pair identifies a directed endpoint pair.
+type pair struct{ src, dst int }
+
+// relState is the reliable-link state of one directed pair: the sender's next
+// sequence number and the receiver's replay cache. A cache entry present but
+// nil marks a request still being processed by the destination; a non-nil
+// entry holds the response for replay if the ACK was lost.
+type relState struct {
+	nextSeq uint64
+	cache   map[uint64]any
+}
+
+func (f *Fabric) relOf(src, dst int) *relState {
+	k := pair{src, dst}
+	st, ok := f.rel[k]
+	if !ok {
+		st = &relState{cache: make(map[uint64]any)}
+		f.rel[k] = st
+	}
+	return st
+}
+
+// cross moves nbytes out of endpoint ep, consulting its fault site. then runs
+// after the crossing delay when the transfer survives; a dropped, corrupted
+// or hung transfer is counted and silently lost (a corrupted payload is
+// delivered but fails the receiver's checksum, which comes to the same
+// thing — the sender's timeout recovers either way).
+func (f *Fabric) cross(ep, nbytes int, then func()) {
+	tel := f.ep(ep)
+	d := f.delay(ep, nbytes)
+	fate := tel.site.Transfer()
+	if fate.Drop {
+		tel.linkDrops.Inc()
+		return
+	}
+	if fate.Corrupt {
+		tel.linkCorrupt.Inc()
+		return
+	}
+	f.eng.Schedule(d+fate.Extra, then)
+}
+
+// xchg is one request/response exchange running the reliability protocol.
+type xchg struct {
+	f                   *Fabric
+	src, dst            int
+	fwdBytes, respBytes int
+	seq                 uint64
+	st                  *relState
+	invoke              func(reply func(any))
+	finish              func(any)
+	attempts            int
+	timer               *sim.Timer
+	done                bool
+}
+
+// exchange performs a request/response exchange from src to dst. invoke calls
+// the destination target and must hand the response to its callback exactly
+// once; finish receives that response, or nil when the link gave up after
+// maxAttempts. With no fault site on either endpoint this is a plain pair of
+// crossings — the fast path, byte-identical to the pre-fault model.
+func (f *Fabric) exchange(src, dst int, fwdBytes, respBytes int, invoke func(reply func(any)), finish func(any)) {
+	if f.ep(src).site == nil && f.ep(dst).site == nil {
+		f.eng.Schedule(f.delay(src, fwdBytes), func() {
+			invoke(func(r any) {
+				f.eng.Schedule(f.delay(dst, respBytes), func() { finish(r) })
+			})
+		})
+		return
+	}
+	st := f.relOf(src, dst)
+	x := &xchg{
+		f: f, src: src, dst: dst,
+		fwdBytes: fwdBytes, respBytes: respBytes,
+		seq: st.nextSeq, st: st,
+		invoke: invoke, finish: finish,
+	}
+	st.nextSeq++
+	x.attempt()
+}
+
+// baseTimeout is the nominal exchange round trip plus slack.
+func (x *xchg) baseTimeout() sim.Time {
+	bpc := x.f.p.BytesPerCycle
+	beats := sim.Time((x.fwdBytes + x.respBytes + bpc - 1) / bpc)
+	return 2*x.f.p.OneWay + beats + timeoutSlack
+}
+
+func (x *xchg) attempt() {
+	x.attempts++
+	mult := sim.Time(1) << (x.attempts - 1)
+	if mult > backoffCap {
+		mult = backoffCap
+	}
+	x.timer = x.f.eng.After(x.baseTimeout()*mult, x.timeout)
+	x.f.cross(x.src, x.fwdBytes, x.deliver)
+}
+
+// deliver runs at the receiver after a surviving forward crossing.
+func (x *xchg) deliver() {
+	if r, seen := x.st.cache[x.seq]; seen {
+		// Duplicate of a retransmitted request. If the destination already
+		// responded, replay the cached response; otherwise the original
+		// invocation is still in flight and will respond itself.
+		if r != nil {
+			x.sendResp(r)
+		}
+		return
+	}
+	x.st.cache[x.seq] = nil
+	if x.seq >= replayWindow {
+		delete(x.st.cache, x.seq-replayWindow)
+	}
+	x.invoke(func(r any) {
+		x.st.cache[x.seq] = r
+		x.sendResp(r)
+	})
+}
+
+func (x *xchg) sendResp(r any) {
+	x.f.cross(x.dst, x.respBytes, func() { x.complete(r) })
+}
+
+func (x *xchg) complete(r any) {
+	if x.done {
+		return // a duplicate response from a spurious retransmit
+	}
+	x.done = true
+	x.timer.Cancel()
+	x.finish(r)
+}
+
+func (x *xchg) timeout() {
+	if x.done {
+		return
+	}
+	if x.attempts >= maxAttempts {
+		x.done = true
+		x.f.ep(x.src).linkFailed.Inc()
+		x.finish(nil)
+		return
+	}
+	x.f.ep(x.src).retransmits.Inc()
+	x.attempt()
+}
+
 // port is one endpoint's outbound master interface.
 type port struct {
 	f   *Fabric
@@ -162,47 +362,68 @@ type port struct {
 // return crossing.
 func (f *Fabric) Master(src int) axi.Target { return &port{f: f, src: src} }
 
-func (p *port) deliver(dstID, nbytes int, fwd func(axi.Target), fail func()) {
-	dst, ok := p.f.eps[dstID]
-	if !ok {
-		fail()
-		return
-	}
-	p.f.eng.Schedule(p.f.delay(p.src, nbytes), func() { fwd(dst) })
+// fail schedules an OK:false response for an unrouteable request. The error
+// still pays the one-way switch latency: the request has to reach the switch
+// before anything can reject it.
+func (p *port) fail(tel *epStats, respond func()) {
+	p.f.eng.Schedule(p.f.p.OneWay, func() {
+		tel.inflight.Dec()
+		respond()
+	})
 }
 
 func (p *port) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
-	dstID := p.f.RouteOf(req.Addr)
-	local := &axi.WriteReq{Addr: p.f.LocalAddr(req.Addr), ID: req.ID, Data: req.Data, User: req.User}
-	tel := p.f.ep(p.src)
-	start := p.f.eng.Now()
+	f := p.f
+	dstID := f.RouteOf(req.Addr)
+	local := &axi.WriteReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Data: req.Data, User: req.User}
+	tel := f.ep(p.src)
+	start := f.eng.Now()
 	tel.inflight.Inc()
-	p.deliver(dstID, len(req.Data), func(dst axi.Target) {
-		dst.Write(local, func(r *axi.WriteResp) {
-			// b-channel response crosses back (small TLP).
-			p.f.eng.Schedule(p.f.delay(dstID, 4), func() {
-				tel.rtt.Observe(uint64(p.f.eng.Now() - start))
-				tel.inflight.Dec()
-				done(r)
-			})
+	dst, ok := f.eps[dstID]
+	if !ok {
+		p.fail(tel, func() { done(&axi.WriteResp{ID: req.ID, OK: false}) })
+		return
+	}
+	// b-channel response crosses back as a small TLP.
+	f.exchange(p.src, dstID, len(req.Data), 4,
+		func(reply func(any)) {
+			dst.Write(local, func(r *axi.WriteResp) { reply(r) })
+		},
+		func(r any) {
+			tel.rtt.Observe(uint64(f.eng.Now() - start))
+			tel.inflight.Dec()
+			if r == nil {
+				done(&axi.WriteResp{ID: req.ID, OK: false})
+				return
+			}
+			done(r.(*axi.WriteResp))
 		})
-	}, func() { tel.inflight.Dec(); done(&axi.WriteResp{ID: req.ID, OK: false}) })
 }
 
 func (p *port) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
-	dstID := p.f.RouteOf(req.Addr)
-	local := &axi.ReadReq{Addr: p.f.LocalAddr(req.Addr), ID: req.ID, Len: req.Len}
-	tel := p.f.ep(p.src)
-	start := p.f.eng.Now()
+	f := p.f
+	dstID := f.RouteOf(req.Addr)
+	local := &axi.ReadReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Len: req.Len}
+	tel := f.ep(p.src)
+	start := f.eng.Now()
 	tel.inflight.Inc()
-	p.deliver(dstID, 4, func(dst axi.Target) {
-		dst.Read(local, func(r *axi.ReadResp) {
-			// r-channel data crosses back.
-			p.f.eng.Schedule(p.f.delay(dstID, req.Len), func() {
-				tel.rtt.Observe(uint64(p.f.eng.Now() - start))
-				tel.inflight.Dec()
-				done(r)
-			})
+	dst, ok := f.eps[dstID]
+	if !ok {
+		p.fail(tel, func() { done(&axi.ReadResp{ID: req.ID, OK: false}) })
+		return
+	}
+	// r-channel data crosses back.
+	f.exchange(p.src, dstID, 4, req.Len,
+		func(reply func(any)) {
+			dst.Read(local, func(r *axi.ReadResp) { reply(r) })
+		},
+		func(r any) {
+			tel.rtt.Observe(uint64(f.eng.Now() - start))
+			tel.inflight.Dec()
+			if r == nil {
+				done(&axi.ReadResp{ID: req.ID, OK: false})
+				return
+			}
+			done(r.(*axi.ReadResp))
 		})
-	}, func() { tel.inflight.Dec(); done(&axi.ReadResp{ID: req.ID, OK: false}) })
 }

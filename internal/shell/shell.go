@@ -40,11 +40,16 @@ type Shell struct {
 	cl     axi.Target
 	lite   [NumLiteTaps]axi.LiteTarget
 	stats  *sim.Stats
+
+	cErrors *sim.Counter // outbound responses with OK:false crossing the CL
 }
 
 // New creates the shell for FPGA id and attaches it to the fabric.
 func New(eng *sim.Engine, fabric *pcie.Fabric, id int, stats *sim.Stats) *Shell {
 	s := &Shell{eng: eng, id: id, fabric: fabric, stats: stats}
+	if stats != nil {
+		s.cErrors = stats.Counter(fmt.Sprintf("fpga%d.shell.axi_errors", id))
+	}
 	fabric.Attach(id, (*inbound)(s))
 	return s
 }
@@ -86,6 +91,9 @@ type outbound struct{ s *Shell }
 func (o *outbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 	o.s.eng.Schedule(ConversionDelay, func() {
 		o.s.fabric.Master(o.s.id).Write(req, func(r *axi.WriteResp) {
+			if !r.OK {
+				o.s.cErrors.Inc()
+			}
 			o.s.eng.Schedule(ConversionDelay, func() { done(r) })
 		})
 	})
@@ -94,6 +102,9 @@ func (o *outbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 func (o *outbound) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 	o.s.eng.Schedule(ConversionDelay, func() {
 		o.s.fabric.Master(o.s.id).Read(req, func(r *axi.ReadResp) {
+			if !r.OK {
+				o.s.cErrors.Inc()
+			}
 			o.s.eng.Schedule(ConversionDelay, func() { done(r) })
 		})
 	})

@@ -94,16 +94,48 @@ func (e *Engine) At(t Time, fn func()) {
 	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
 }
 
+// Timer is a handle to a cancellable event scheduled with Engine.After.
+type Timer struct{ ev *event }
+
+// Cancel discards the timer's event. A cancelled event is skipped unexecuted
+// when the queue reaches it: it does not run, does not advance the clock and
+// does not count as executed, so timeout guards that usually get cancelled
+// leave a run's final time and statistics untouched. Safe on a nil Timer and
+// after the event has already fired.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+		t.ev = nil
+	}
+}
+
+// After schedules fn after delay cycles, like Schedule, but returns a Timer
+// that can cancel the event before it fires. Models use it for timeout
+// watchdogs (e.g. the PCIe retransmit timer) that are cancelled on the
+// common path.
+func (e *Engine) After(delay Time, fn func()) *Timer {
+	e.seq++
+	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
 // Step executes the single next event. It reports false when the queue is
-// empty or the engine has been stopped.
+// empty or the engine has been stopped. Cancelled events are discarded
+// without executing (and without advancing the clock); Step still reports
+// true for them so run loops keep draining.
 func (e *Engine) Step() bool {
 	if e.stopped || len(e.queue) == 0 {
 		return false
 	}
 	ev := heap.Pop(&e.queue).(*event)
+	if ev.fn == nil {
+		return true // cancelled
+	}
 	e.now = ev.at
 	e.executed++
 	ev.fn()
+	ev.fn = nil // release the closure; a Timer may still point at the event
 	return true
 }
 

@@ -1,0 +1,75 @@
+package sim
+
+// Watchdog is a forward-progress monitor for deadlock detection. Every
+// Interval cycles it checks whether any event other than its own check has
+// executed. Three outcomes:
+//
+//   - progress was made (or events are still pending in the future): re-arm
+//     and keep watching;
+//   - no progress, nothing pending, and the inflight predicate reports
+//     outstanding transactions: the system is wedged — fire the onStall
+//     callback (once) and disarm;
+//   - no progress and nothing in flight: the system has quiesced — disarm
+//     silently so Engine.Run can drain.
+//
+// The check event itself is excluded from the progress count (same idea as
+// the Sampler's quiesce detection), so an armed watchdog on an idle system
+// does not keep the run alive.
+type Watchdog struct {
+	eng      *Engine
+	interval Time
+	inflight func() bool
+	onStall  func()
+
+	lastExec uint64
+	fired    bool
+	stopped  bool
+}
+
+// NewWatchdog creates and arms a watchdog. inflight reports whether
+// transactions are outstanding somewhere in the model (typically a scan of
+// occupancy gauges); onStall is invoked at most once, when no non-watchdog
+// event has executed for a full interval while inflight() is true. Either
+// callback may be nil.
+func NewWatchdog(eng *Engine, interval Time, inflight func() bool, onStall func()) *Watchdog {
+	if interval == 0 {
+		interval = 1 << 20
+	}
+	w := &Watchdog{eng: eng, interval: interval, inflight: inflight, onStall: onStall}
+	w.lastExec = eng.Executed()
+	eng.Schedule(interval, w.check)
+	return w
+}
+
+// Interval returns the check period in cycles.
+func (w *Watchdog) Interval() Time { return w.interval }
+
+// Fired reports whether the watchdog has detected a stall.
+func (w *Watchdog) Fired() bool { return w.fired }
+
+// Stop disarms the watchdog permanently.
+func (w *Watchdog) Stop() { w.stopped = true }
+
+func (w *Watchdog) check() {
+	if w.stopped {
+		return
+	}
+	exec := w.eng.Executed()
+	progressed := exec-w.lastExec > 1 // 1 = this check itself
+	w.lastExec = exec
+	if progressed || w.eng.Pending() > 0 {
+		// Still moving, or events queued in the future (sparse activity is
+		// not a deadlock). Keep watching.
+		w.eng.Schedule(w.interval, w.check)
+		return
+	}
+	if w.inflight != nil && w.inflight() {
+		// Wedged: transactions outstanding but nothing will ever run.
+		w.fired = true
+		if w.onStall != nil {
+			w.onStall()
+		}
+		return
+	}
+	// Quiesced: disarm so the engine can drain.
+}

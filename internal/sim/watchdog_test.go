@@ -1,0 +1,130 @@
+package sim
+
+import "testing"
+
+func TestTimerCancelSkipsEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(100, func() { fired = true })
+	e.Schedule(10, func() {})
+	tm.Cancel()
+	end := e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if end != 10 {
+		t.Fatalf("cancelled timer advanced the clock: end=%d, want 10", end)
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("executed=%d, want 1 (cancelled event must not count)", e.Executed())
+	}
+}
+
+func TestTimerFiresWhenNotCancelled(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(50, func() { fired = true })
+	if end := e.Run(); !fired || end != 50 {
+		t.Fatalf("fired=%v end=%d, want true 50", fired, end)
+	}
+}
+
+func TestTimerCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	tm := e.After(5, func() { n++ })
+	e.Run()
+	tm.Cancel() // must not panic or disturb anything
+	tm.Cancel()
+	var nilTimer *Timer
+	nilTimer.Cancel()
+	if n != 1 {
+		t.Fatalf("fired %d times, want 1", n)
+	}
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	e := NewEngine()
+	inflight := 0
+	var fired bool
+	NewWatchdog(e, 100, func() bool { return inflight > 0 }, func() { fired = true })
+	// A request goes in flight but its completion event is lost: the queue
+	// drains while the gauge stays up.
+	e.Schedule(10, func() { inflight = 1 })
+	e.Run()
+	if !fired {
+		t.Fatal("watchdog did not fire on a wedged in-flight transaction")
+	}
+}
+
+func TestWatchdogQuiesceDisarms(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	wd := NewWatchdog(e, 100, func() bool { return false }, func() { fired = true })
+	e.Schedule(10, func() {})
+	end := e.Run()
+	if fired {
+		t.Fatal("watchdog fired on a cleanly quiesced run")
+	}
+	if wd.Fired() {
+		t.Fatal("Fired() true without a stall")
+	}
+	// The watchdog re-arms once (progress was made in its first interval),
+	// sees no progress and nothing in flight, then disarms: the run must not
+	// be kept alive indefinitely.
+	if end > 300 {
+		t.Fatalf("watchdog kept the run alive to %d", end)
+	}
+}
+
+func TestWatchdogRearmsWhileProgressing(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	inflight := true
+	NewWatchdog(e, 100, func() bool { return inflight }, func() { fired = true })
+	// Steady activity for 10 intervals, then clean quiesce.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 50 {
+			e.Schedule(20, tick)
+		} else {
+			inflight = false
+		}
+	}
+	e.Schedule(20, tick)
+	e.Run()
+	if fired {
+		t.Fatal("watchdog fired despite steady forward progress")
+	}
+}
+
+func TestWatchdogSparsePendingIsNotStall(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	done := false
+	NewWatchdog(e, 100, func() bool { return !done }, func() { fired = true })
+	// One event far in the future: in flight, no progress per interval, but
+	// the pending queue proves the system will move again.
+	e.Schedule(1000, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("sparse event did not run")
+	}
+	if fired {
+		t.Fatal("watchdog fired while events were still pending")
+	}
+}
+
+func TestWatchdogStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	inflight := true
+	wd := NewWatchdog(e, 100, func() bool { return inflight }, func() { fired = true })
+	e.Schedule(10, func() { wd.Stop() })
+	e.Run()
+	if fired {
+		t.Fatal("stopped watchdog fired")
+	}
+}

@@ -27,6 +27,7 @@ package smappic
 import (
 	"smappic/internal/cache"
 	"smappic/internal/core"
+	"smappic/internal/fault"
 	"smappic/internal/kernel"
 	"smappic/internal/sim"
 )
@@ -62,6 +63,8 @@ type (
 	Ctx = kernel.Ctx
 	// Time is simulation time in prototype clock cycles.
 	Time = sim.Time
+	// FaultPlan is a parsed set of fault-injection rules (Config.Faults).
+	FaultPlan = fault.Plan
 )
 
 // Core type choices.
@@ -92,6 +95,13 @@ func DefaultConfig(fpgas, nodesPerFPGA, tilesPerNode int) Config {
 // ParseShape parses "AxBxC" notation (e.g. "4x1x12").
 func ParseShape(s string) (fpgas, nodes, tiles int, err error) {
 	return core.ParseShape(s)
+}
+
+// ParseFaults parses a fault-injection spec ("pcie.*.drop:p=0.01,seed=7;...")
+// into a plan for Config.Faults. An empty spec returns a nil plan (injection
+// disabled); see the fault package for the full grammar.
+func ParseFaults(spec string, defaultSeed uint64) (*FaultPlan, error) {
+	return fault.Parse(spec, defaultSeed)
 }
 
 // BootKernel starts the mini operating system on a prototype built with
