@@ -10,11 +10,15 @@ package smappic_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"smappic"
 	"smappic/internal/baseline"
+	"smappic/internal/core"
 	"smappic/internal/experiments"
+	"smappic/internal/kernel"
 	"smappic/internal/workload"
 )
 
@@ -144,6 +148,62 @@ func BenchmarkFig14_CloudVsOnPrem(b *testing.B) {
 	}
 	report("Fig 14", r.String())
 	b.ReportMetric(r.CrossoverDays, "crossover_days")
+}
+
+// benchIS runs the NPB integer sort once on the given shape, serial
+// (parallel=0) or sharded (parallel=FPGAs), and returns the simulated
+// cycle count.
+func benchIS(b *testing.B, fpgas, nodesPerFPGA, tiles, parallel int) smappic.Time {
+	b.Helper()
+	cfg := smappic.DefaultConfig(fpgas, nodesPerFPGA, tiles)
+	cfg.Core = core.CoreNone
+	cfg.Parallel = parallel
+	p, err := core.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := kernel.New(p, kernel.DefaultConfig())
+	ip := workload.DefaultISParams(p.Cfg.TotalTiles())
+	ip.Keys = 1 << 13
+	r := workload.RunIS(k, ip)
+	if !r.Sorted {
+		b.Fatal("integer sort output not sorted")
+	}
+	return r.Cycles
+}
+
+// BenchmarkParallel_vs_Serial measures the sharded engine against the
+// serial reference on the 4-node (4x1x2) and 8-node (4x2x2) NPB-IS
+// configurations. The sharded engine's speedup is bounded by the host's
+// core count: on a single-core host the window barriers are pure overhead,
+// so treat serial-vs-parallel deltas here together with the gomaxprocs
+// metric (see BENCH_PARALLEL.json for the recorded trajectory).
+func BenchmarkParallel_vs_Serial(b *testing.B) {
+	shapes := []struct {
+		name                string
+		fpgas, nodes, tiles int
+	}{
+		{"4node", 4, 1, 2},
+		{"8node", 4, 2, 2},
+	}
+	for _, sh := range shapes {
+		for _, mode := range []struct {
+			name     string
+			parallel func(fpgas int) int
+		}{
+			{"serial", func(int) int { return 0 }},
+			{"parallel", func(f int) int { return f }},
+		} {
+			b.Run(sh.name+"/"+mode.name, func(b *testing.B) {
+				var cycles smappic.Time
+				for i := 0; i < b.N; i++ {
+					cycles = benchIS(b, sh.fpgas, sh.nodes, sh.tiles, mode.parallel(sh.fpgas))
+				}
+				b.ReportMetric(float64(cycles), "sim_cycles")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			})
+		}
+	}
 }
 
 // Ablation benchmarks: the design-choice studies DESIGN.md calls out.

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	smappic-run -shape 1x1x2 [-prog program.s] [-max-cycles N]
-//	            [-metrics-json out.json] [-trace-out trace.json]
+//	            [-parallel N] [-metrics-json out.json] [-trace-out trace.json]
 //	            [-sample-every N] [-sample-out samples.csv]
 //	            [-faults SPEC] [-fault-seed N] [-watchdog N]
 //
@@ -37,6 +37,11 @@
 // N cycles while transactions are in flight, the run prints a stall
 // diagnosis (outstanding gauges plus fault-site status) instead of
 // draining silently.
+//
+// -parallel N (N > 1) shards the simulation one-engine-per-FPGA under the
+// conservative lookahead synchronizer; results are bit-identical to the
+// default serial engine. The sharded engine does not support the
+// event-trace, sampler or watchdog extras.
 package main
 
 import (
@@ -81,6 +86,7 @@ func main() {
 	faults := flag.String("faults", "", `fault-injection spec, e.g. "pcie.*.drop:p=0.01;node0.dram.flip:n=3" (see doc comment)`)
 	faultSeed := flag.Uint64("fault-seed", 1, "default RNG seed for fault rules without an explicit seed=")
 	watchdog := flag.Uint64("watchdog", 0, "stall-detection window in cycles (0 = off)")
+	parallel := flag.Int("parallel", 0, "shard the simulation across goroutines, one per FPGA (>1 = on; results are identical to serial)")
 	flag.Parse()
 
 	a, b, c, err := smappic.ParseShape(*shape)
@@ -88,7 +94,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *parallel > 1 && (*traceOut != "" || *sampleEvery > 0 || *sampleOut != "") {
+		fmt.Fprintln(os.Stderr, "smappic-run: -trace-out/-sample-every/-sample-out need the serial engine; drop -parallel")
+		os.Exit(1)
+	}
 	cfg := smappic.DefaultConfig(a, b, c)
+	cfg.Parallel = *parallel
 	cfg.Faults, err = smappic.ParseFaults(*faults, *faultSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -136,7 +147,7 @@ func main() {
 	proto.RunUntilHalted(smappic.Time(*maxCycles))
 
 	fmt.Printf("ran %d cycles (%.3f ms at %d MHz)\n",
-		proto.Eng.Now(), proto.Seconds(proto.Eng.Now())*1e3, proto.Cfg.ClockMHz)
+		proto.Now(), proto.Seconds(proto.Now())*1e3, proto.Cfg.ClockMHz)
 	if !proto.AllHalted() {
 		fmt.Println("warning: not all harts halted before the cycle limit")
 	}

@@ -24,7 +24,7 @@ func main() {
 		}
 		// Integrate the accelerator: tile 1's compute slot becomes the GNG
 		// (the paper's 1.5-hour TRI integration, one line here).
-		proto.Nodes[0].Tiles[1].Accel = accel.NewGNG(1, proto.Stats, "gng")
+		proto.Nodes[0].Tiles[1].Accel = accel.NewGNG(1, proto.StatsForNode(0), "gng")
 		return smappic.BootKernel(proto, smappic.DefaultKernelConfig())
 	}
 

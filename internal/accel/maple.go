@@ -93,7 +93,7 @@ func (m *MAPLE) reset() {
 	m.exhausted, m.done = false, false
 	// Kick the pump from an event so Program can be called outside the
 	// engine's context.
-	m.pr.Eng.Schedule(0, m.pump)
+	m.pr.EngineForNode(m.tile.Node).Schedule(0, m.pump)
 }
 
 // pump issues fetches while the window and queue have room.

@@ -137,7 +137,7 @@ func New(eng *sim.Engine, mesh *noc.Mesh, node int, p Params, stats *sim.Stats, 
 // bridge itself, e.g. "node1.bridge"). A triggered drop there loses a
 // credit-return update — the classic leak the reconciliation watchdog exists
 // to repair. Must be called before traffic; nil-safe.
-func (b *Bridge) SetInjector(inj *fault.Injector) { b.site = inj.Site(b.name) }
+func (b *Bridge) SetInjector(inj *fault.Injector) { b.site = inj.SiteOn(b.name, b.eng) }
 
 // Credits returns the current send-credit level toward dst, for diagnostics
 // (the watchdog's stall dump) and tests.

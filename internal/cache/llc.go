@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"smappic/internal/mem"
 	"smappic/internal/noc"
@@ -31,6 +32,24 @@ type dirEntry struct {
 
 func (d *dirEntry) addSharer(g GID)    { d.sharers[g] = struct{}{} }
 func (d *dirEntry) removeSharer(g GID) { delete(d.sharers, g) }
+
+// sortedSharers returns the sharer set in (node, tile) order. Invalidations
+// must go out in a fixed order: Go randomizes map iteration per process, and
+// the send order shapes NoC timing, so iterating the map directly makes two
+// runs of the same configuration diverge.
+func (d *dirEntry) sortedSharers() []GID {
+	out := make([]GID, 0, len(d.sharers))
+	for g := range d.sharers {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Tile < out[j].Tile
+	})
+	return out
+}
 
 // txn is one in-flight transaction at the home. The home is blocking: one
 // transaction per line at a time; others queue.
@@ -215,7 +234,7 @@ func (s *Slice) evictLLC(v way) {
 			s.conn.SendProto(s.id, e.owner, &Msg{Op: Inv, Line: v.line, From: s.id, Req: NoReq})
 			s.count("back_inval")
 		case dirS:
-			for g := range e.sharers {
+			for _, g := range e.sortedSharers() {
 				s.conn.SendProto(s.id, g, &Msg{Op: Inv, Line: v.line, From: s.id, Req: NoReq})
 				s.count("back_inval")
 			}
@@ -280,7 +299,7 @@ func (s *Slice) direct(msg *Msg) {
 			s.finish(msg.Line)
 		case dirS:
 			n := 0
-			for g := range e.sharers {
+			for _, g := range e.sortedSharers() {
 				if g == msg.Req {
 					continue
 				}

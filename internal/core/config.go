@@ -79,6 +79,16 @@ type Config struct {
 	// if no event executes for this many cycles while transactions are in
 	// flight, the run records a stall diagnosis instead of draining silently.
 	WatchdogInterval sim.Time
+
+	// Parallel > 1 shards the simulation: one engine per FPGA running on its
+	// own goroutine under a bounded-lag synchronizer whose lookahead is the
+	// minimum PCIe crossing (see internal/sim/parallel.go). The shard count
+	// is always the FPGA count — the intra-FPGA crossbar couples co-located
+	// nodes too tightly to split — so the value only selects the mode.
+	// Sharded runs produce byte-identical MetricsJSON to serial ones; the
+	// live-introspection extras (tracer, sampler, watchdog, latency probe)
+	// are serial-only. 0 or 1 (the default) runs serial.
+	Parallel int
 }
 
 // DefaultConfig returns the paper's Table 2 system for the given shape.
@@ -156,6 +166,9 @@ func (c Config) Validate() error {
 	}
 	if c.Core != CoreAriane && c.Core != CorePicoRV32 && c.Core != CoreNone {
 		return fmt.Errorf("core: unknown core type %q", c.Core)
+	}
+	if c.Parallel > 1 && c.WatchdogInterval > 0 {
+		return fmt.Errorf("core: the watchdog is serial-only; drop -watchdog or -parallel")
 	}
 	return nil
 }

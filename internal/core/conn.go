@@ -122,7 +122,7 @@ func (p *Prototype) accelAccess(t *Tile, m *mmioReq) {
 	if !ok {
 		panic(fmt.Sprintf("core: bad accelerator address %#x", m.addr))
 	}
-	p.Eng.Schedule(accelMMIOLatency, func() {
+	t.node.eng.Schedule(accelMMIOLatency, func() {
 		var val uint64
 		if m.write {
 			t.Accel.Write(devOff, m.size, m.val)
@@ -160,7 +160,7 @@ func (p *Prototype) deviceAccess(n *Node, m *mmioReq) {
 	for _, r := range n.devices {
 		if off >= r.base && off < r.base+r.size {
 			r := r
-			p.Eng.Schedule(r.latency, func() {
+			n.eng.Schedule(r.latency, func() {
 				var val uint64
 				if m.write {
 					r.dev.Write(off-r.base, m.size, m.val)

@@ -29,6 +29,7 @@ func (p *Prototype) probeLine(g cache.GID, seq int) uint64 {
 // probe to j, and the data grant back to i — crossing the inter-node
 // interconnect twice when i and j sit on different nodes.
 func (p *Prototype) MeasureLatency(i, j cache.GID, seq int) sim.Time {
+	p.mustSerial("MeasureLatency")
 	line := p.probeLine(j, seq)
 	sender := p.PortAt(i)
 	receiver := p.PortAt(j)

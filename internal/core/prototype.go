@@ -80,6 +80,8 @@ type Node struct {
 	Pack  *interrupt.Packetizer
 
 	proto   *Prototype
+	eng     *sim.Engine // the node's shard engine (the global one when serial)
+	stats   *sim.Stats  // the shard's registry (the global one when serial)
 	name    string
 	devices []devRegion
 }
@@ -89,8 +91,18 @@ func (n *Node) Name() string { return n.name }
 
 // Prototype is a built SMAPPIC system.
 type Prototype struct {
-	Cfg     Config
-	Eng     *sim.Engine
+	Cfg Config
+	// Eng is the single simulation engine of a serial build; nil under
+	// sharded execution (Cfg.Parallel > 1), where each FPGA owns an engine
+	// and Group coordinates them. Use Now/Run/RunUntilHalted, which dispatch
+	// on the mode, instead of touching Eng directly.
+	Eng *sim.Engine
+	// Group is the bounded-lag shard synchronizer of a sharded build; nil
+	// when serial.
+	Group *sim.Group
+	// Stats is the registry reports read. Serial builds write it directly;
+	// sharded builds keep one registry per shard and fold them into Stats at
+	// report time.
 	Stats   *sim.Stats
 	Backing *mem.Backing
 	Map     *AddrMap
@@ -98,6 +110,10 @@ type Prototype struct {
 	Shells  []*shell.Shell
 	Nodes   []*Node
 	RNG     *sim.RNG
+
+	engs       []*sim.Engine // per FPGA; all the same engine when serial
+	shardStats []*sim.Stats  // per FPGA; all Stats when serial
+	net        sim.CrossNet  // cross-shard delivery (SerialNet when serial)
 	// Tracer, when installed with EnableTrace, records protocol and MMIO
 	// events (nil-safe: tracing is free when disabled).
 	Tracer *sim.Tracer
@@ -117,7 +133,9 @@ type Prototype struct {
 
 // EnableTrace installs an event tracer retaining the last capacity events
 // and propagates it to subsystems that emit their own tracks (bridges).
+// Serial-only: the trace ring is a single time-ordered buffer.
 func (p *Prototype) EnableTrace(capacity int) *sim.Tracer {
+	p.mustSerial("EnableTrace")
 	p.Tracer = sim.NewTracer(p.Eng, capacity)
 	for _, n := range p.Nodes {
 		n.Bridge.SetTracer(p.Tracer)
@@ -132,19 +150,44 @@ func Build(cfg Config) (*Prototype, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	stats := &sim.Stats{}
+	parallel := cfg.Parallel > 1
 	p := &Prototype{
-		Cfg:     cfg,
-		Eng:     eng,
-		Stats:   stats,
-		Backing: mem.NewBacking(),
-		Map:     NewAddrMap(cfg.TotalNodes(), cfg.TilesPerNode, cfg.UnifiedMemory),
-		Fabric:  pcie.New(eng, cfg.PCIe, stats),
-		RNG:     sim.NewRNG(cfg.Seed),
+		Cfg:        cfg,
+		Backing:    mem.NewBacking(),
+		Map:        NewAddrMap(cfg.TotalNodes(), cfg.TilesPerNode, cfg.UnifiedMemory),
+		RNG:        sim.NewRNG(cfg.Seed),
+		engs:       make([]*sim.Engine, cfg.FPGAs),
+		shardStats: make([]*sim.Stats, cfg.FPGAs),
 	}
-	p.Injector = fault.NewInjector(eng, cfg.Faults)
+	if parallel {
+		// One engine and registry per FPGA; shards never touch each other's.
+		// p.Stats stays empty until report time, when the shard registries
+		// are folded into it.
+		p.Stats = &sim.Stats{}
+		for f := range p.engs {
+			p.engs[f] = sim.NewEngine()
+			p.shardStats[f] = &sim.Stats{}
+		}
+		p.Group = sim.NewGroup(cfg.PCIe.MinCrossing(), p.engs...)
+		p.net = p.Group
+	} else {
+		p.Eng = sim.NewEngine()
+		p.Stats = &sim.Stats{}
+		for f := range p.engs {
+			p.engs[f] = p.Eng
+			p.shardStats[f] = p.Stats
+		}
+		p.net = sim.NewSerialNet(p.Eng)
+	}
+	p.Injector = fault.NewInjector(p.engs[0], cfg.Faults)
+	p.Fabric = pcie.New(p.engs[0], cfg.PCIe, p.shardStats[0])
 	p.Fabric.SetInjector(p.Injector)
+	p.Fabric.SetCrossNet(p.net)
+	if parallel {
+		for f := 0; f < cfg.FPGAs; f++ {
+			p.Fabric.ShardEndpoint(f, p.engs[f], p.shardStats[f])
+		}
+	}
 	if cfg.WatchdogInterval > 0 {
 		p.EnableWatchdog(cfg.WatchdogInterval)
 	}
@@ -158,17 +201,18 @@ func Build(cfg Config) (*Prototype, error) {
 	}
 	cls := make([]fpgaCL, cfg.FPGAs)
 	for f := 0; f < cfg.FPGAs; f++ {
-		sh := shell.New(eng, p.Fabric, f, stats)
+		sh := shell.New(p.engs[f], p.Fabric, f, p.shardStats[f])
 		p.Shells = append(p.Shells, sh)
-		cls[f].xbar = axi.NewCrossbar(eng, fmt.Sprintf("fpga%d.inxbar", f), 2, stats)
+		cls[f].xbar = axi.NewCrossbar(p.engs[f], fmt.Sprintf("fpga%d.inxbar", f), 2, p.shardStats[f])
 		sh.SetCustomLogic(cls[f].xbar)
 	}
 
 	// Nodes.
 	for nID := 0; nID < cfg.TotalNodes(); nID++ {
 		f := nID / cfg.NodesPerFPGA
+		eng, stats := p.engs[f], p.shardStats[f]
 		name := fmt.Sprintf("node%d", nID)
-		n := &Node{ID: nID, FPGA: f, proto: p, name: name}
+		n := &Node{ID: nID, FPGA: f, proto: p, eng: eng, stats: stats, name: name}
 		// Router/link delays calibrated so a 12-tile node reproduces the
 		// paper's ~100-cycle intra-node round trip (Fig. 7).
 		n.Mesh = noc.New(eng, name+".mesh", noc.Params{
@@ -345,15 +389,80 @@ func (p *Prototype) Seconds(cycles sim.Time) float64 {
 	return float64(cycles) / (float64(p.Cfg.ClockMHz) * 1e6)
 }
 
-// Run drains the simulation (until all activity quiesces).
-func (p *Prototype) Run() sim.Time { return p.Eng.Run() }
+// Now returns the current simulation time: the single engine's clock when
+// serial, the globally latest executed event when sharded (the two agree —
+// see internal/sim/parallel.go).
+func (p *Prototype) Now() sim.Time {
+	if p.Group != nil {
+		return p.Group.Now()
+	}
+	return p.Eng.Now()
+}
 
-// RunUntil advances simulation to the deadline.
-func (p *Prototype) RunUntil(t sim.Time) sim.Time { return p.Eng.RunUntil(t) }
+// ShardOfNode returns the shard (FPGA) that simulates a node.
+func (p *Prototype) ShardOfNode(node int) int { return node / p.Cfg.NodesPerFPGA }
+
+// EngineForNode returns the engine that simulates a node: its FPGA's shard
+// engine, or the global engine when serial.
+func (p *Prototype) EngineForNode(node int) *sim.Engine {
+	return p.engs[p.ShardOfNode(node)]
+}
+
+// Net returns the cross-shard delivery network. Serial and sharded builds
+// both have one, so code that crosses shards (the PCIe fabric, thread
+// migration) is written once against it.
+func (p *Prototype) Net() sim.CrossNet { return p.net }
+
+// StatsForNode returns the registry new instruments on a node (e.g. an
+// accelerator placed on one of its tiles) must register with: the node's
+// shard registry when sharded, the global one when serial. Instruments
+// registered on Stats directly would be dropped by a sharded build's
+// report-time merge.
+func (p *Prototype) StatsForNode(node int) *sim.Stats {
+	return p.shardStats[p.ShardOfNode(node)]
+}
+
+// Lookahead returns the minimum cross-shard latency in cycles — the bound
+// every CrossNet send must respect, in either mode (serial runs must obey
+// it too or they would diverge from sharded ones).
+func (p *Prototype) Lookahead() sim.Time { return p.Cfg.PCIe.MinCrossing() }
+
+// mustSerial panics when a serial-only feature is used on a sharded build.
+func (p *Prototype) mustSerial(what string) {
+	if p.Eng == nil {
+		panic(fmt.Sprintf("core: %s is serial-only; rebuild without Parallel", what))
+	}
+}
+
+// Run drains the simulation (until all activity quiesces).
+func (p *Prototype) Run() sim.Time {
+	if p.Group != nil {
+		return p.Group.Run()
+	}
+	return p.Eng.Run()
+}
+
+// RunUntil advances simulation to the deadline. Serial-only: sharded
+// execution advances in lookahead windows, not to arbitrary deadlines.
+func (p *Prototype) RunUntil(t sim.Time) sim.Time {
+	p.mustSerial("RunUntil")
+	return p.Eng.RunUntil(t)
+}
 
 // RunUntilHalted executes until every core halts, the event queue drains,
-// or the cycle limit passes, and returns the final time.
+// or the cycle limit passes, and returns the final time. Sharded execution
+// checks the halt condition at window barriers (the only points where core
+// state is coherent to inspect), so it may overshoot the limit by up to one
+// window.
 func (p *Prototype) RunUntilHalted(limit sim.Time) sim.Time {
+	if p.Group != nil {
+		for !p.AllHalted() && p.Group.Now() < limit {
+			if !p.Group.StepWindow() {
+				break
+			}
+		}
+		return p.Group.Now()
+	}
 	for !p.AllHalted() && p.Eng.Now() < limit {
 		if !p.Eng.Step() {
 			break
@@ -371,7 +480,7 @@ func (p *Prototype) Start() {
 				continue
 			}
 			t := t
-			t.proc = sim.Go(p.Eng, fmt.Sprintf("hart%d", p.hartID(t.ID)), func(pr *sim.Process) {
+			t.proc = sim.Go(n.eng, fmt.Sprintf("hart%d", p.hartID(t.ID)), func(pr *sim.Process) {
 				t.Core.Run(pr, 0)
 			})
 		}

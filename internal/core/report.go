@@ -20,12 +20,18 @@ func (p *Prototype) flushTelemetry() {
 	}
 	for _, n := range p.Nodes {
 		n.Mesh.FlushLinkStats()
-		merged := p.Stats.Histogram(n.name + ".bpc.miss_latency")
+		merged := n.stats.Histogram(n.name + ".bpc.miss_latency")
 		merged.Reset()
 		for tID := range n.Tiles {
-			h := p.Stats.FindHistogram(fmt.Sprintf("%s.tile%d.bpc.miss_latency", n.name, tID))
+			h := n.stats.FindHistogram(fmt.Sprintf("%s.tile%d.bpc.miss_latency", n.name, tID))
 			merged.Merge(h)
 		}
+	}
+	if p.Group != nil {
+		// Fold the per-shard registries into the reporting registry. Shard
+		// instrument names are disjoint, so this is a rename-free union; it
+		// is also idempotent because CopyFrom replaces rather than adds.
+		p.Stats.CopyFrom(p.shardStats...)
 	}
 }
 
@@ -36,7 +42,7 @@ func (p *Prototype) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# shape %dx%dx%d, %d cycles (%.6f s at %d MHz), seed %d\n",
 		p.Cfg.FPGAs, p.Cfg.NodesPerFPGA, p.Cfg.TilesPerNode,
-		p.Eng.Now(), p.Seconds(p.Eng.Now()), p.Cfg.ClockMHz, p.Cfg.Seed)
+		p.Now(), p.Seconds(p.Now()), p.Cfg.ClockMHz, p.Cfg.Seed)
 	b.WriteString(p.Stats.String())
 	if p.Injector != nil {
 		b.WriteString("# fault injection\n")
@@ -75,7 +81,7 @@ func (p *Prototype) MetricsJSON() ([]byte, error) {
 			FPGAs:        p.Cfg.FPGAs,
 			NodesPerFPGA: p.Cfg.NodesPerFPGA,
 			TilesPerNode: p.Cfg.TilesPerNode,
-			Cycles:       uint64(p.Eng.Now()),
+			Cycles:       uint64(p.Now()),
 			ClockMHz:     p.Cfg.ClockMHz,
 			Seed:         p.Cfg.Seed,
 		},
@@ -94,6 +100,7 @@ func (p *Prototype) MetricsJSON() ([]byte, error) {
 // names it samples a default set: per-node NoC flit totals per class, bridge
 // traffic, DRAM accesses and memory-engine occupancy.
 func (p *Prototype) EnableSampler(every sim.Time, names ...string) *sim.Sampler {
+	p.mustSerial("EnableSampler")
 	if len(names) == 0 {
 		names = p.defaultSampleSet()
 	}
@@ -131,6 +138,7 @@ func (p *Prototype) WriteTrace(w io.Writer) error {
 // the watchdog records a diagnosis (StallDiagnosis, also appended to Report)
 // built from the stats registry instead of letting the queue drain silently.
 func (p *Prototype) EnableWatchdog(interval sim.Time) *sim.Watchdog {
+	p.mustSerial("EnableWatchdog")
 	p.Watchdog = sim.NewWatchdog(p.Eng, interval, p.hasInflight, func() {
 		p.StallDiagnosis = p.stallDiagnosis(interval)
 	})
@@ -157,7 +165,7 @@ func (p *Prototype) hasInflight() bool {
 func (p *Prototype) stallDiagnosis(interval sim.Time) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "WATCHDOG: no forward progress for %d cycles at cycle %d with transactions in flight\n",
-		interval, p.Eng.Now())
+		interval, p.Now())
 	b.WriteString("outstanding (nonzero gauges):\n")
 	for _, name := range p.Stats.GaugeNames() {
 		if v, ok := p.Stats.GaugeValue(name); ok && v != 0 {

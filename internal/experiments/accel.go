@@ -20,7 +20,7 @@ type Fig10Result struct {
 // GNG accelerator in tile 1.
 func gngSystem() *kernel.Kernel {
 	p := newPrototype(1, 1, 2)
-	p.Nodes[0].Tiles[1].Accel = accel.NewGNG(1, p.Stats, "gng")
+	p.Nodes[0].Tiles[1].Accel = accel.NewGNG(1, p.StatsForNode(0), "gng")
 	return kernel.New(p, kernel.DefaultConfig())
 }
 

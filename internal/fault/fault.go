@@ -252,6 +252,19 @@ func (inj *Injector) Site(name string) *Site {
 	return s
 }
 
+// SiteOn resolves a fault site like Site but binds its stall timing to the
+// given engine. Components owned by a shard resolve their sites against
+// their shard's engine, so stall windows are measured on the clock that
+// actually drives the site; with a single shared engine SiteOn is
+// equivalent to Site.
+func (inj *Injector) SiteOn(name string, eng *sim.Engine) *Site {
+	s := inj.Site(name)
+	if s != nil {
+		s.eng = eng
+	}
+	return s
+}
+
 // Sites returns the names of all resolved sites that have at least one rule,
 // in sorted order (for diagnostics).
 func (inj *Injector) Sites() []string {

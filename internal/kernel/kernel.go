@@ -15,10 +15,37 @@
 // accesses are translated through the kernel's page table and flow through
 // the prototype's cache hierarchy and NoC/bridge fabric, so placement
 // policy turns directly into latency and congestion.
+//
+// The kernel is shard-safe: on a sharded prototype (core.Config.Parallel)
+// threads on different FPGAs run on concurrent goroutines, so every piece
+// of cross-thread kernel state is reached only through simulated memory
+// operations whose ordering the conservative synchronizer already makes
+// deterministic. Concretely:
+//
+//   - each thread has a private TLB; a miss always performs a real atomic
+//     on the page's allocator lock line (striped over node 0) before
+//     looking at the shared page table, so competing first-touchers of a
+//     page are serialized in simulated time (cross-shard, the line
+//     transfer costs at least one PCIe crossing = one lookahead window,
+//     which also gives the host-side map accesses a happens-before edge);
+//   - physical frames are direct-mapped (frame index = heap page index on
+//     whichever node the policy picks), so the physical address of a page
+//     never depends on the global order of unrelated faults;
+//   - topology-blind placement hashes (seed, page) instead of drawing from
+//     a shared RNG stream, and each thread's migration decisions come from
+//     its own RNG, so no policy choice depends on global event order;
+//   - barrier arrival is a fetch-add on a shared line; the same atomic
+//     that generates the coherence traffic also serializes the arrivals,
+//     so the release (futex-style wakeups sent through the cross-shard
+//     network, one lookahead-bounded latency each) is deterministic;
+//   - a migration that crosses FPGAs hops the thread's process between
+//     shard engines through the cross-shard network, paying MigrateCost,
+//     which must be at least the synchronizer's lookahead.
 package kernel
 
 import (
 	"fmt"
+	"sync"
 
 	"smappic/internal/cache"
 	"smappic/internal/core"
@@ -32,6 +59,24 @@ const PageBytes = 4096
 // physical address so mixups are caught immediately.
 const heapBase uint64 = 1 << 44
 
+// heapPhysOffset is where heap frames start within a node's DRAM (the low
+// 32 MiB is reserved for code and kernel structures).
+const heapPhysOffset uint64 = 32 << 20
+
+// lockOffset places the allocator lock lines inside node 0's reserved low
+// memory (below the 32 MiB kernel area, away from the probe scratch region
+// at 16 MiB); lockLines stripes independent pages over distinct lines so
+// only faults on the same page serialize against each other.
+const (
+	lockOffset uint64 = 8 << 20
+	lockLines  uint64 = 64
+)
+
+// barrierWakeFloor is the minimum release-to-resume latency of a barrier
+// wakeup (the futex/IPI path); the actual latency also covers the
+// cross-shard lookahead.
+const barrierWakeFloor sim.Time = 100
+
 // Config selects the kernel policies.
 type Config struct {
 	// NUMA enables first-touch allocation and no-migration scheduling.
@@ -39,7 +84,9 @@ type Config struct {
 	// Quantum is the scheduling timeslice for migration decisions in
 	// non-NUMA mode, in cycles.
 	Quantum sim.Time
-	// MigrateCost is the context-switch penalty charged per migration.
+	// MigrateCost is the context-switch penalty charged per migration. On
+	// a multi-FPGA prototype it must be at least the PCIe lookahead so a
+	// cross-shard hop is representable under the conservative synchronizer.
 	MigrateCost sim.Time
 	// Seed drives the topology-blind allocator and migration choices.
 	Seed uint64
@@ -54,9 +101,13 @@ func DefaultConfig() Config {
 type Kernel struct {
 	pr  *core.Prototype
 	cfg Config
-	rng *sim.RNG
 
-	nextLocal []uint64          // per-node physical bump pointer
+	// mu guards the shared allocator state below. Timed accesses reach it
+	// only after the page's lock-line atomic, which keeps cross-shard
+	// contenders on the same page at least one synchronization window
+	// apart; the mutex makes the host-side (functional) accesses safe as
+	// well.
+	mu        sync.Mutex
 	pageTable map[uint64]uint64 // vpage -> physical page address
 	pageNode  map[uint64]int    // vpage -> owning node (for stats)
 	nextVA    uint64
@@ -65,20 +116,17 @@ type Kernel struct {
 
 // New boots the kernel on a prototype.
 func New(pr *core.Prototype, cfg Config) *Kernel {
-	k := &Kernel{
+	if !cfg.NUMA && pr.Cfg.FPGAs > 1 && cfg.MigrateCost < pr.Lookahead() {
+		panic(fmt.Sprintf("kernel: MigrateCost %d below the PCIe lookahead %d; a cross-FPGA migration cannot be scheduled",
+			cfg.MigrateCost, pr.Lookahead()))
+	}
+	return &Kernel{
 		pr:        pr,
 		cfg:       cfg,
-		rng:       sim.NewRNG(cfg.Seed),
-		nextLocal: make([]uint64, pr.Cfg.TotalNodes()),
 		pageTable: make(map[uint64]uint64),
 		pageNode:  make(map[uint64]int),
 		nextVA:    heapBase,
 	}
-	// Reserve the low 32 MiB of each node for code and kernel structures.
-	for i := range k.nextLocal {
-		k.nextLocal[i] = 32 << 20
-	}
-	return k
 }
 
 // Prototype returns the underlying hardware.
@@ -87,76 +135,118 @@ func (k *Kernel) Prototype() *core.Prototype { return k.pr }
 // NUMA reports whether NUMA mode is enabled.
 func (k *Kernel) NUMA() bool { return k.cfg.NUMA }
 
+// lockAddr is the physical address of a virtual page's allocator lock line
+// (on node 0, striped so unrelated pages do not contend).
+func (k *Kernel) lockAddr(vp uint64) uint64 {
+	stripe := (vp - heapBase/PageBytes) % lockLines
+	return k.pr.Map.NodeDRAMBase(0) + lockOffset + stripe*cache.LineBytes
+}
+
+// mix is the splitmix64 finalizer over a seeded input, used for all
+// order-independent pseudo-random policy decisions.
+func mix(seed, x uint64) uint64 {
+	z := seed ^ x*0x9E3779B97F4A7C15
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// blindNode is the topology-blind allocator's placement for a virtual page:
+// a pure hash of (seed, page), so the choice does not depend on which
+// thread faults first.
+func (k *Kernel) blindNode(vp uint64) int {
+	return int(mix(k.cfg.Seed, vp) % uint64(k.pr.Cfg.TotalNodes()))
+}
+
 // Alloc reserves size bytes of virtual address space (page aligned).
 // Physical pages are assigned lazily on first touch.
 func (k *Kernel) Alloc(size uint64) uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	va := k.nextVA
 	pages := (size + PageBytes - 1) / PageBytes
 	k.nextVA += pages * PageBytes
 	return va
 }
 
-// allocPhys grabs a fresh physical page on the given node.
-func (k *Kernel) allocPhys(node int) uint64 {
-	off := k.nextLocal[node]
-	k.nextLocal[node] += PageBytes
+// physFor direct-maps a virtual heap page onto a node: frame index equals
+// the heap page index, at an offset above the reserved kernel area. The
+// physical address of a page therefore depends only on (vp, node), never
+// on the order unrelated faults resolved in — the property that lets
+// independent pages fault concurrently on different shards. Frames are
+// sparse (the backing store materializes only touched pages), so the cost
+// is address space, not memory.
+func (k *Kernel) physFor(vp uint64, node int) uint64 {
+	off := heapPhysOffset + (vp-heapBase/PageBytes)*PageBytes
 	if off+PageBytes > k.pr.Map.MainMemorySize() {
-		panic(fmt.Sprintf("kernel: node %d out of memory", node))
+		panic(fmt.Sprintf("kernel: virtual heap page %#x exceeds per-node main memory (direct-mapped paging)", vp))
 	}
 	return k.pr.Map.NodeDRAMBase(node) + off
 }
 
-// translate maps a virtual address, allocating on first touch. toucher is
-// the node of the accessing thread.
-func (k *Kernel) translate(va uint64, toucher int) uint64 {
+// faultLocked resolves a page fault: look up the page, install it on first
+// touch. toucher is the node charged for a NUMA first-touch allocation.
+// Callers hold k.mu.
+func (k *Kernel) faultLocked(vp uint64, toucher int) uint64 {
+	pa, ok := k.pageTable[vp]
+	if !ok {
+		node := toucher
+		if !k.cfg.NUMA {
+			node = k.blindNode(vp)
+		}
+		pa = k.physFor(vp, node)
+		k.pageTable[vp] = pa
+		k.pageNode[vp] = node
+	}
+	return pa
+}
+
+// hostTranslate maps a virtual address functionally (no simulated time,
+// host context). First touches from the host are charged to node 0 in NUMA
+// mode.
+func (k *Kernel) hostTranslate(va uint64) uint64 {
 	if va < heapBase {
 		// Identity-mapped low range (device or explicitly physical).
 		return va
 	}
 	vp := va / PageBytes
-	pa, ok := k.pageTable[vp]
-	if !ok {
-		node := toucher
-		if !k.cfg.NUMA {
-			// Topology-blind: the buddy allocator hands out pages from
-			// wherever, modeled as a pseudo-random node.
-			node = k.rng.Intn(k.pr.Cfg.TotalNodes())
-		}
-		pa = k.allocPhys(node)
-		k.pageTable[vp] = pa
-		k.pageNode[vp] = node
-	}
+	k.mu.Lock()
+	pa := k.faultLocked(vp, 0)
+	k.mu.Unlock()
 	return pa + va%PageBytes
 }
 
 // Read performs a functional (zero-time) read at a virtual address, for
 // verification and host-side inspection.
 func (k *Kernel) Read(va uint64, size int) uint64 {
-	return k.pr.ReadPhys(k.translate(va, 0), size)
+	return k.pr.ReadPhys(k.hostTranslate(va), size)
 }
 
 // Write performs a functional (zero-time) write at a virtual address.
 func (k *Kernel) Write(va uint64, size int, v uint64) {
-	k.pr.WritePhys(k.translate(va, 0), size, v)
+	k.pr.WritePhys(k.hostTranslate(va), size, v)
 }
 
 // Translate exposes the page table for hardware engines (e.g. MAPLE) that
 // are programmed with already-touched buffers. The toucher for any page
 // faulted here is node 0.
-func (k *Kernel) Translate(va uint64) uint64 { return k.translate(va, 0) }
+func (k *Kernel) Translate(va uint64) uint64 { return k.hostTranslate(va) }
 
 // PageNode reports which node holds a virtual page (testing/stats); -1 if
 // untouched.
 func (k *Kernel) PageNode(va uint64) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	if n, ok := k.pageNode[va/PageBytes]; ok {
 		return n
 	}
 	return -1
 }
 
-// LocalFraction returns the fraction of touched pages that live on their
-// most frequent toucher's... — simplified: fraction of pages on each node.
+// PagesPerNode reports how many touched pages live on each node.
 func (k *Kernel) PagesPerNode() []int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	out := make([]int, k.pr.Cfg.TotalNodes())
 	for _, n := range k.pageNode {
 		out[n]++
@@ -173,6 +263,9 @@ type Thread struct {
 	port     *core.Port
 	proc     *sim.Process
 	nextMigr sim.Time
+	rng      *sim.RNG // private stream: migration choices
+	tlb      map[uint64]uint64
+	barEpoch map[*Barrier]uint64
 
 	Migrations int
 	Done       bool
@@ -186,7 +279,8 @@ type Ctx struct {
 
 // Spawn starts fn as a thread allowed on the given harts (a taskset mask),
 // beginning on the hart at index (threadID mod len(affinity)) so sibling
-// threads spread over the mask.
+// threads spread over the mask. The thread's process runs on the engine of
+// the shard its starting hart belongs to.
 func (k *Kernel) Spawn(name string, affinity []int, fn func(*Ctx)) *Thread {
 	if len(affinity) == 0 {
 		panic("kernel: empty affinity")
@@ -195,11 +289,14 @@ func (k *Kernel) Spawn(name string, affinity []int, fn func(*Ctx)) *Thread {
 		ID:       len(k.threads),
 		kern:     k,
 		affinity: append([]int(nil), affinity...),
+		tlb:      make(map[uint64]uint64),
+		barEpoch: make(map[*Barrier]uint64),
 	}
 	t.hart = t.affinity[t.ID%len(t.affinity)]
+	t.rng = sim.NewRNG(mix(k.cfg.Seed, 0x7468_7264+uint64(t.ID)))
 	t.port = k.pr.PortAt(k.locOf(t.hart))
 	k.threads = append(k.threads, t)
-	t.proc = sim.Go(k.pr.Eng, name, func(p *sim.Process) {
+	t.proc = sim.Go(k.pr.EngineForNode(t.node()), name, func(p *sim.Process) {
 		t.nextMigr = p.Now() + k.cfg.Quantum
 		fn(&Ctx{T: t, P: p})
 		t.Done = true
@@ -250,33 +347,71 @@ func (t *Thread) node() int { return t.hart / t.kern.pr.Cfg.TilesPerNode }
 func (t *Thread) Hart() int { return t.hart }
 
 // maybeMigrate implements the non-NUMA scheduler: at each expired quantum
-// the thread may hop to another allowed hart.
+// the thread may hop to another allowed hart. A hop that crosses FPGAs
+// moves the thread's process to the destination shard's engine through the
+// cross-shard network (MigrateCost covers the PCIe lookahead, checked at
+// boot); a local hop just charges the context-switch cost.
 func (t *Thread) maybeMigrate(p *sim.Process) {
 	if t.kern.cfg.NUMA || len(t.affinity) == 1 || p.Now() < t.nextMigr {
 		return
 	}
 	t.nextMigr = p.Now() + t.kern.cfg.Quantum
-	next := t.affinity[t.kern.rng.Intn(len(t.affinity))]
+	next := t.affinity[t.rng.Intn(len(t.affinity))]
 	if next == t.hart {
 		return
 	}
+	pr := t.kern.pr
+	oldShard := pr.ShardOfNode(t.node())
 	t.hart = next
-	t.port = t.kern.pr.PortAt(t.kern.locOf(next))
+	t.port = pr.PortAt(t.kern.locOf(next))
 	t.Migrations++
-	p.Wait(t.kern.cfg.MigrateCost)
+	newShard := pr.ShardOfNode(t.node())
+	if newShard == oldShard {
+		p.Wait(t.kern.cfg.MigrateCost)
+		return
+	}
+	p.Hop(pr.Net(), oldShard, newShard, pr.EngineForNode(t.node()), t.kern.cfg.MigrateCost)
+}
+
+// translate maps a virtual address with timing: a TLB hit is free, a miss
+// performs a real fetch-add on the page's allocator lock line before
+// touching the shared page table. The atomic both charges a realistic
+// page-walk/fault cost and — because competing faulters of the same page
+// serialize on its lock line through the coherence protocol — makes the
+// first toucher (and with it placement) deterministic even when faulting
+// threads run on different shards. Unrelated pages sit on different
+// stripes and fault concurrently; their installs commute because the
+// physical frame is a pure function of (page, node).
+func (c *Ctx) translate(va uint64) uint64 {
+	if va < heapBase {
+		// Identity-mapped low range (device or explicitly physical).
+		return va
+	}
+	t := c.T
+	vp := va / PageBytes
+	if pa, ok := t.tlb[vp]; ok {
+		return pa + va%PageBytes
+	}
+	k := t.kern
+	t.port.Amo(c.P, k.lockAddr(vp), 8, func(v uint64) uint64 { return v + 1 })
+	k.mu.Lock()
+	pa := k.faultLocked(vp, t.node())
+	k.mu.Unlock()
+	t.tlb[vp] = pa
+	return pa + va%PageBytes
 }
 
 // Load reads size bytes at virtual address va.
 func (c *Ctx) Load(va uint64, size int) uint64 {
 	c.T.maybeMigrate(c.P)
-	pa := c.T.kern.translate(va, c.T.node())
+	pa := c.translate(va)
 	return c.T.port.Load(c.P, pa, size)
 }
 
 // Store writes size bytes at virtual address va.
 func (c *Ctx) Store(va uint64, size int, v uint64) {
 	c.T.maybeMigrate(c.P)
-	pa := c.T.kern.translate(va, c.T.node())
+	pa := c.translate(va)
 	c.T.port.Store(c.P, pa, size, v)
 }
 
@@ -284,7 +419,7 @@ func (c *Ctx) Store(va uint64, size int, v uint64) {
 // lands when permission arrives; the thread only pays the issue cycle.
 func (c *Ctx) StoreAsync(va uint64, size int, v uint64) {
 	c.T.maybeMigrate(c.P)
-	pa := c.T.kern.translate(va, c.T.node())
+	pa := c.translate(va)
 	c.T.port.StoreAsync(pa, size, v)
 	c.P.Wait(1)
 }
@@ -292,7 +427,7 @@ func (c *Ctx) StoreAsync(va uint64, size int, v uint64) {
 // Amo atomically applies f at virtual address va.
 func (c *Ctx) Amo(va uint64, size int, f func(uint64) uint64) uint64 {
 	c.T.maybeMigrate(c.P)
-	pa := c.T.kern.translate(va, c.T.node())
+	pa := c.translate(va)
 	return c.T.port.Amo(c.P, pa, size, f)
 }
 
@@ -316,40 +451,102 @@ func (c *Ctx) MMIOStore(addr uint64, size int, v uint64) {
 	c.T.port.MMIOStore(c.P, addr, size, v)
 }
 
-// Barrier synchronizes n threads. Arrivals perform a real atomic increment
-// on a shared line (generating coherence traffic); waiting itself parks the
-// process instead of spinning, charging a wake latency on release.
+// Barrier synchronizes n threads. Arrival is a real fetch-add on a shared
+// count line, generating the coherence traffic of a pthread barrier's fast
+// path. The slow path is futex-style with the wait queue owned by a home
+// shard, the way a real futex's wait queue lives in the kernel of one node:
+// waiters register with the home and the last arriver posts a release
+// there, both as cross-shard messages, so every queue mutation executes on
+// the home shard's engine in the network's canonical delivery order. That
+// makes the queue deterministic and shard-safe by construction — no shard
+// ever touches it from its own execution context. A register that reaches
+// the home after its round's release (possible when fault-injected link
+// delays reorder arrivals) is woken immediately via the released-round
+// watermark.
 type Barrier struct {
-	k       *Kernel
-	n       int
-	addr    uint64
-	waiting []func()
-	count   int
+	k         *Kernel
+	n         int
+	countAddr uint64
+
+	// Home-shard-owned state: touched only inside CrossNet deliveries on
+	// shard homeShard, never from a waiter's own execution context.
+	homeShard int
+	waiting   []barWaiter
+	released  uint64 // highest round already released
 }
 
-// NewBarrier creates a barrier for n threads.
+// barWaiter is a parked thread awaiting release: its round, the shard it
+// parked on and the callback that resumes it there.
+type barWaiter struct {
+	ep    uint64
+	shard int
+	wake  func()
+}
+
+// NewBarrier creates a barrier for n threads. The wait queue lives on
+// shard 0, alongside the kernel's other bookkeeping.
 func (k *Kernel) NewBarrier(n int) *Barrier {
-	return &Barrier{k: k, n: n, addr: k.Alloc(PageBytes)}
+	return &Barrier{k: k, n: n, countAddr: k.Alloc(PageBytes), homeShard: 0}
 }
 
-// Wait blocks until n threads have arrived.
-func (b *Barrier) Wait(c *Ctx) {
-	c.Amo(b.addr, 8, func(o uint64) uint64 { return o + 1 })
-	b.count++
-	if b.count < b.n {
-		wake := c.P.Suspend()
-		b.waiting = append(b.waiting, wake)
-		c.P.Park()
+// hopLatency is the cost of one barrier slow-path message (register,
+// release or wake); it must cover the PCIe lookahead so the messages are
+// schedulable from any shard.
+func (b *Barrier) hopLatency() sim.Time {
+	if l := b.k.pr.Lookahead(); l > barrierWakeFloor {
+		return l
+	}
+	return barrierWakeFloor
+}
+
+// release runs on the home shard: it marks the round released and wakes
+// every registered waiter of that round.
+func (b *Barrier) release(ep uint64) {
+	if ep > b.released {
+		b.released = ep
+	}
+	home := b.k.pr.EngineForNode(b.homeShard * b.k.pr.Cfg.NodesPerFPGA)
+	at := home.Now() + b.hopLatency()
+	var keep []barWaiter
+	for _, w := range b.waiting {
+		if w.ep <= b.released {
+			b.k.pr.Net().Send(b.homeShard, w.shard, at, w.wake)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	b.waiting = keep
+}
+
+// register runs on the home shard: it queues the waiter, or wakes it on the
+// spot when its round was already released.
+func (b *Barrier) register(w barWaiter) {
+	if w.ep <= b.released {
+		home := b.k.pr.EngineForNode(b.homeShard * b.k.pr.Cfg.NodesPerFPGA)
+		b.k.pr.Net().Send(b.homeShard, w.shard, home.Now()+b.hopLatency(), w.wake)
 		return
 	}
-	// Release: reset the counter and wake everyone.
-	b.count = 0
-	c.Store(b.addr, 8, 0)
-	ws := b.waiting
-	b.waiting = nil
-	for _, w := range ws {
-		w()
+	b.waiting = append(b.waiting, w)
+}
+
+// Wait blocks until n threads have arrived. The arrival count is monotonic
+// (never reset), so the i-th overall arrival belongs to round i/n; each
+// thread tracks its own round in its epoch map.
+func (b *Barrier) Wait(c *Ctx) {
+	ep := c.T.barEpoch[b] + 1
+	c.T.barEpoch[b] = ep
+	old := c.Amo(b.countAddr, 8, func(o uint64) uint64 { return o + 1 })
+	pr := b.k.pr
+	src := pr.ShardOfNode(c.T.node())
+	if old+1 == uint64(b.n)*ep {
+		// Last arriver of this round: post the release to the home shard
+		// and continue without blocking.
+		pr.Net().Send(src, b.homeShard, c.P.Now()+b.hopLatency(), func() { b.release(ep) })
+		return
 	}
+	w := barWaiter{ep: ep, shard: src, wake: c.P.Suspend()}
+	pr.Net().Send(src, b.homeShard, c.P.Now()+b.hopLatency(), func() { b.register(w) })
+	c.P.Park()
 }
 
 // Join runs the simulation until every spawned thread finished.
@@ -364,7 +561,7 @@ func (k *Kernel) Join() sim.Time {
 			}
 		}
 		if all {
-			return k.pr.Eng.Now()
+			return k.pr.Now()
 		}
 		// Threads still parked with no pending events would be a deadlock.
 		panic("kernel: Join: threads blocked with empty event queue")

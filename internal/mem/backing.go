@@ -9,7 +9,10 @@
 // the timing model still generates the full message traffic.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // pageBits is the granularity of on-demand allocation in the backing store.
 const pageBits = 16 // 64 KiB pages
@@ -17,7 +20,16 @@ const pageBits = 16 // 64 KiB pages
 // Backing is a sparse flat physical memory. It allocates 64 KiB pages on
 // first touch, so multi-GB address spaces cost only what is actually used.
 // The zero value is ready to use.
+//
+// Under sharded execution several shard goroutines touch the store inside a
+// window, so the page map is guarded by a lock. The data bytes themselves
+// are not: conflicting same-line accesses from different shards are
+// serialized by the coherence protocol, whose permission transfer crosses
+// the PCIe fabric and therefore separates the accesses by at least the
+// lookahead window — a synchronization barrier (and its happens-before
+// edge) always sits between them.
 type Backing struct {
+	mu    sync.RWMutex
 	pages map[uint64][]byte
 }
 
@@ -25,11 +37,19 @@ type Backing struct {
 func NewBacking() *Backing { return &Backing{pages: make(map[uint64][]byte)} }
 
 func (b *Backing) page(addr uint64) []byte {
+	key := addr >> pageBits
+	b.mu.RLock()
+	p, ok := b.pages[key]
+	b.mu.RUnlock()
+	if ok {
+		return p
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.pages == nil {
 		b.pages = make(map[uint64][]byte)
 	}
-	key := addr >> pageBits
-	p, ok := b.pages[key]
+	p, ok = b.pages[key]
 	if !ok {
 		p = make([]byte, 1<<pageBits)
 		b.pages[key] = p
@@ -38,7 +58,11 @@ func (b *Backing) page(addr uint64) []byte {
 }
 
 // Footprint returns the number of bytes currently allocated.
-func (b *Backing) Footprint() uint64 { return uint64(len(b.pages)) << pageBits }
+func (b *Backing) Footprint() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return uint64(len(b.pages)) << pageBits
+}
 
 // ReadBytes copies len(dst) bytes starting at addr into dst.
 func (b *Backing) ReadBytes(addr uint64, dst []byte) {

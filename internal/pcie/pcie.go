@@ -7,6 +7,14 @@
 // i.e. 125 cycles at the 100 MHz prototype clock. The fabric models each
 // crossing as a fixed one-way latency plus egress serialization at the
 // PCIe link's bandwidth.
+//
+// The fabric is the only component that spans FPGA chips, so under sharded
+// execution it is the cross-shard boundary: all of its mutable state is
+// partitioned per endpoint (engine, egress reservation, telemetry, and the
+// per-direction halves of the reliable-link state), and every crossing is
+// delivered through a sim.CrossNet, whose canonical ordering keeps serial
+// and sharded runs byte-identical. In serial mode an internal SerialNet
+// plays that role on the single engine.
 package pcie
 
 import (
@@ -38,11 +46,17 @@ func DefaultParams() Params {
 	return Params{OneWay: 60, BytesPerCycle: 160}
 }
 
-// epStats is the pre-resolved telemetry of one fabric endpoint; created
-// lazily at first traffic, nil instruments when the fabric has no registry.
-// The reliability counters are created eagerly alongside the rest so a run
-// with a fault-free plan reports the same metric set (all zero) as a run with
-// no injector at all.
+// MinCrossing is the smallest possible cycle count between issuing a
+// transfer at one endpoint and its arrival at another: the one-way switch
+// latency plus at least one egress serialization beat. It lower-bounds
+// every CrossNet delivery the fabric makes, so it is the safe lookahead for
+// sharded execution.
+func (p Params) MinCrossing() sim.Time { return p.OneWay + 1 }
+
+// epStats is the pre-resolved telemetry of one fabric endpoint; nil
+// instruments when the fabric has no registry. The reliability counters are
+// created eagerly alongside the rest so a run with a fault-free plan
+// reports the same metric set (all zero) as a run with no injector at all.
 type epStats struct {
 	txBytes     *sim.Counter
 	txTransfers *sim.Counter
@@ -57,16 +71,31 @@ type epStats struct {
 	site *fault.Site // egress fault site ("pcie.epN.link"), nil when clean
 }
 
+// epState is everything the fabric owns on behalf of one endpoint. Each
+// field is only ever touched from that endpoint's execution context, which
+// is what lets shards run concurrently between barriers.
+type epState struct {
+	id      int
+	eng     *sim.Engine
+	tel     *epStats
+	siteSet bool       // fault site resolved (it may have resolved to nil)
+	target  axi.Target // inbound interface; nil until Attach
+	egress  sim.Time   // egress link reservation
+}
+
 // Fabric is the PCIe switch connecting FPGAs and the host.
 type Fabric struct {
-	eng    *sim.Engine
-	p      Params
-	stats  *sim.Stats
-	inj    *fault.Injector
-	eps    map[int]axi.Target
-	egress map[int]sim.Time // per-endpoint egress link reservation
-	epTel  map[int]*epStats
-	rel    map[pair]*relState // reliable-link state per directed endpoint pair
+	eng     *sim.Engine // default engine for endpoints without an explicit shard
+	p       Params
+	stats   *sim.Stats // default registry, likewise
+	inj     *fault.Injector
+	net     sim.CrossNet
+	sharded bool
+	eps     map[int]*epState
+	// rel[src+1][dst+1] is the reliable-link state of the directed pair
+	// (src, dst); the +1 folds HostID (-1) into the array. A fixed array —
+	// allocated up front — so concurrent shards never mutate a shared map.
+	rel [MaxFPGAs + 1][MaxFPGAs + 1]*relState
 	// Address windows: FPGA i owns [WindowBase + i*WindowSize, +WindowSize).
 	// Anything else routes to the host.
 	windowBase axi.Addr
@@ -79,48 +108,97 @@ const WindowSize uint64 = 1 << 40
 // WindowBase is the start of the FPGA apertures.
 const WindowBase axi.Addr = 1 << 44
 
-// New creates a fabric. Attach endpoints before sending.
+// New creates a fabric. Attach endpoints before sending. Crossings are
+// delivered through an internal SerialNet on eng until SetCrossNet replaces
+// it.
 func New(eng *sim.Engine, p Params, stats *sim.Stats) *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		eng:        eng,
 		p:          p,
 		stats:      stats,
-		eps:        make(map[int]axi.Target),
-		egress:     make(map[int]sim.Time),
-		epTel:      make(map[int]*epStats),
-		rel:        make(map[pair]*relState),
+		net:        sim.NewSerialNet(eng),
+		eps:        make(map[int]*epState),
 		windowBase: WindowBase,
 		windowSize: WindowSize,
 	}
+	for i := range f.rel {
+		for j := range f.rel[i] {
+			f.rel[i][j] = &relState{cache: make(map[uint64]any)}
+		}
+	}
+	return f
 }
 
-// SetInjector attaches a fault injector. Each endpoint resolves its egress
-// fault site "pcie.epN.link" at first traffic, so the injector must be set
-// before the fabric carries transfers. A nil injector leaves every link
-// infallible (the default).
+// SetInjector attaches a fault injector. In serial mode each endpoint
+// resolves its egress fault site "pcie.epN.link" at first traffic; sharded
+// builds resolve eagerly at ShardEndpoint (the injector registry must not
+// be touched from concurrent shards), so there the injector must be set
+// first. A nil injector leaves every link infallible (the default).
 func (f *Fabric) SetInjector(inj *fault.Injector) { f.inj = inj }
 
-// ep returns the telemetry of endpoint id, creating it on first use. The
-// zero-instrument struct is returned when the fabric has no registry, so
-// callers can use the nil-safe instrument methods unconditionally.
-func (f *Fabric) ep(id int) *epStats {
-	t, ok := f.epTel[id]
-	if !ok {
-		t = &epStats{}
-		if f.stats != nil {
-			t.txBytes = f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_bytes", id))
-			t.txTransfers = f.stats.Counter(fmt.Sprintf("pcie.ep%d.tx_transfers", id))
-			t.rtt = f.stats.Histogram(fmt.Sprintf("pcie.ep%d.rtt", id))
-			t.inflight = f.stats.Gauge(fmt.Sprintf("pcie.ep%d.inflight", id))
-			t.retransmits = f.stats.Counter(fmt.Sprintf("pcie.ep%d.retransmits", id))
-			t.linkDrops = f.stats.Counter(fmt.Sprintf("pcie.ep%d.link_drops", id))
-			t.linkCorrupt = f.stats.Counter(fmt.Sprintf("pcie.ep%d.link_corrupt", id))
-			t.linkFailed = f.stats.Counter(fmt.Sprintf("pcie.ep%d.link_failed", id))
-		}
-		t.site = f.inj.Site(fmt.Sprintf("pcie.ep%d.link", id))
-		f.epTel[id] = t
+// SetCrossNet replaces the delivery network. Sharded builds pass the shard
+// group so crossings become envelopes exchanged at window barriers; it can
+// also be used to share one SerialNet between the fabric and other
+// cross-shard users (thread migration) so they draw from the same
+// per-source sequence space in both modes. Must be called before traffic.
+func (f *Fabric) SetCrossNet(net sim.CrossNet) { f.net = net }
+
+// ShardEndpoint binds endpoint id to its shard's engine and stats registry
+// and creates its state eagerly. Sharded builds must call it for every
+// endpoint before Attach; it also marks the fabric sharded, after which
+// traffic touching an unbound endpoint (e.g. the host) panics instead of
+// silently racing.
+func (f *Fabric) ShardEndpoint(id int, eng *sim.Engine, stats *sim.Stats) {
+	if _, dup := f.eps[id]; dup {
+		panic(fmt.Sprintf("pcie: endpoint %d sharded twice", id))
 	}
-	return t
+	f.sharded = true
+	st := f.newState(id, eng, stats)
+	f.resolveSite(st)
+	f.eps[id] = st
+}
+
+func (f *Fabric) newState(id int, eng *sim.Engine, stats *sim.Stats) *epState {
+	st := &epState{id: id, eng: eng, tel: &epStats{}}
+	if stats != nil {
+		t := st.tel
+		t.txBytes = stats.Counter(fmt.Sprintf("pcie.ep%d.tx_bytes", id))
+		t.txTransfers = stats.Counter(fmt.Sprintf("pcie.ep%d.tx_transfers", id))
+		t.rtt = stats.Histogram(fmt.Sprintf("pcie.ep%d.rtt", id))
+		t.inflight = stats.Gauge(fmt.Sprintf("pcie.ep%d.inflight", id))
+		t.retransmits = stats.Counter(fmt.Sprintf("pcie.ep%d.retransmits", id))
+		t.linkDrops = stats.Counter(fmt.Sprintf("pcie.ep%d.link_drops", id))
+		t.linkCorrupt = stats.Counter(fmt.Sprintf("pcie.ep%d.link_corrupt", id))
+		t.linkFailed = stats.Counter(fmt.Sprintf("pcie.ep%d.link_failed", id))
+	}
+	return st
+}
+
+// resolveSite binds the endpoint's egress fault site. Serial mode defers
+// this to first traffic so SetInjector may be called any time before the
+// fabric carries transfers; sharded mode resolves at ShardEndpoint because
+// the injector's registry must not be touched from concurrent shards.
+func (f *Fabric) resolveSite(st *epState) *fault.Site {
+	if !st.siteSet {
+		st.tel.site = f.inj.SiteOn(fmt.Sprintf("pcie.ep%d.link", st.id), st.eng)
+		st.siteSet = true
+	}
+	return st.tel.site
+}
+
+// state returns endpoint id's state, creating it on the fabric's default
+// engine/registry on first use in serial mode. In sharded mode every
+// endpoint that carries traffic must have been bound with ShardEndpoint.
+func (f *Fabric) state(id int) *epState {
+	st, ok := f.eps[id]
+	if !ok {
+		if f.sharded {
+			panic(fmt.Sprintf("pcie: endpoint %d carries traffic but was not bound to a shard", id))
+		}
+		st = f.newState(id, f.eng, f.stats)
+		f.eps[id] = st
+	}
+	return st
 }
 
 // Attach registers the inbound AXI target for endpoint id (an FPGA index in
@@ -129,10 +207,11 @@ func (f *Fabric) Attach(id int, t axi.Target) {
 	if id != HostID && (id < 0 || id >= MaxFPGAs) {
 		panic(fmt.Sprintf("pcie: endpoint id %d out of range", id))
 	}
-	if _, dup := f.eps[id]; dup {
+	st := f.state(id)
+	if st.target != nil {
 		panic(fmt.Sprintf("pcie: endpoint id %d attached twice", id))
 	}
-	f.eps[id] = t
+	st.target = t
 }
 
 // Window returns the PCIe aperture of FPGA id.
@@ -162,21 +241,21 @@ func (f *Fabric) LocalAddr(addr axi.Addr) axi.Addr {
 }
 
 // delay reserves egress bandwidth at src and returns the total transfer
-// delay for n bytes.
+// delay for n bytes. Runs in src's execution context.
 func (f *Fabric) delay(src, n int) sim.Time {
 	beats := sim.Time((n + f.p.BytesPerCycle - 1) / f.p.BytesPerCycle)
 	if beats == 0 {
 		beats = 1
 	}
-	start := f.eng.Now()
-	if b := f.egress[src]; b > start {
-		start = b
+	st := f.state(src)
+	start := st.eng.Now()
+	if st.egress > start {
+		start = st.egress
 	}
-	f.egress[src] = start + beats
-	t := f.ep(src)
-	t.txBytes.Add(uint64(n))
-	t.txTransfers.Inc()
-	return (start - f.eng.Now()) + beats + f.p.OneWay
+	st.egress = start + beats
+	st.tel.txBytes.Add(uint64(n))
+	st.tel.txTransfers.Inc()
+	return (start - st.eng.Now()) + beats + f.p.OneWay
 }
 
 // Reliable link layer
@@ -205,49 +284,42 @@ const (
 	timeoutSlack = 64
 )
 
-// pair identifies a directed endpoint pair.
-type pair struct{ src, dst int }
-
-// relState is the reliable-link state of one directed pair: the sender's next
-// sequence number and the receiver's replay cache. A cache entry present but
-// nil marks a request still being processed by the destination; a non-nil
-// entry holds the response for replay if the ACK was lost.
+// relState is the reliable-link state of one directed pair. Its two halves
+// have different owners: nextSeq is advanced at the source endpoint, the
+// replay cache is consulted and filled at the destination.
 type relState struct {
 	nextSeq uint64
 	cache   map[uint64]any
 }
 
-func (f *Fabric) relOf(src, dst int) *relState {
-	k := pair{src, dst}
-	st, ok := f.rel[k]
-	if !ok {
-		st = &relState{cache: make(map[uint64]any)}
-		f.rel[k] = st
-	}
-	return st
-}
+func (f *Fabric) relOf(src, dst int) *relState { return f.rel[src+1][dst+1] }
 
-// cross moves nbytes out of endpoint ep, consulting its fault site. then runs
-// after the crossing delay when the transfer survives; a dropped, corrupted
-// or hung transfer is counted and silently lost (a corrupted payload is
-// delivered but fails the receiver's checksum, which comes to the same
-// thing — the sender's timeout recovers either way).
-func (f *Fabric) cross(ep, nbytes int, then func()) {
-	tel := f.ep(ep)
-	d := f.delay(ep, nbytes)
-	fate := tel.site.Transfer()
+// cross moves nbytes from endpoint src to endpoint dst, consulting src's
+// fault site. then runs at dst after the crossing delay when the transfer
+// survives; a dropped, corrupted or hung transfer is counted and silently
+// lost (a corrupted payload is delivered but fails the receiver's checksum,
+// which comes to the same thing — the sender's timeout recovers either
+// way). Runs in src's execution context; delivery goes through the
+// CrossNet, the cross-shard edge.
+func (f *Fabric) cross(src, dst, nbytes int, then func()) {
+	st := f.state(src)
+	d := f.delay(src, nbytes)
+	fate := f.resolveSite(st).Transfer()
 	if fate.Drop {
-		tel.linkDrops.Inc()
+		st.tel.linkDrops.Inc()
 		return
 	}
 	if fate.Corrupt {
-		tel.linkCorrupt.Inc()
+		st.tel.linkCorrupt.Inc()
 		return
 	}
-	f.eng.Schedule(d+fate.Extra, then)
+	f.net.Send(src, dst, st.eng.Now()+d+fate.Extra, then)
 }
 
 // xchg is one request/response exchange running the reliability protocol.
+// Field ownership mirrors relState: seq/attempts/timer/done live at the
+// source (attempt, complete and timeout all run there), while deliver runs
+// at the destination and touches only the replay cache and the invocation.
 type xchg struct {
 	f                   *Fabric
 	src, dst            int
@@ -267,10 +339,10 @@ type xchg struct {
 // maxAttempts. With no fault site on either endpoint this is a plain pair of
 // crossings — the fast path, byte-identical to the pre-fault model.
 func (f *Fabric) exchange(src, dst int, fwdBytes, respBytes int, invoke func(reply func(any)), finish func(any)) {
-	if f.ep(src).site == nil && f.ep(dst).site == nil {
-		f.eng.Schedule(f.delay(src, fwdBytes), func() {
+	if f.resolveSite(f.state(src)) == nil && f.resolveSite(f.state(dst)) == nil {
+		f.cross(src, dst, fwdBytes, func() {
 			invoke(func(r any) {
-				f.eng.Schedule(f.delay(dst, respBytes), func() { finish(r) })
+				f.cross(dst, src, respBytes, func() { finish(r) })
 			})
 		})
 		return
@@ -299,8 +371,8 @@ func (x *xchg) attempt() {
 	if mult > backoffCap {
 		mult = backoffCap
 	}
-	x.timer = x.f.eng.After(x.baseTimeout()*mult, x.timeout)
-	x.f.cross(x.src, x.fwdBytes, x.deliver)
+	x.timer = x.f.state(x.src).eng.After(x.baseTimeout()*mult, x.timeout)
+	x.f.cross(x.src, x.dst, x.fwdBytes, x.deliver)
 }
 
 // deliver runs at the receiver after a surviving forward crossing.
@@ -325,7 +397,7 @@ func (x *xchg) deliver() {
 }
 
 func (x *xchg) sendResp(r any) {
-	x.f.cross(x.dst, x.respBytes, func() { x.complete(r) })
+	x.f.cross(x.dst, x.src, x.respBytes, func() { x.complete(r) })
 }
 
 func (x *xchg) complete(r any) {
@@ -343,11 +415,11 @@ func (x *xchg) timeout() {
 	}
 	if x.attempts >= maxAttempts {
 		x.done = true
-		x.f.ep(x.src).linkFailed.Inc()
+		x.f.state(x.src).tel.linkFailed.Inc()
 		x.finish(nil)
 		return
 	}
-	x.f.ep(x.src).retransmits.Inc()
+	x.f.state(x.src).tel.retransmits.Inc()
 	x.attempt()
 }
 
@@ -364,23 +436,34 @@ func (f *Fabric) Master(src int) axi.Target { return &port{f: f, src: src} }
 
 // fail schedules an OK:false response for an unrouteable request. The error
 // still pays the one-way switch latency: the request has to reach the switch
-// before anything can reject it.
+// before anything can reject it. The rejection never leaves src.
 func (p *port) fail(tel *epStats, respond func()) {
-	p.f.eng.Schedule(p.f.p.OneWay, func() {
+	p.f.state(p.src).eng.Schedule(p.f.p.OneWay, func() {
 		tel.inflight.Dec()
 		respond()
 	})
+}
+
+// targetOf returns the inbound interface of endpoint id without creating
+// state for unknown endpoints (an unrouteable address must fail cleanly,
+// not panic the sharded fabric).
+func (f *Fabric) targetOf(id int) axi.Target {
+	if st, ok := f.eps[id]; ok {
+		return st.target
+	}
+	return nil
 }
 
 func (p *port) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 	f := p.f
 	dstID := f.RouteOf(req.Addr)
 	local := &axi.WriteReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Data: req.Data, User: req.User}
-	tel := f.ep(p.src)
-	start := f.eng.Now()
+	src := f.state(p.src)
+	tel := src.tel
+	start := src.eng.Now()
 	tel.inflight.Inc()
-	dst, ok := f.eps[dstID]
-	if !ok {
+	dst := f.targetOf(dstID)
+	if dst == nil {
 		p.fail(tel, func() { done(&axi.WriteResp{ID: req.ID, OK: false}) })
 		return
 	}
@@ -390,7 +473,7 @@ func (p *port) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 			dst.Write(local, func(r *axi.WriteResp) { reply(r) })
 		},
 		func(r any) {
-			tel.rtt.Observe(uint64(f.eng.Now() - start))
+			tel.rtt.Observe(uint64(src.eng.Now() - start))
 			tel.inflight.Dec()
 			if r == nil {
 				done(&axi.WriteResp{ID: req.ID, OK: false})
@@ -404,11 +487,12 @@ func (p *port) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 	f := p.f
 	dstID := f.RouteOf(req.Addr)
 	local := &axi.ReadReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Len: req.Len}
-	tel := f.ep(p.src)
-	start := f.eng.Now()
+	src := f.state(p.src)
+	tel := src.tel
+	start := src.eng.Now()
 	tel.inflight.Inc()
-	dst, ok := f.eps[dstID]
-	if !ok {
+	dst := f.targetOf(dstID)
+	if dst == nil {
 		p.fail(tel, func() { done(&axi.ReadResp{ID: req.ID, OK: false}) })
 		return
 	}
@@ -418,7 +502,7 @@ func (p *port) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 			dst.Read(local, func(r *axi.ReadResp) { reply(r) })
 		},
 		func(r any) {
-			tel.rtt.Observe(uint64(f.eng.Now() - start))
+			tel.rtt.Observe(uint64(src.eng.Now() - start))
 			tel.inflight.Dec()
 			if r == nil {
 				done(&axi.ReadResp{ID: req.ID, OK: false})

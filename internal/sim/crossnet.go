@@ -1,0 +1,113 @@
+package sim
+
+import "sort"
+
+// CrossNet carries events between shards — the PCIe crossings and thread
+// migrations that are the only coupling between FPGA chips. Both execution
+// modes implement it: SerialNet for the single-engine reference and Group
+// for the sharded engine. The two apply the *same* canonical delivery
+// discipline, which is what makes them produce identical event orders:
+//
+//   - all deliveries landing on one destination in one cycle are applied in
+//     ascending (send time, source shard, per-source sequence) order;
+//   - deliveries run at the front of their cycle (Engine.AtFront), before
+//     any ordinarily scheduled local event of the same cycle.
+//
+// The per-source sequence reproduces serial scheduling order: within one
+// shard sends are numbered in execution order, and in the serial engine
+// execution order at a given time *is* scheduling order, so sorting by
+// (send time, source, sequence) reconstructs exactly the global sequence
+// numbers the serial engine would have assigned.
+type CrossNet interface {
+	// Send delivers fn on shard dst at absolute time deliverAt. src is the
+	// calling shard; the call must be made from src's execution context.
+	// In sharded mode deliverAt must be at least the group lookahead past
+	// the current window start — the caller's model latency guarantees it.
+	Send(src, dst int, deliverAt Time, fn func())
+}
+
+// netEntry is one in-flight cross-shard delivery.
+type netEntry struct {
+	at   Time // delivery time
+	sent Time // send time
+	src  int
+	seq  uint64
+	fn   func()
+}
+
+// netOrder sorts deliveries into the canonical application order. Entries
+// are compared by (delivery time, send time, source shard, per-source seq).
+func netOrder(a, b netEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.sent != b.sent {
+		return a.sent < b.sent
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// SerialNet is the single-engine CrossNet: everything runs on one Engine,
+// so "crossing" is just a scheduled event — but routed through the same
+// canonical ordering the sharded Group uses, so the serial reference and a
+// sharded run order cross-shard traffic identically.
+type SerialNet struct {
+	eng       *Engine
+	seqs      map[int]uint64
+	pending   map[int][]netEntry        // per destination, not yet delivered
+	scheduled map[int]map[Time]struct{} // (dst, cycle) flushes already queued
+}
+
+// NewSerialNet returns a CrossNet that delivers on eng.
+func NewSerialNet(eng *Engine) *SerialNet {
+	return &SerialNet{
+		eng:       eng,
+		seqs:      make(map[int]uint64),
+		pending:   make(map[int][]netEntry),
+		scheduled: make(map[int]map[Time]struct{}),
+	}
+}
+
+// Send implements CrossNet.
+func (n *SerialNet) Send(src, dst int, deliverAt Time, fn func()) {
+	n.seqs[src]++
+	n.pending[dst] = append(n.pending[dst], netEntry{
+		at:   deliverAt,
+		sent: n.eng.Now(),
+		src:  src,
+		seq:  n.seqs[src],
+		fn:   fn,
+	})
+	sch := n.scheduled[dst]
+	if sch == nil {
+		sch = make(map[Time]struct{})
+		n.scheduled[dst] = sch
+	}
+	if _, ok := sch[deliverAt]; !ok {
+		sch[deliverAt] = struct{}{}
+		n.eng.AtFront(deliverAt, func() { n.flush(dst) })
+	}
+}
+
+// flush applies every delivery due on dst at the current cycle, in canonical
+// order. It runs as a prioDeliver event, ahead of the cycle's local work.
+func (n *SerialNet) flush(dst int) {
+	now := n.eng.Now()
+	delete(n.scheduled[dst], now)
+	var due, rest []netEntry
+	for _, e := range n.pending[dst] {
+		if e.at == now {
+			due = append(due, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	n.pending[dst] = rest
+	sort.Slice(due, func(i, j int) bool { return netOrder(due[i], due[j]) })
+	for _, e := range due {
+		e.fn()
+	}
+}

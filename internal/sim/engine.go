@@ -23,18 +23,30 @@ const TimeMax Time = math.MaxUint64
 
 // event is a scheduled callback.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	prio uint8
+	seq  uint64
+	fn   func()
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
+// Event priorities: deliveries injected by a CrossNet run at the start of
+// their cycle, before ordinarily scheduled work, so serial and sharded
+// execution see cross-shard traffic at the same point in the cycle.
+const (
+	prioDeliver = 0
+	prioNormal  = 1
+)
+
+// eventHeap implements heap.Interface ordered by (at, prio, seq).
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
@@ -53,10 +65,12 @@ func (h eventHeap) peek() *event { return h[0] }
 // Engine is a discrete-event simulation engine. The zero value is not ready
 // to use; construct one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	stopped bool
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	stopped   bool
+	live      int  // scheduled events that have not fired and are not cancelled
+	lastEvent Time // timestamp of the most recently executed event
 
 	// stats
 	executed uint64
@@ -75,8 +89,30 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events currently scheduled. Cancelled
+// timers still sitting in the queue are not counted: a drained queue of
+// cancelled PCIe retransmit timers must read as quiesced, or the Watchdog
+// and Sampler would see phantom pending work.
+func (e *Engine) Pending() int { return e.live }
+
+// LastEventTime returns the timestamp of the most recently executed event.
+// Unlike Now it is never advanced by RunUntil's deadline forcing, so it
+// reports when the engine last did real work.
+func (e *Engine) LastEventTime() Time { return e.lastEvent }
+
+// NextEventTime returns the timestamp of the earliest live event, discarding
+// any cancelled events it finds at the head of the queue. The second return
+// is false when no live events remain.
+func (e *Engine) NextEventTime() (Time, bool) {
+	for len(e.queue) > 0 {
+		ev := e.queue.peek()
+		if ev.fn != nil {
+			return ev.at, true
+		}
+		heap.Pop(&e.queue)
+	}
+	return 0, false
+}
 
 // Schedule runs fn after delay cycles. A delay of zero runs fn later in the
 // current cycle (after all previously scheduled work for this cycle).
@@ -91,11 +127,29 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.live++
+	heap.Push(&e.queue, &event{at: t, prio: prioNormal, seq: e.seq, fn: fn})
+}
+
+// AtFront runs fn at absolute time t, ahead of every normally scheduled
+// event of that cycle. CrossNets use it to inject cross-shard deliveries "on
+// the clock edge": a delivery at cycle T always executes before local work
+// of cycle T, in both serial and sharded execution, which removes the one
+// tie the two modes could otherwise order differently.
+func (e *Engine) AtFront(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.live++
+	heap.Push(&e.queue, &event{at: t, prio: prioDeliver, seq: e.seq, fn: fn})
 }
 
 // Timer is a handle to a cancellable event scheduled with Engine.After.
-type Timer struct{ ev *event }
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
 
 // Cancel discards the timer's event. A cancelled event is skipped unexecuted
 // when the queue reaches it: it does not run, does not advance the clock and
@@ -104,7 +158,10 @@ type Timer struct{ ev *event }
 // after the event has already fired.
 func (t *Timer) Cancel() {
 	if t != nil && t.ev != nil {
-		t.ev.fn = nil
+		if t.ev.fn != nil { // not already fired or cancelled
+			t.ev.fn = nil
+			t.eng.live--
+		}
 		t.ev = nil
 	}
 }
@@ -115,9 +172,10 @@ func (t *Timer) Cancel() {
 // common path.
 func (e *Engine) After(delay Time, fn func()) *Timer {
 	e.seq++
-	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.live++
+	ev := &event{at: e.now + delay, prio: prioNormal, seq: e.seq, fn: fn}
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	return &Timer{eng: e, ev: ev}
 }
 
 // Step executes the single next event. It reports false when the queue is
@@ -130,10 +188,12 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*event)
 	if ev.fn == nil {
-		return true // cancelled
+		return true // cancelled; already removed from the live count
 	}
 	e.now = ev.at
+	e.lastEvent = ev.at
 	e.executed++
+	e.live--
 	ev.fn()
 	ev.fn = nil // release the closure; a Timer may still point at the event
 	return true
@@ -162,6 +222,27 @@ func (e *Engine) RunUntil(deadline Time) Time {
 
 // RunFor advances the clock by d cycles, executing everything in between.
 func (e *Engine) RunFor(d Time) Time { return e.RunUntil(e.now + d) }
+
+// runTo executes events with timestamps <= deadline but, unlike RunUntil,
+// never forces the clock forward: the clock is left at the last executed
+// event. Shard workers use it so that between windows every engine's notion
+// of "now" matches what the serial engine would have seen (forcing would
+// timestamp post-window scheduling differently across modes).
+func (e *Engine) runTo(deadline Time) {
+	for !e.stopped && len(e.queue) > 0 && e.queue.peek().at <= deadline {
+		e.Step()
+	}
+}
+
+// alignTo advances an idle engine's clock to t without executing anything.
+// The shard group calls it after a full drain so that host-side code that
+// schedules new work afterwards (e.g. spawning the next workload phase) sees
+// the same timestamps a serial run would.
+func (e *Engine) alignTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
 
 // Stop halts Run/RunUntil after the current event completes. Pending events
 // remain queued; a stopped engine can be resumed with Resume.

@@ -1,0 +1,168 @@
+// Sharded parallel execution: a Group runs several Engines on goroutines
+// under a conservative bounded-lag synchronizer. The PCIe fabric's one-way
+// latency is the lookahead window L: no shard can affect another sooner
+// than L cycles out, so between barriers every shard may safely execute all
+// of its events in the window [T, T+L) without seeing the others. At each
+// barrier the shards' outboxes are merged and injected in the canonical
+// CrossNet order (see crossnet.go), which makes a sharded run produce the
+// exact event order — and therefore byte-identical metrics — of the serial
+// reference.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// groupEnv is a timestamped cross-shard envelope parked in a shard outbox.
+type groupEnv struct {
+	netEntry
+	dst int
+}
+
+// Group executes a set of Engines — one per shard — in bounded-lag windows.
+// Construct with NewGroup; it implements CrossNet for cross-shard sends.
+//
+// Threading contract: during a window each engine runs on its own worker
+// goroutine and must only touch state owned by its shard; Send(src, ...)
+// must be called from shard src's goroutine. Between windows (and before
+// Run / after it returns) the group is quiescent and the caller's goroutine
+// may inspect any shard freely — the window barrier provides the
+// happens-before edge.
+type Group struct {
+	lookahead Time
+	engines   []*Engine
+	seqs      []uint64
+	outbox    [][]groupEnv
+	horizon   Time // current window's exclusive upper bound
+	running   bool // inside a window (workers active)
+}
+
+// NewGroup builds a synchronizer over the given shard engines. lookahead is
+// the minimum cross-shard latency in cycles; it must be positive, and every
+// Send must honor it.
+func NewGroup(lookahead Time, engines ...*Engine) *Group {
+	if lookahead == 0 {
+		panic("sim: parallel group needs a positive lookahead")
+	}
+	if len(engines) == 0 {
+		panic("sim: parallel group needs at least one engine")
+	}
+	return &Group{
+		lookahead: lookahead,
+		engines:   engines,
+		seqs:      make([]uint64, len(engines)),
+		outbox:    make([][]groupEnv, len(engines)),
+	}
+}
+
+// Shards returns the number of shard engines.
+func (g *Group) Shards() int { return len(g.engines) }
+
+// Engine returns shard i's engine.
+func (g *Group) Engine(i int) *Engine { return g.engines[i] }
+
+// Lookahead returns the synchronization window length in cycles.
+func (g *Group) Lookahead() Time { return g.lookahead }
+
+// Send implements CrossNet: it parks fn in shard src's outbox for delivery
+// on shard dst at deliverAt. Must be called from shard src's goroutine (or
+// from the coordinator while the group is quiescent). A delivery time inside
+// the current window would mean the model's cross-shard latency undercuts
+// the lookahead — a wiring bug — and panics.
+func (g *Group) Send(src, dst int, deliverAt Time, fn func()) {
+	if src < 0 || src >= len(g.engines) || dst < 0 || dst >= len(g.engines) {
+		panic(fmt.Sprintf("sim: cross-shard send %d->%d outside group of %d shards", src, dst, len(g.engines)))
+	}
+	if g.running && deliverAt < g.horizon {
+		panic(fmt.Sprintf("sim: cross-shard send delivers at %d inside window ending %d; model latency undercuts lookahead %d",
+			deliverAt, g.horizon, g.lookahead))
+	}
+	g.seqs[src]++
+	g.outbox[src] = append(g.outbox[src], groupEnv{
+		netEntry: netEntry{at: deliverAt, sent: g.engines[src].Now(), src: src, seq: g.seqs[src], fn: fn},
+		dst:      dst,
+	})
+}
+
+// inject merges all outboxes in canonical order and pushes each envelope
+// onto its destination engine as a front-of-cycle delivery. Injection order
+// matters: AtFront assigns per-engine sequence numbers, so injecting in
+// canonical order reproduces the serial engine's tie-break for deliveries
+// that land on the same (destination, cycle).
+func (g *Group) inject() {
+	var all []groupEnv
+	for i := range g.outbox {
+		all = append(all, g.outbox[i]...)
+		g.outbox[i] = g.outbox[i][:0]
+	}
+	sort.Slice(all, func(i, j int) bool { return netOrder(all[i].netEntry, all[j].netEntry) })
+	for _, e := range all {
+		g.engines[e.dst].AtFront(e.at, e.fn)
+	}
+}
+
+// minNext returns the earliest live event time across all shards.
+func (g *Group) minNext() (Time, bool) {
+	var best Time
+	found := false
+	for _, e := range g.engines {
+		if t, ok := e.NextEventTime(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// StepWindow runs one synchronization window: injects pending envelopes,
+// finds the global next event time T, and lets every shard with work before
+// T+L execute it concurrently. Returns false when no work remains anywhere.
+func (g *Group) StepWindow() bool {
+	g.inject()
+	t, ok := g.minNext()
+	if !ok {
+		return false
+	}
+	g.horizon = t + g.lookahead
+	g.running = true
+	var wg sync.WaitGroup
+	for _, e := range g.engines {
+		if next, ok := e.NextEventTime(); ok && next < g.horizon {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				e.runTo(g.horizon - 1)
+			}(e)
+		}
+	}
+	wg.Wait()
+	g.running = false
+	return true
+}
+
+// Run executes windows until every shard drains, then aligns all engine
+// clocks to the global last-event time (mirroring the serial engine, whose
+// single clock rests on the last executed event). Returns that time.
+func (g *Group) Run() Time {
+	for g.StepWindow() {
+	}
+	t := g.Now()
+	for _, e := range g.engines {
+		e.alignTo(t)
+	}
+	return t
+}
+
+// Now returns the globally latest executed-event time. While the group is
+// quiescent this matches what the serial engine's Now would report after
+// executing the same events.
+func (g *Group) Now() Time {
+	var t Time
+	for _, e := range g.engines {
+		if le := e.LastEventTime(); le > t {
+			t = le
+		}
+	}
+	return t
+}

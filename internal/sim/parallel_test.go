@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestPendingCountsLiveEvents is the regression test for the live-event
+// counter: cancelled timers must not count as pending work, and a timer
+// cancelled after it fired must not double-decrement.
+func TestPendingCountsLiveEvents(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Schedule(20, func() {})
+	tm := e.After(15, func() { t.Error("cancelled timer fired") })
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	tm.Cancel()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after cancel = %d, want 2 (cancelled timer still counted)", e.Pending())
+	}
+	tm.Cancel() // double cancel is a no-op
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after double cancel = %d, want 2", e.Pending())
+	}
+	fired := false
+	tm2 := e.After(30, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("live timer did not fire")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+	tm2.Cancel() // cancel after fire is a no-op
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after post-fire cancel = %d, want 0 (double decrement)", e.Pending())
+	}
+}
+
+// TestAtFrontRunsBeforeSameCycleEvents checks the delivery priority: an
+// AtFront event runs before every ordinarily scheduled event of its cycle,
+// even ones scheduled earlier.
+func TestAtFrontRunsBeforeSameCycleEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(10, func() { order = append(order, "normal1") })
+	e.At(10, func() { order = append(order, "normal2") })
+	e.AtFront(10, func() { order = append(order, "deliver") })
+	e.Run()
+	want := []string{"deliver", "normal1", "normal2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// crossModel is a little two-shard system used to compare the serial and
+// sharded execution modes: each shard runs a local tick loop and
+// periodically sends the other shard a message that schedules follow-up
+// local work. Every executed action appends (time, label) to its shard's
+// own log — shard-owned state, mirroring how the real system keeps
+// per-shard stats registries and merges them after the run.
+type crossModel struct {
+	log  [][]string
+	engs []*Engine // engine per shard (aliases in serial mode)
+	net  CrossNet
+	la   Time
+}
+
+func (m *crossModel) record(shard int, t Time, label string) {
+	m.log[shard] = append(m.log[shard], fmt.Sprintf("@%d:%s", t, label))
+}
+
+// start seeds each shard with a tick loop: ticks+sends happen on a stride
+// chosen so deliveries from both shards collide on the same destination
+// cycle, exercising the canonical tie-break.
+func (m *crossModel) start(rounds int) {
+	for s := range m.engs {
+		s := s
+		e := m.engs[s]
+		var tick func(i int)
+		tick = func(i int) {
+			m.record(s, e.Now(), fmt.Sprintf("tick%d", i))
+			if i >= rounds {
+				return
+			}
+			dst := 1 - s
+			// Both shards send so the deliveries land on the same cycle
+			// at the same destination.
+			at := (e.Now()/m.la+2)*m.la + Time(7)
+			m.net.Send(s, dst, at, func() {
+				m.record(dst, m.engs[dst].Now(), fmt.Sprintf("recv%d-from%d", i, s))
+				m.engs[dst].Schedule(3, func() {
+					m.record(dst, m.engs[dst].Now(), fmt.Sprintf("follow%d-from%d", i, s))
+				})
+			})
+			e.Schedule(m.la/2+Time(s), func() { tick(i + 1) })
+		}
+		e.Schedule(Time(s+1), func() { tick(0) })
+	}
+}
+
+// TestGroupMatchesSerialNet drives the same model through the sharded Group
+// and the single-engine SerialNet and requires identical logs, final times
+// and per-engine clock alignment.
+func TestGroupMatchesSerialNet(t *testing.T) {
+	const la = Time(61)
+	const rounds = 12
+
+	serial := &crossModel{la: la, log: make([][]string, 2)}
+	se := NewEngine()
+	serial.engs = []*Engine{se, se}
+	serial.net = NewSerialNet(se)
+	serial.start(rounds)
+	serialEnd := se.Run()
+
+	sharded := &crossModel{la: la, log: make([][]string, 2)}
+	e0, e1 := NewEngine(), NewEngine()
+	g := NewGroup(la, e0, e1)
+	sharded.engs = []*Engine{e0, e1}
+	sharded.net = g
+	sharded.start(rounds)
+	shardedEnd := g.Run()
+
+	for s := 0; s < 2; s++ {
+		if !reflect.DeepEqual(serial.log[s], sharded.log[s]) {
+			t.Fatalf("shard %d logs diverge:\nserial:  %v\nsharded: %v", s, serial.log[s], sharded.log[s])
+		}
+	}
+	if serialEnd != shardedEnd {
+		t.Fatalf("final time diverges: serial %d, sharded %d", serialEnd, shardedEnd)
+	}
+	if e0.Now() != shardedEnd || e1.Now() != shardedEnd {
+		t.Fatalf("shard clocks not aligned after Run: %d, %d, want %d", e0.Now(), e1.Now(), shardedEnd)
+	}
+}
+
+// TestGroupSingleShardMatchesSerial runs the degenerate one-shard group:
+// windowed execution of a purely local model must not change anything.
+func TestGroupSingleShardMatchesSerial(t *testing.T) {
+	run := func(e *Engine, drain func() Time) (log []Time, end Time) {
+		for i := 0; i < 5; i++ {
+			d := Time(10 * (i + 1))
+			e.Schedule(d, func() { log = append(log, e.Now()) })
+		}
+		return log, drain()
+	}
+	se := NewEngine()
+	wantLog, wantEnd := run(se, se.Run)
+
+	pe := NewEngine()
+	g := NewGroup(61, pe)
+	gotLog, gotEnd := run(pe, g.Run)
+	_ = gotLog
+	if wantEnd != gotEnd {
+		t.Fatalf("end time %d, want %d", gotEnd, wantEnd)
+	}
+	if !reflect.DeepEqual(wantLog, gotLog) {
+		t.Fatalf("log %v, want %v", gotLog, wantLog)
+	}
+}
+
+// TestGroupSendInsideWindowPanics checks the lookahead guard: a model whose
+// cross-shard latency undercuts the window must be caught, not silently
+// reordered.
+func TestGroupSendInsideWindowPanics(t *testing.T) {
+	e0, e1 := NewEngine(), NewEngine()
+	g := NewGroup(61, e0, e1)
+	panicked := false
+	e0.Schedule(5, func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		g.Send(0, 1, e0.Now()+1, func() {}) // far below lookahead
+	})
+	g.Run()
+	if !panicked {
+		t.Fatal("undercutting send did not panic")
+	}
+}
+
+// TestGroupSendOutOfRangePanics checks that host-side traffic (shard -1)
+// cannot sneak through the cross-shard network.
+func TestGroupSendOutOfRangePanics(t *testing.T) {
+	g := NewGroup(61, NewEngine(), NewEngine())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range send did not panic")
+		}
+	}()
+	g.Send(-1, 0, 100, func() {})
+}
+
+// TestSerialNetCanonicalOrder checks the tie-break: deliveries colliding on
+// one (destination, cycle) apply in (send time, source, sequence) order
+// regardless of Send call order.
+func TestSerialNetCanonicalOrder(t *testing.T) {
+	e := NewEngine()
+	n := NewSerialNet(e)
+	var order []string
+	// Sends issued from interleaved "shard" contexts at time 0; all deliver
+	// at cycle 100.
+	e.Schedule(0, func() {
+		n.Send(2, 0, 100, func() { order = append(order, "src2#1") })
+		n.Send(1, 0, 100, func() { order = append(order, "src1#1") })
+		n.Send(1, 0, 100, func() { order = append(order, "src1#2") })
+	})
+	e.Schedule(40, func() {
+		// Later send time loses to earlier, even from a smaller source.
+		n.Send(0, 0, 100, func() { order = append(order, "src0-late") })
+	})
+	e.Run()
+	want := []string{"src1#1", "src1#2", "src2#1", "src0-late"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("delivery order %v, want %v", order, want)
+	}
+}

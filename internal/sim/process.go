@@ -89,6 +89,22 @@ func (p *Process) block() {
 	<-p.resume
 }
 
+// Hop moves the process to another shard: after delay cycles it resumes on
+// dstEng, delivered through net so the crossing is ordered canonically with
+// all other cross-shard traffic. src and dst are the CrossNet shard ids;
+// the call must be made from shard src's execution context, and delay must
+// be at least the group lookahead. With a SerialNet, dstEng is the same
+// engine and Hop degenerates to a canonically-ordered Wait.
+func (p *Process) Hop(net CrossNet, src, dst int, dstEng *Engine, delay Time) {
+	net.Send(src, dst, p.eng.Now()+delay, func() {
+		// Runs on dst's goroutine; the process itself is parked, and the
+		// window barrier orders this write after the park below.
+		p.eng = dstEng
+		p.dispatch()
+	})
+	p.block()
+}
+
 // Suspend parks the process indefinitely. The returned wake function
 // reschedules it; it may be called from any event callback exactly once per
 // Suspend. Typical use: issue a request to a model, Suspend, and have the

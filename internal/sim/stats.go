@@ -245,6 +245,33 @@ func (s *Stats) Histogram(name string) *Histogram {
 	return h
 }
 
+// CopyFrom replaces s's contents with a deep merge of the given registries.
+// Counters and gauge movements add; gauge high-water marks and histogram
+// extrema take the max. The report layer uses it to fold per-shard
+// registries into the single registry MetricsJSON serializes; shard
+// instrument names never collide (node/fpga/endpoint prefixes are
+// shard-unique), so the merge is a disjoint union in practice.
+func (s *Stats) CopyFrom(parts ...*Stats) {
+	s.counters = make(map[string]*Counter)
+	s.gauges = make(map[string]*Gauge)
+	s.hists = make(map[string]*Histogram)
+	for _, p := range parts {
+		for name, c := range p.counters {
+			s.Counter(name).Value += c.Value
+		}
+		for name, g := range p.gauges {
+			dst := s.Gauge(name)
+			dst.Value += g.Value
+			if g.High > dst.High {
+				dst.High = g.High
+			}
+		}
+		for name, h := range p.hists {
+			s.Histogram(name).Merge(h)
+		}
+	}
+}
+
 // Get returns the value of a counter, or zero if it was never touched.
 func (s *Stats) Get(name string) uint64 {
 	if c, ok := s.counters[name]; ok {

@@ -124,7 +124,7 @@ func RunIrregular(k *kernel.Kernel, kind IrregularKernel, mode IrregularMode, p 
 
 	bar := k.NewBarrier(threads)
 	var checksum uint64
-	start := pr.Eng.Now()
+	start := pr.Now()
 
 	for ti := 0; ti < threads; ti++ {
 		ti := ti

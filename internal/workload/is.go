@@ -88,7 +88,7 @@ func RunIS(k *kernel.Kernel, p ISParams) ISResult {
 	seed := uint64(12345)
 
 	pr := k.Prototype()
-	start := pr.Eng.Now()
+	start := pr.Now()
 	for ti := 0; ti < t; ti++ {
 		ti := ti
 		// NUMA-aware scheduling keeps each thread on its starting hart,

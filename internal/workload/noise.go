@@ -76,7 +76,7 @@ func samplesPerFetch(mode NoiseMode) int {
 func RunNoiseGenerator(k *kernel.Kernel, mode NoiseMode, p NoiseParams) NoiseResult {
 	out := k.Alloc(uint64(p.Samples) * 2)
 	pr := k.Prototype()
-	start := pr.Eng.Now()
+	start := pr.Now()
 	k.Spawn("noisegen", []int{0}, func(c *kernel.Ctx) {
 		generateNoise(c, mode, p, out, p.Samples)
 	})
@@ -124,7 +124,7 @@ func RunNoiseApplier(k *kernel.Kernel, mode NoiseMode, p NoiseParams) NoiseResul
 	})
 	k.Join()
 
-	start := pr.Eng.Now()
+	start := pr.Now()
 	k.Spawn("apply", []int{0}, func(c *kernel.Ctx) {
 		sw := accel.NewSoftwareGNG(7)
 		per := samplesPerFetch(mode)
