@@ -9,6 +9,7 @@
 //	            [-parallel N] [-metrics-json out.json] [-trace-out trace.json]
 //	            [-sample-every N] [-sample-out samples.csv]
 //	            [-faults SPEC] [-fault-seed N] [-watchdog N]
+//	            [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // Without -prog a built-in hello-world runs. Programs are RV64IMA assembly
 // (see internal/rvasm); execution starts at the reset PC on every hart.
@@ -38,6 +39,11 @@
 // diagnosis (outstanding gauges plus fault-site status) instead of
 // draining silently.
 //
+// -cpuprofile and -memprofile write Go pprof profiles of the simulator
+// itself (inspect with `go tool pprof`). The CPU profile covers the whole
+// run; the heap profile is snapshotted after the run, post-GC, so it shows
+// the simulator's steady-state live set.
+//
 // -parallel N (N > 1) shards the simulation one-engine-per-FPGA under the
 // conservative lookahead synchronizer; results are bit-identical to the
 // default serial engine. The sharded engine does not support the
@@ -48,6 +54,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"smappic"
 	"smappic/internal/rvasm"
@@ -87,6 +95,8 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "default RNG seed for fault rules without an explicit seed=")
 	watchdog := flag.Uint64("watchdog", 0, "stall-detection window in cycles (0 = off)")
 	parallel := flag.Int("parallel", 0, "shard the simulation across goroutines, one per FPGA (>1 = on; results are identical to serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
 
 	a, b, c, err := smappic.ParseShape(*shape)
@@ -143,8 +153,37 @@ func main() {
 	for n := 0; n < proto.Cfg.TotalNodes(); n++ {
 		host.LoadProgram(n, prog)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	proto.Start()
 	proto.RunUntilHalted(smappic.Time(*maxCycles))
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush dead objects so the profile shows live state
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("ran %d cycles (%.3f ms at %d MHz)\n",
 		proto.Now(), proto.Seconds(proto.Now())*1e3, proto.Cfg.ClockMHz)

@@ -31,6 +31,9 @@ type Crossbar struct {
 	regions []Region
 	busy    map[Target]sim.Time
 	stats   *sim.Stats
+	pool    *Forwarder
+	cWrites sim.LazyCounter
+	cReads  sim.LazyCounter
 }
 
 // NewCrossbar builds a crossbar with the given traversal latency.
@@ -41,6 +44,9 @@ func NewCrossbar(eng *sim.Engine, name string, latency sim.Time, stats *sim.Stat
 		latency: latency,
 		busy:    make(map[Target]sim.Time),
 		stats:   stats,
+		pool:    NewForwarder(eng),
+		cWrites: stats.LazyCounter(name + ".writes"),
+		cReads:  stats.LazyCounter(name + ".reads"),
 	}
 }
 
@@ -92,10 +98,8 @@ func (x *Crossbar) Write(req *WriteReq, done func(*WriteResp)) {
 		done(&WriteResp{ID: req.ID, OK: false})
 		return
 	}
-	if x.stats != nil {
-		x.stats.Counter(x.name + ".writes").Inc()
-	}
-	x.eng.Schedule(x.delay(t, len(req.Data)), func() { t.Write(req, done) })
+	x.cWrites.Inc()
+	x.pool.Write(x.delay(t, len(req.Data)), t, req, done)
 }
 
 // Read routes an AXI4 read through the crossbar.
@@ -105,10 +109,8 @@ func (x *Crossbar) Read(req *ReadReq, done func(*ReadResp)) {
 		done(&ReadResp{ID: req.ID, OK: false})
 		return
 	}
-	if x.stats != nil {
-		x.stats.Counter(x.name + ".reads").Inc()
-	}
-	x.eng.Schedule(x.delay(t, req.Len), func() { t.Read(req, done) })
+	x.cReads.Inc()
+	x.pool.Read(x.delay(t, req.Len), t, req, done)
 }
 
 var _ Target = (*Crossbar)(nil)

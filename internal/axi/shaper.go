@@ -16,6 +16,7 @@ type Shaper struct {
 	BytesPerCycle int
 
 	busy sim.Time
+	pool *Forwarder
 
 	cThrottle *sim.Counter // cycles requests waited on the busy link
 	cBytes    *sim.Counter // bytes pushed through the shaper
@@ -24,7 +25,7 @@ type Shaper struct {
 // NewShaper wraps t. With zero latency and bandwidth it is a transparent
 // pass-through.
 func NewShaper(eng *sim.Engine, t Target, extraLatency sim.Time, bytesPerCycle int) *Shaper {
-	return &Shaper{eng: eng, t: t, ExtraLatency: extraLatency, BytesPerCycle: bytesPerCycle}
+	return &Shaper{eng: eng, t: t, ExtraLatency: extraLatency, BytesPerCycle: bytesPerCycle, pool: NewForwarder(eng)}
 }
 
 // SetStats registers throttle telemetry under name ("<name>.throttle_cycles",
@@ -58,12 +59,12 @@ func (s *Shaper) delay(n int) sim.Time {
 
 // Write forwards the request after shaping.
 func (s *Shaper) Write(req *WriteReq, done func(*WriteResp)) {
-	s.eng.Schedule(s.delay(len(req.Data)), func() { s.t.Write(req, done) })
+	s.pool.Write(s.delay(len(req.Data)), s.t, req, done)
 }
 
 // Read forwards the request after shaping.
 func (s *Shaper) Read(req *ReadReq, done func(*ReadResp)) {
-	s.eng.Schedule(s.delay(req.Len), func() { s.t.Read(req, done) })
+	s.pool.Read(s.delay(req.Len), s.t, req, done)
 }
 
 var _ Target = (*Shaper)(nil)

@@ -101,7 +101,24 @@ type Bridge struct {
 	hCreditWait *sim.Histogram // cycles spent queued waiting for credits
 	gSendq      *sim.Gauge     // total packets stalled on credits
 	nStalled    int
+
+	// Pre-resolved hot-path counters (nil and free without stats) and bound
+	// callbacks, so the per-packet path does no string building and no
+	// closure captures.
+	cTxPackets  sim.LazyCounter
+	cTxFlits    sim.LazyCounter
+	cRxPackets  sim.LazyCounter
+	cRxFlits    sim.LazyCounter
+	trySendFn   func(any)            // arg is the *Envelope
+	rxFn        func(any)            // arg is the *Envelope
+	chunkRespFn func(*axi.WriteResp) // non-final chunk completion
 }
+
+// chunkData backs the w channel of every encapsulation chunk. The payload
+// bytes are never inspected (the envelope rides on the final chunk's User
+// field), so all bridges share one read-only buffer instead of allocating
+// 24 bytes per chunk.
+var chunkData [ChunkFlits * 8]byte
 
 // stalled is one packet queued on credit exhaustion, with the cycle it
 // stalled at for wait-time accounting.
@@ -128,6 +145,19 @@ func New(eng *sim.Engine, mesh *noc.Mesh, node int, p Params, stats *sim.Stats, 
 	if stats != nil {
 		b.hCreditWait = stats.Histogram(name + ".credit_wait")
 		b.gSendq = stats.Gauge(name + ".sendq")
+	}
+	b.cTxPackets = stats.LazyCounter(name + ".tx_packets")
+	b.cTxFlits = stats.LazyCounter(name + ".tx_flits")
+	b.cRxPackets = stats.LazyCounter(name + ".rx_packets")
+	b.cRxFlits = stats.LazyCounter(name + ".rx_flits")
+	b.trySendFn = func(env any) { b.trySend(env.(*Envelope)) }
+	b.rxFn = func(env any) { b.rx(env.(*Envelope)) }
+	b.chunkRespFn = func(r *axi.WriteResp) {
+		if !r.OK {
+			// Payload chunk lost; the envelope chunk decides the packet's
+			// fate, so only the error is recorded here.
+			b.count("axi_errors", 1)
+		}
 	}
 	mesh.AttachBridge(b.handleMeshPacket)
 	return b
@@ -178,7 +208,7 @@ func (b *Bridge) handleMeshPacket(pkt *noc.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("bridge: %s: non-envelope payload %T at bridge port", b.name, pkt.Payload))
 	}
-	b.eng.Schedule(b.p.ProcessDelay, func() { b.trySend(env) })
+	b.eng.ScheduleArg(b.p.ProcessDelay, b.trySendFn, env)
 }
 
 // trySend transmits env if credits allow, otherwise queues it and arranges
@@ -214,13 +244,13 @@ func (b *Bridge) transmit(env *Envelope) {
 	addr := b.addrOf(env.DstNode) |
 		axi.Addr(uint64(b.node)<<8) | // source node ID in the address
 		axi.Addr(uint64(env.Class)<<4)
-	b.count("tx_packets", 1)
-	b.count("tx_flits", uint64(env.Flits))
+	b.cTxPackets.Inc()
+	b.cTxFlits.Add(uint64(env.Flits))
 	b.tracer.Instant(b.name, sim.CatBridge, "tx")
 	for i := 0; i < chunks; i++ {
 		req := &axi.WriteReq{
 			Addr: addr,
-			Data: make([]byte, ChunkFlits*8),
+			Data: chunkData[:],
 		}
 		if i == chunks-1 {
 			req.User = env
@@ -236,13 +266,7 @@ func (b *Bridge) transmit(env *Envelope) {
 			})
 			continue
 		}
-		b.out.Write(req, func(r *axi.WriteResp) {
-			if !r.OK {
-				// Payload chunk lost; the envelope chunk decides the
-				// packet's fate, so only the error is recorded here.
-				b.count("axi_errors", 1)
-			}
-		})
+		b.out.Write(req, b.chunkRespFn)
 	}
 }
 
@@ -383,22 +407,25 @@ func (in *inbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 	if !ok {
 		return
 	}
-	b.eng.Schedule(b.p.ProcessDelay, func() {
-		b.count("rx_packets", 1)
-		b.count("rx_flits", uint64(env.Flits))
-		b.tracer.Instant(b.name, sim.CatBridge, "rx")
-		// Inject into the local mesh toward the destination tile; the
-		// buffer slot is freed at injection, returning credits to the
-		// sender on its next credit read.
-		b.freed[env.SrcNode] += env.Flits
-		b.freedTotal[env.SrcNode] += uint64(env.Flits)
-		b.mesh.Send(&noc.Packet{
-			Class:   env.Class,
-			Src:     noc.Dest{Port: noc.PortBridge},
-			Dst:     noc.Dest{Port: env.DstPort, Tile: env.DstTile},
-			Flits:   env.Flits,
-			Payload: env.Payload,
-		})
+	b.eng.ScheduleArg(b.p.ProcessDelay, b.rxFn, env)
+}
+
+// rx decapsulates a received packet and injects it into the local mesh.
+func (b *Bridge) rx(env *Envelope) {
+	b.cRxPackets.Inc()
+	b.cRxFlits.Add(uint64(env.Flits))
+	b.tracer.Instant(b.name, sim.CatBridge, "rx")
+	// Inject into the local mesh toward the destination tile; the buffer
+	// slot is freed at injection, returning credits to the sender on its
+	// next credit read.
+	b.freed[env.SrcNode] += env.Flits
+	b.freedTotal[env.SrcNode] += uint64(env.Flits)
+	b.mesh.Send(&noc.Packet{
+		Class:   env.Class,
+		Src:     noc.Dest{Port: noc.PortBridge},
+		Dst:     noc.Dest{Port: env.DstPort, Tile: env.DstTile},
+		Flits:   env.Flits,
+		Payload: env.Payload,
 	})
 }
 

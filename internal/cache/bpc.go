@@ -37,12 +37,21 @@ type Private struct {
 
 	// Pre-resolved hot-path instruments; nil (and therefore free no-ops)
 	// when telemetry is disabled.
-	cL1Hit   *sim.Counter
-	cL1Miss  *sim.Counter
-	cBpcHit  *sim.Counter
-	cBpcMiss *sim.Counter
-	hMissLat *sim.Histogram // BPC miss to grant, cycles
-	gMSHR    *sim.Gauge     // MSHR occupancy
+	cL1Hit    *sim.Counter
+	cL1Miss   *sim.Counter
+	cBpcHit   *sim.Counter
+	cBpcMiss  *sim.Counter
+	cUpgrade  sim.LazyCounter // silent E->M upgrades
+	cCoalesce sim.LazyCounter // accesses coalesced onto a pending MSHR
+	cStall    sim.LazyCounter // accesses stalled on MSHR exhaustion
+	cGetS     sim.LazyCounter
+	cGetM     sim.LazyCounter
+	cWback    sim.LazyCounter
+	cClean    sim.LazyCounter
+	cInvRx    sim.LazyCounter
+	cDownRx   sim.LazyCounter
+	hMissLat  *sim.Histogram // BPC miss to grant, cycles
+	gMSHR     *sim.Gauge     // MSHR occupancy
 }
 
 // NewPrivate builds a tile's private cache stack.
@@ -62,17 +71,20 @@ func NewPrivate(eng *sim.Engine, id GID, p Params, conn Conn, home HomeFunc, sta
 		c.hMissLat = stats.Histogram(name + ".miss_latency")
 		c.gMSHR = stats.Gauge(name + ".mshr_occ")
 	}
+	c.cUpgrade = stats.LazyCounter(name + ".bpc_upgrade_silent")
+	c.cCoalesce = stats.LazyCounter(name + ".mshr_coalesce")
+	c.cStall = stats.LazyCounter(name + ".mshr_stall")
+	c.cGetS = stats.LazyCounter(name + ".GetS")
+	c.cGetM = stats.LazyCounter(name + ".GetM")
+	c.cWback = stats.LazyCounter(name + ".writeback")
+	c.cClean = stats.LazyCounter(name + ".evict_clean")
+	c.cInvRx = stats.LazyCounter(name + ".inv_rx")
+	c.cDownRx = stats.LazyCounter(name + ".downgrade_rx")
 	return c
 }
 
 // ID returns the global tile id of this cache.
 func (c *Private) ID() GID { return c.id }
-
-func (c *Private) count(what string) {
-	if c.stats != nil {
-		c.stats.Counter(c.name + "." + what).Inc()
-	}
-}
 
 // Load performs a data read of any size within one line. done fires when
 // the value may be consumed.
@@ -124,7 +136,7 @@ func (c *Private) bpcAccess(line uint64, write bool, l1 *setAssoc, done func()) 
 		case w.st == stExclusive:
 			// Silent E->M upgrade: the directory already records us as
 			// the exclusive owner.
-			c.count("bpc_upgrade_silent")
+			c.cUpgrade.Inc()
 			w.st = stModified
 			w.dirty = true
 			c.fillL1(l1, line, stModified)
@@ -153,11 +165,11 @@ func (c *Private) miss(line uint64, write bool, l1 *setAssoc, done func()) {
 				done()
 			})
 		}
-		c.count("mshr_coalesce")
+		c.cCoalesce.Inc()
 		return
 	}
 	if len(c.mshrs) >= c.p.MSHRs {
-		c.count("mshr_stall")
+		c.cStall.Inc()
 		c.blocked = append(c.blocked, func() { c.bpcAccess(line, write, l1, done) })
 		return
 	}
@@ -168,7 +180,11 @@ func (c *Private) miss(line uint64, write bool, l1 *setAssoc, done func()) {
 	})
 	c.mshrs[line] = m
 	c.gMSHR.Set(int64(len(c.mshrs)))
-	c.count(op.String())
+	if op == GetS {
+		c.cGetS.Inc()
+	} else {
+		c.cGetM.Inc()
+	}
 	c.conn.SendProto(c.id, c.home(line), &Msg{Op: op, Line: line, From: c.id, Req: c.id})
 }
 
@@ -252,9 +268,9 @@ func (c *Private) evict(v way) {
 	op := PutS
 	if v.st == stModified {
 		op = PutM
-		c.count("writeback")
+		c.cWback.Inc()
 	} else {
-		c.count("evict_clean")
+		c.cClean.Inc()
 	}
 	c.conn.SendProto(c.id, c.home(v.line), &Msg{Op: op, Line: v.line, From: c.id, Req: c.id})
 }
@@ -263,7 +279,7 @@ func (c *Private) handleInv(msg *Msg) {
 	c.bpc.invalidate(msg.Line)
 	c.l1i.invalidate(msg.Line)
 	c.l1d.invalidate(msg.Line)
-	c.count("inv_rx")
+	c.cInvRx.Inc()
 	c.conn.SendProto(c.id, msg.From, &Msg{Op: InvAck, Line: msg.Line, From: c.id, Req: msg.Req})
 }
 
@@ -278,7 +294,7 @@ func (c *Private) handleDowngrade(msg *Msg) {
 			l.st = stShared
 		}
 	}
-	c.count("downgrade_rx")
+	c.cDownRx.Inc()
 	c.conn.SendProto(c.id, msg.From, &Msg{Op: DownAck, Line: msg.Line, From: c.id, Req: msg.Req})
 }
 

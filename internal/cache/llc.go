@@ -79,13 +79,21 @@ type Slice struct {
 	nq      int            // total requests queued behind busy lines
 	gQueue  *sim.Gauge     // directory queue depth
 	hMemLat *sim.Histogram // LLC miss memory fetch latency, cycles
+
+	// Hot-path counters, resolved once at construction (lazy handles:
+	// no-ops without stats, registered on first hit). Avoids a string
+	// concat + registry lookup per message.
+	cQueued, cHit, cMiss sim.LazyCounter
+	cGetS, cGetM         sim.LazyCounter
+	cPutS, cPutM         sim.LazyCounter
+	lookupFn             func(any) // bound once; arg is the *Msg
 }
 
-// memFetch is one outstanding memory fetch: the continuation to run on the
+// memFetch is one outstanding memory fetch: the request to resume on the
 // response plus the issue time for latency accounting.
 type memFetch struct {
-	k  func()
-	at sim.Time
+	msg *Msg
+	at  sim.Time
 }
 
 // NewSlice builds an LLC slice.
@@ -102,6 +110,14 @@ func NewSlice(eng *sim.Engine, id GID, p Params, conn Conn, stats *sim.Stats, na
 		s.gQueue = stats.Gauge(name + ".dir_queue")
 		s.hMemLat = stats.Histogram(name + ".mem_latency")
 	}
+	s.cQueued = stats.LazyCounter(name + ".queued")
+	s.cHit = stats.LazyCounter(name + ".llc_hit")
+	s.cMiss = stats.LazyCounter(name + ".llc_miss")
+	s.cGetS = stats.LazyCounter(name + ".GetS")
+	s.cGetM = stats.LazyCounter(name + ".GetM")
+	s.cPutS = stats.LazyCounter(name + ".puts")
+	s.cPutM = stats.LazyCounter(name + ".putm")
+	s.lookupFn = func(msg any) { s.lookup(msg.(*Msg)) }
 	return s
 }
 
@@ -128,7 +144,7 @@ func (s *Slice) HandleMsg(msg *Msg) {
 			s.pending[msg.Line] = append(s.pending[msg.Line], msg)
 			s.nq++
 			s.gQueue.Set(int64(s.nq))
-			s.count("queued")
+			s.cQueued.Inc()
 			return
 		}
 		s.begin(msg)
@@ -143,7 +159,7 @@ func (s *Slice) HandleMsg(msg *Msg) {
 		if e.st == dirS && len(e.sharers) == 0 {
 			e.st = dirI
 		}
-		s.count("puts")
+		s.cPutS.Inc()
 	case PutM:
 		e := s.entry(msg.Line)
 		if e.st == dirE && e.owner == msg.From {
@@ -158,7 +174,7 @@ func (s *Slice) HandleMsg(msg *Msg) {
 			// store).
 			s.memWrite(msg.Line)
 		}
-		s.count("putm")
+		s.cPutM.Inc()
 	case InvAck, DownAck:
 		s.ack(msg)
 	default:
@@ -169,22 +185,26 @@ func (s *Slice) HandleMsg(msg *Msg) {
 // begin starts processing a GetS/GetM after the LLC lookup latency.
 func (s *Slice) begin(msg *Msg) {
 	s.busy[msg.Line] = &txn{msg: msg}
-	s.count(msg.Op.String())
-	s.eng.Schedule(sim.Time(s.p.LLCLatency), func() { s.lookup(msg) })
+	if msg.Op == GetS {
+		s.cGetS.Inc()
+	} else {
+		s.cGetM.Inc()
+	}
+	s.eng.ScheduleArg(sim.Time(s.p.LLCLatency), s.lookupFn, msg)
 }
 
 // lookup ensures the line is resident in the LLC, fetching from memory on a
 // miss, then runs the directory action.
 func (s *Slice) lookup(msg *Msg) {
 	if s.tags.lookup(msg.Line) != nil {
-		s.count("llc_hit")
+		s.cHit.Inc()
 		s.direct(msg)
 		return
 	}
-	s.count("llc_miss")
+	s.cMiss.Inc()
 	s.nextTag++
 	tag := s.nextTag
-	s.memTags[tag] = memFetch{k: func() { s.fill(msg) }, at: s.eng.Now()}
+	s.memTags[tag] = memFetch{msg: msg, at: s.eng.Now()}
 	s.conn.SendMem(s.id, &mem.Req{
 		Addr: msg.Line,
 		Size: LineBytes,
@@ -212,7 +232,7 @@ func (s *Slice) HandleMemResp(r *mem.Resp) {
 	}
 	delete(s.memTags, r.Tag)
 	s.hMemLat.Observe(uint64(s.eng.Now() - f.at))
-	f.k()
+	s.fill(f.msg)
 }
 
 // fill installs a fetched line and continues the transaction.

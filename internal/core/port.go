@@ -16,9 +16,14 @@ type corePort struct{ tile *Tile }
 
 func (cp *corePort) proto() *Prototype { return cp.tile.node.proto }
 
+// Cacheable accesses use the Suspend/Park split rather than Call: the
+// process's pooled completion goes straight to the cache stack, so the
+// per-access path allocates nothing.
+
 func (cp *corePort) Fetch(p *sim.Process, addr uint64) uint32 {
 	pr := cp.proto()
-	p.Call(func(done func()) { cp.tile.Priv.Fetch(addr, done) })
+	cp.tile.Priv.Fetch(addr, p.Suspend())
+	p.Park()
 	return pr.Backing.ReadU32(addr)
 }
 
@@ -34,7 +39,8 @@ func (cp *corePort) Load(p *sim.Process, addr uint64, size int) uint64 {
 		})
 		return out
 	}
-	p.Call(func(done func()) { cp.tile.Priv.Load(addr, done) })
+	cp.tile.Priv.Load(addr, p.Suspend())
+	p.Park()
 	return readBacking(pr, addr, size)
 }
 
@@ -48,14 +54,16 @@ func (cp *corePort) Store(p *sim.Process, addr uint64, size int, v uint64) {
 		})
 		return
 	}
-	p.Call(func(done func()) { cp.tile.Priv.Store(addr, done) })
+	cp.tile.Priv.Store(addr, p.Suspend())
+	p.Park()
 	writeBacking(pr, addr, size, v)
 }
 
 func (cp *corePort) Amo(p *sim.Process, addr uint64, size int, f func(uint64) uint64) uint64 {
 	pr := cp.proto()
 	var old uint64
-	p.Call(func(done func()) { cp.tile.Priv.Amo(addr, done) })
+	cp.tile.Priv.Amo(addr, p.Suspend())
+	p.Park()
 	// The line is held in M here; the read-modify-write is atomic in the
 	// simulated interleaving.
 	old = readBacking(pr, addr, size)
@@ -120,13 +128,15 @@ func (pt *Port) Tile() cache.GID { return pt.tile.ID }
 
 // Load reads size bytes at addr through the cache hierarchy.
 func (pt *Port) Load(p *sim.Process, addr uint64, size int) uint64 {
-	p.Call(func(done func()) { pt.tile.Priv.Load(addr, done) })
+	pt.tile.Priv.Load(addr, p.Suspend())
+	p.Park()
 	return readBacking(pt.pr, addr, size)
 }
 
 // Store writes size bytes at addr through the cache hierarchy.
 func (pt *Port) Store(p *sim.Process, addr uint64, size int, v uint64) {
-	p.Call(func(done func()) { pt.tile.Priv.Store(addr, done) })
+	pt.tile.Priv.Store(addr, p.Suspend())
+	p.Park()
 	writeBacking(pt.pr, addr, size, v)
 }
 
@@ -146,7 +156,8 @@ func (pt *Port) StoreAsync(addr uint64, size int, v uint64) {
 
 // Amo performs an atomic read-modify-write (fetch-add style) at addr.
 func (pt *Port) Amo(p *sim.Process, addr uint64, size int, f func(uint64) uint64) uint64 {
-	p.Call(func(done func()) { pt.tile.Priv.Amo(addr, done) })
+	pt.tile.Priv.Amo(addr, p.Suspend())
+	p.Park()
 	old := readBacking(pt.pr, addr, size)
 	writeBacking(pt.pr, addr, size, f(old))
 	return old

@@ -64,7 +64,17 @@ type Controller struct {
 	gQueue    [2]*sim.Gauge  // requests waiting for a free AXI ID
 	hQWait    *sim.Histogram // cycles spent in the management queue
 	cErrors   *sim.Counter   // DRAM responses with OK:false (e.g. ECC fatal)
+	cQueued   sim.LazyCounter
+	cWrites   sim.LazyCounter
+	cReads    sim.LazyCounter
+	enqueueFn func(any) // bound once; arg is the *Req
 }
+
+// zeroData backs the write engine's AXI beats. The protocol path is
+// timing-only (functional data moves through the backing store), so every
+// write carries zeros; sharing one read-only buffer avoids a 64-byte
+// allocation per writeback.
+var zeroData [4096]byte
 
 // queuedReq is a request waiting for a free engine ID, with its enqueue
 // time for wait accounting.
@@ -89,6 +99,10 @@ func NewController(eng *sim.Engine, mesh *noc.Mesh, name string, dram axi.Target
 		c.hQWait = stats.Histogram(name + ".queue_wait")
 		c.cErrors = stats.Counter(name + ".axi_errors")
 	}
+	c.cQueued = stats.LazyCounter(name + ".queued")
+	c.cWrites = stats.LazyCounter(name + ".write_reqs")
+	c.cReads = stats.LazyCounter(name + ".read_reqs")
+	c.enqueueFn = func(req any) { c.enqueue(req.(*Req)) }
 	return c
 }
 
@@ -99,7 +113,7 @@ func (c *Controller) Handle(pkt *noc.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("mem: %s: unexpected payload %T", c.name, pkt.Payload))
 	}
-	c.eng.Schedule(c.DeserializeDelay, func() { c.enqueue(req) })
+	c.eng.ScheduleArg(c.DeserializeDelay, c.enqueueFn, req)
 }
 
 func (c *Controller) enqueue(req *Req) {
@@ -110,9 +124,7 @@ func (c *Controller) enqueue(req *Req) {
 	if c.inflight[k] >= c.IDsPerEngine {
 		c.queue[k] = append(c.queue[k], queuedReq{req: req, at: c.eng.Now()})
 		c.gQueue[k].Set(int64(len(c.queue[k])))
-		if c.stats != nil {
-			c.stats.Counter(c.name + ".queued").Inc()
-		}
+		c.cQueued.Inc()
 		return
 	}
 	c.issue(k, req)
@@ -148,15 +160,17 @@ func (c *Controller) issue(k engineKind, req *Req) {
 		}
 	}
 	if req.Write {
-		if c.stats != nil {
-			c.stats.Counter(c.name + ".write_reqs").Inc()
+		c.cWrites.Inc()
+		data := zeroData[:]
+		if size > len(data) {
+			data = make([]byte, size)
+		} else {
+			data = data[:size]
 		}
-		c.dram.Write(&axi.WriteReq{Addr: aligned, ID: id, Data: make([]byte, size)},
+		c.dram.Write(&axi.WriteReq{Addr: aligned, ID: id, Data: data},
 			func(r *axi.WriteResp) { doneOne(r.OK) })
 	} else {
-		if c.stats != nil {
-			c.stats.Counter(c.name + ".read_reqs").Inc()
-		}
+		c.cReads.Inc()
 		c.dram.Read(&axi.ReadReq{Addr: aligned, ID: id, Len: size},
 			func(r *axi.ReadResp) { doneOne(r.OK) })
 	}

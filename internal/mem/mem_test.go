@@ -217,9 +217,18 @@ func TestControllerTagsPreservedAcrossOutOfOrder(t *testing.T) {
 }
 
 func TestControllerIDLimitQueues(t *testing.T) {
-	eng, mesh, ctl, resps := controllerHarness(100, 2)
+	// Counters resolve at construction, so stats must be wired up front.
 	var st sim.Stats
-	ctl.stats = &st
+	eng := sim.NewEngine()
+	mesh := noc.New(eng, "mesh", noc.DefaultParams(2, 1), nil)
+	dram := NewDRAM(eng, "dram", 100, 64, nil, 0, nil)
+	ctl := NewController(eng, mesh, "memctl", dram, &st)
+	ctl.IDsPerEngine = 2
+	mesh.AttachChipset(ctl.Handle)
+	resps := &[]Resp{}
+	mesh.AttachTile(1, func(p *noc.Packet) {
+		*resps = append(*resps, *p.Payload.(*Resp))
+	})
 	for i := uint64(0); i < 6; i++ {
 		sendMemReq(mesh, &Req{Addr: i * 64, Size: 8, Src: noc.Dest{Port: noc.PortTile, Tile: 1}, Tag: i})
 	}

@@ -116,6 +116,7 @@ type Mesh struct {
 	// published to the Stats registry by FlushLinkStats.
 	linkFlits [numClasses][]uint64
 	linkBusy  [numClasses][]sim.Time
+	deliverFn func(any) // bound once; arg is the *Packet to deliver
 }
 
 // New creates a mesh with nTiles = p.Width*p.Height tile ports.
@@ -131,6 +132,7 @@ func New(eng *sim.Engine, name string, p Params, stats *sim.Stats) *Mesh {
 		stats: stats,
 		tiles: make([]Handler, n),
 	}
+	m.deliverFn = func(pkt any) { m.deliver(pkt.(*Packet)) }
 	// Directed links: 4 per tile (N/E/S/W) plus 2 exit links at tile 0.
 	links := n*4 + 4
 	m.nextFree = make([][]sim.Time, numClasses)
@@ -187,10 +189,12 @@ func (m *Mesh) linkIndex(t, dir int) int { return t*4 + dir }
 
 func (m *Mesh) exitLink(which int) int { return len(m.tiles)*4 + which*2 }
 
-// route returns the sequence of directed links from src to dst using XY
+// forEachLink walks the sequence of directed links from src to dst using XY
 // (dimension-ordered) routing: X first, then Y. Off-mesh destinations route
-// to tile 0 and then take the exit link.
-func (m *Mesh) route(src, dst Dest) []int {
+// to tile 0 and then take the exit link. The visitor form (instead of
+// returning a slice) keeps routing allocation-free: callers' closures stay
+// on the stack because visit never escapes.
+func (m *Mesh) forEachLink(src, dst Dest, visit func(link int)) {
 	from := 0
 	if src.Port == PortTile {
 		from = src.Tile
@@ -199,52 +203,54 @@ func (m *Mesh) route(src, dst Dest) []int {
 	if dst.Port == PortTile {
 		to = dst.Tile
 	}
-	var links []int
 	// Entering from an exit port first crosses the exit link inbound. We
 	// reuse the same reservation slot for both directions; inter-node and
 	// chipset traffic is low-rate enough that this is a fair serialization
 	// point, matching the single physical channel at tile 0.
 	if src.Port == PortChipset {
-		links = append(links, m.exitLink(0))
+		visit(m.exitLink(0))
 	}
 	if src.Port == PortBridge {
-		links = append(links, m.exitLink(1))
+		visit(m.exitLink(1))
 	}
 	x, y := m.coord(from)
 	dx, dy := m.coord(to)
 	cur := from
 	for x != dx {
 		if x < dx {
-			links = append(links, m.linkIndex(cur, dirE))
+			visit(m.linkIndex(cur, dirE))
 			x++
 		} else {
-			links = append(links, m.linkIndex(cur, dirW))
+			visit(m.linkIndex(cur, dirW))
 			x--
 		}
 		cur = y*m.p.Width + x
 	}
 	for y != dy {
 		if y < dy {
-			links = append(links, m.linkIndex(cur, dirS))
+			visit(m.linkIndex(cur, dirS))
 			y++
 		} else {
-			links = append(links, m.linkIndex(cur, dirN))
+			visit(m.linkIndex(cur, dirN))
 			y--
 		}
 		cur = y*m.p.Width + x
 	}
 	if dst.Port == PortChipset {
-		links = append(links, m.exitLink(0))
+		visit(m.exitLink(0))
 	}
 	if dst.Port == PortBridge {
-		links = append(links, m.exitLink(1))
+		visit(m.exitLink(1))
 	}
-	return links
 }
 
 // HopCount returns the number of links a packet from src to dst crosses.
 // It is exported for latency analysis and tests.
-func (m *Mesh) HopCount(src, dst Dest) int { return len(m.route(src, dst)) }
+func (m *Mesh) HopCount(src, dst Dest) int {
+	n := 0
+	m.forEachLink(src, dst, func(int) { n++ })
+	return n
+}
 
 // Send injects a packet. Delivery is scheduled after routing and
 // serialization delays; the destination handler runs as a simulation event.
@@ -252,7 +258,6 @@ func (m *Mesh) Send(pkt *Packet) {
 	if pkt.Flits <= 0 {
 		panic("noc: packet must have at least one flit")
 	}
-	links := m.route(pkt.Src, pkt.Dst)
 	now := m.eng.Now()
 	t := now
 	var wait sim.Time
@@ -261,7 +266,9 @@ func (m *Mesh) Send(pkt *Packet) {
 	flits := uint64(pkt.Flits)
 	lf := m.linkFlits[pkt.Class]
 	lb := m.linkBusy[pkt.Class]
-	for _, l := range links {
+	hops := 0
+	m.forEachLink(pkt.Src, pkt.Dst, func(l int) {
+		hops++
 		// Router pipeline + wire for this hop.
 		t += m.p.RouterDelay + m.p.LinkDelay
 		// Link serialization: wait if a previous packet still occupies it.
@@ -272,8 +279,8 @@ func (m *Mesh) Send(pkt *Packet) {
 		free[l] = t + serial
 		lf[l] += flits
 		lb[l] += serial
-	}
-	if len(links) == 0 {
+	})
+	if hops == 0 {
 		// Same-port delivery still pays one router traversal.
 		t += m.p.RouterDelay
 	}
@@ -284,7 +291,7 @@ func (m *Mesh) Send(pkt *Packet) {
 	cs.waitCycles.Add(uint64(wait))
 	cs.inflight.Inc()
 	cs.latency.Observe(uint64(t - now))
-	m.eng.At(t, func() { m.deliver(pkt) })
+	m.eng.AtArg(t, m.deliverFn, pkt)
 }
 
 // FlushLinkStats publishes the per-link flit and busy-cycle totals into the

@@ -204,3 +204,28 @@ func TestAllPacketsDelivered(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A multi-hop NoC traversal must not allocate beyond the packet the caller
+// owns: the XY walk visits links without building a route slice, delivery
+// rides the mesh's one bound callback through the engine's pooled events,
+// and per-link totals accumulate in flat arrays. The test reuses one packet
+// so any allocation it sees comes from the mesh or the engine.
+func TestSendHopZeroAlloc(t *testing.T) {
+	eng, m := newTestMesh(t, 4, 3)
+	delivered := 0
+	for i := 0; i < m.Tiles(); i++ {
+		m.AttachTile(i, func(p *Packet) { delivered++ })
+	}
+	pkt := &Packet{Class: NoC1, Src: Dest{PortTile, 0}, Dst: Dest{PortTile, 11}, Flits: 3}
+	m.Send(pkt)
+	eng.Run()
+	if avg := testing.AllocsPerRun(500, func() {
+		m.Send(pkt)
+		eng.Run()
+	}); avg != 0 {
+		t.Fatalf("NoC hop allocates %.2f/op at steady state, want 0", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("packets never delivered")
+	}
+}

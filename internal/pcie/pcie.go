@@ -81,6 +81,12 @@ type epState struct {
 	siteSet bool       // fault site resolved (it may have resolved to nil)
 	target  axi.Target // inbound interface; nil until Attach
 	egress  sim.Time   // egress link reservation
+	master  *port      // the endpoint's one outbound master interface
+	// Free lists of pooled fast-path exchange records. Owned by this
+	// endpoint: records are taken and recycled only in its execution
+	// context, so shards never contend.
+	wops []*wop
+	rops []*rop
 }
 
 // Fabric is the PCIe switch connecting FPGAs and the host.
@@ -160,6 +166,7 @@ func (f *Fabric) ShardEndpoint(id int, eng *sim.Engine, stats *sim.Stats) {
 
 func (f *Fabric) newState(id int, eng *sim.Engine, stats *sim.Stats) *epState {
 	st := &epState{id: id, eng: eng, tel: &epStats{}}
+	st.master = &port{f: f, src: id}
 	if stats != nil {
 		t := st.tel
 		t.txBytes = stats.Counter(fmt.Sprintf("pcie.ep%d.tx_bytes", id))
@@ -329,7 +336,7 @@ type xchg struct {
 	invoke              func(reply func(any))
 	finish              func(any)
 	attempts            int
-	timer               *sim.Timer
+	timer               sim.Timer
 	done                bool
 }
 
@@ -432,7 +439,7 @@ type port struct {
 // Master returns the outbound AXI interface of endpoint src. Writes and
 // reads are routed by address to the owning endpoint; responses pay the
 // return crossing.
-func (f *Fabric) Master(src int) axi.Target { return &port{f: f, src: src} }
+func (f *Fabric) Master(src int) axi.Target { return f.state(src).master }
 
 // fail schedules an OK:false response for an unrouteable request. The error
 // still pays the one-way switch latency: the request has to reach the switch
@@ -454,10 +461,101 @@ func (f *Fabric) targetOf(id int) axi.Target {
 	return nil
 }
 
+// wop is one pooled fast-path write exchange: the rewritten request held by
+// value, plus the three stage callbacks built once per record. The record is
+// taken and recycled at the source endpoint; between the two crossings it is
+// touched only at the destination, with the CrossNet barriers providing the
+// ordering — the same discipline the capture closures it replaces followed.
+type wop struct {
+	dstID int
+	dst   axi.Target
+	local axi.WriteReq
+	done  func(*axi.WriteResp)
+	start sim.Time
+	resp  *axi.WriteResp
+
+	deliverFn func()               // at dst: invoke the inbound target
+	respFn    func(*axi.WriteResp) // at dst: carry the response back
+	finishFn  func()               // at src: telemetry, completion, recycle
+}
+
+func newWop(f *Fabric, st *epState) *wop {
+	o := &wop{}
+	o.deliverFn = func() { o.dst.Write(&o.local, o.respFn) }
+	o.respFn = func(r *axi.WriteResp) {
+		o.resp = r
+		// b-channel response crosses back as a small TLP.
+		f.cross(o.dstID, st.id, 4, o.finishFn)
+	}
+	o.finishFn = func() {
+		st.tel.rtt.Observe(uint64(st.eng.Now() - o.start))
+		st.tel.inflight.Dec()
+		done, resp := o.done, o.resp
+		// Recycle before completing: done may issue the next transfer
+		// synchronously through this same endpoint.
+		o.dst, o.done, o.resp = nil, nil, nil
+		o.local = axi.WriteReq{}
+		st.wops = append(st.wops, o)
+		done(resp)
+	}
+	return o
+}
+
+func (f *Fabric) getWop(st *epState) *wop {
+	if n := len(st.wops); n > 0 {
+		o := st.wops[n-1]
+		st.wops = st.wops[:n-1]
+		return o
+	}
+	return newWop(f, st)
+}
+
+// rop is wop's read-channel twin.
+type rop struct {
+	dstID int
+	dst   axi.Target
+	local axi.ReadReq
+	done  func(*axi.ReadResp)
+	start sim.Time
+	resp  *axi.ReadResp
+
+	deliverFn func()
+	respFn    func(*axi.ReadResp)
+	finishFn  func()
+}
+
+func newRop(f *Fabric, st *epState) *rop {
+	o := &rop{}
+	o.deliverFn = func() { o.dst.Read(&o.local, o.respFn) }
+	o.respFn = func(r *axi.ReadResp) {
+		o.resp = r
+		// r-channel data crosses back.
+		f.cross(o.dstID, st.id, o.local.Len, o.finishFn)
+	}
+	o.finishFn = func() {
+		st.tel.rtt.Observe(uint64(st.eng.Now() - o.start))
+		st.tel.inflight.Dec()
+		done, resp := o.done, o.resp
+		o.dst, o.done, o.resp = nil, nil, nil
+		o.local = axi.ReadReq{}
+		st.rops = append(st.rops, o)
+		done(resp)
+	}
+	return o
+}
+
+func (f *Fabric) getRop(st *epState) *rop {
+	if n := len(st.rops); n > 0 {
+		o := st.rops[n-1]
+		st.rops = st.rops[:n-1]
+		return o
+	}
+	return newRop(f, st)
+}
+
 func (p *port) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 	f := p.f
 	dstID := f.RouteOf(req.Addr)
-	local := &axi.WriteReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Data: req.Data, User: req.User}
 	src := f.state(p.src)
 	tel := src.tel
 	start := src.eng.Now()
@@ -467,6 +565,15 @@ func (p *port) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 		p.fail(tel, func() { done(&axi.WriteResp{ID: req.ID, OK: false}) })
 		return
 	}
+	if f.resolveSite(src) == nil && f.resolveSite(f.state(dstID)) == nil {
+		o := f.getWop(src)
+		o.dstID, o.dst = dstID, dst
+		o.local = axi.WriteReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Data: req.Data, User: req.User}
+		o.done, o.start = done, start
+		f.cross(p.src, dstID, len(req.Data), o.deliverFn)
+		return
+	}
+	local := &axi.WriteReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Data: req.Data, User: req.User}
 	// b-channel response crosses back as a small TLP.
 	f.exchange(p.src, dstID, len(req.Data), 4,
 		func(reply func(any)) {
@@ -486,7 +593,6 @@ func (p *port) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 func (p *port) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 	f := p.f
 	dstID := f.RouteOf(req.Addr)
-	local := &axi.ReadReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Len: req.Len}
 	src := f.state(p.src)
 	tel := src.tel
 	start := src.eng.Now()
@@ -496,6 +602,15 @@ func (p *port) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 		p.fail(tel, func() { done(&axi.ReadResp{ID: req.ID, OK: false}) })
 		return
 	}
+	if f.resolveSite(src) == nil && f.resolveSite(f.state(dstID)) == nil {
+		o := f.getRop(src)
+		o.dstID, o.dst = dstID, dst
+		o.local = axi.ReadReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Len: req.Len}
+		o.done, o.start = done, start
+		f.cross(p.src, dstID, 4, o.deliverFn)
+		return
+	}
+	local := &axi.ReadReq{Addr: f.LocalAddr(req.Addr), ID: req.ID, Len: req.Len}
 	// r-channel data crosses back.
 	f.exchange(p.src, dstID, 4, req.Len,
 		func(reply func(any)) {

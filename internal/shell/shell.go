@@ -42,6 +42,10 @@ type Shell struct {
 	stats  *sim.Stats
 
 	cErrors *sim.Counter // outbound responses with OK:false crossing the CL
+
+	outb   outbound       // the one outbound master, handed out by Outbound
+	outOps []*outOp       // free list of outbound conversion records
+	inFwd  *axi.Forwarder // inbound PCIe->AXI4 conversion toward the CL
 }
 
 // New creates the shell for FPGA id and attaches it to the fabric.
@@ -50,6 +54,8 @@ func New(eng *sim.Engine, fabric *pcie.Fabric, id int, stats *sim.Stats) *Shell 
 	if stats != nil {
 		s.cErrors = stats.Counter(fmt.Sprintf("fpga%d.shell.axi_errors", id))
 	}
+	s.outb.s = s
+	s.inFwd = axi.NewForwarder(eng)
 	fabric.Attach(id, (*inbound)(s))
 	return s
 }
@@ -84,30 +90,87 @@ func (s *Shell) WindowAddr(off axi.Addr) axi.Addr {
 
 // Outbound returns the CL's outbound AXI4 master: requests are converted to
 // PCIe and routed by address (to peer FPGAs or the host).
-func (s *Shell) Outbound() axi.Target { return &outbound{s} }
+func (s *Shell) Outbound() axi.Target { return &s.outb }
 
 type outbound struct{ s *Shell }
 
+// outOp is one pooled outbound conversion: AXI4 in from the CL, PCIe issue
+// after the conversion delay, and the response converted back. Its stage
+// callbacks are built once when the record is created, so a steady-state
+// transaction allocates nothing in the shell.
+type outOp struct {
+	s     *Shell
+	wreq  *axi.WriteReq
+	wdone func(*axi.WriteResp)
+	wresp *axi.WriteResp
+	rreq  *axi.ReadReq
+	rdone func(*axi.ReadResp)
+	rresp *axi.ReadResp
+
+	issueFn  func() // stage 1: issue on the PCIe master
+	finishFn func() // stage 2: deliver the converted response
+	wRespFn  func(*axi.WriteResp)
+	rRespFn  func(*axi.ReadResp)
+}
+
+func newOutOp(s *Shell) *outOp {
+	o := &outOp{s: s}
+	o.issueFn = func() {
+		if o.wreq != nil {
+			s.fabric.Master(s.id).Write(o.wreq, o.wRespFn)
+		} else {
+			s.fabric.Master(s.id).Read(o.rreq, o.rRespFn)
+		}
+	}
+	o.wRespFn = func(r *axi.WriteResp) {
+		if !r.OK {
+			s.cErrors.Inc()
+		}
+		o.wresp = r
+		s.eng.Schedule(ConversionDelay, o.finishFn)
+	}
+	o.rRespFn = func(r *axi.ReadResp) {
+		if !r.OK {
+			s.cErrors.Inc()
+		}
+		o.rresp = r
+		s.eng.Schedule(ConversionDelay, o.finishFn)
+	}
+	o.finishFn = func() {
+		wdone, wresp, rdone, rresp := o.wdone, o.wresp, o.rdone, o.rresp
+		// Recycle before delivering: the completion may issue the next
+		// outbound transfer synchronously.
+		o.wreq, o.wdone, o.wresp = nil, nil, nil
+		o.rreq, o.rdone, o.rresp = nil, nil, nil
+		s.outOps = append(s.outOps, o)
+		if wdone != nil {
+			wdone(wresp)
+		} else {
+			rdone(rresp)
+		}
+	}
+	return o
+}
+
+func (s *Shell) getOutOp() *outOp {
+	if n := len(s.outOps); n > 0 {
+		o := s.outOps[n-1]
+		s.outOps = s.outOps[:n-1]
+		return o
+	}
+	return newOutOp(s)
+}
+
 func (o *outbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
-	o.s.eng.Schedule(ConversionDelay, func() {
-		o.s.fabric.Master(o.s.id).Write(req, func(r *axi.WriteResp) {
-			if !r.OK {
-				o.s.cErrors.Inc()
-			}
-			o.s.eng.Schedule(ConversionDelay, func() { done(r) })
-		})
-	})
+	op := o.s.getOutOp()
+	op.wreq, op.wdone = req, done
+	o.s.eng.Schedule(ConversionDelay, op.issueFn)
 }
 
 func (o *outbound) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
-	o.s.eng.Schedule(ConversionDelay, func() {
-		o.s.fabric.Master(o.s.id).Read(req, func(r *axi.ReadResp) {
-			if !r.OK {
-				o.s.cErrors.Inc()
-			}
-			o.s.eng.Schedule(ConversionDelay, func() { done(r) })
-		})
-	})
+	op := o.s.getOutOp()
+	op.rreq, op.rdone = req, done
+	o.s.eng.Schedule(ConversionDelay, op.issueFn)
 }
 
 // inbound is the shell's PCIe-facing target (what the fabric delivers to).
@@ -144,7 +207,7 @@ func (in *inbound) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
 		done(&axi.WriteResp{ID: req.ID, OK: false})
 		return
 	}
-	s.eng.Schedule(ConversionDelay, func() { s.cl.Write(req, done) })
+	s.inFwd.Write(ConversionDelay, s.cl, req, done)
 }
 
 func (in *inbound) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
@@ -169,5 +232,5 @@ func (in *inbound) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
 		done(&axi.ReadResp{ID: req.ID, OK: false})
 		return
 	}
-	s.eng.Schedule(ConversionDelay, func() { s.cl.Read(req, done) })
+	s.inFwd.Read(ConversionDelay, s.cl, req, done)
 }

@@ -1,6 +1,6 @@
 package sim
 
-import "sort"
+import "slices"
 
 // CrossNet carries events between shards — the PCIe crossings and thread
 // migrations that are the only coupling between FPGA chips. Both execution
@@ -50,64 +50,116 @@ func netOrder(a, b netEntry) bool {
 	return a.seq < b.seq
 }
 
+// netCmp is netOrder as a three-way comparison for slices.SortFunc (which,
+// unlike sort.Slice, sorts a typed slice without boxing or reflection).
+func netCmp(a, b netEntry) int {
+	if netOrder(a, b) {
+		return -1
+	}
+	if netOrder(b, a) {
+		return 1
+	}
+	return 0
+}
+
+// dstState is a SerialNet's per-destination delivery state. Buffers are
+// reused flush to flush, so a warmed-up net sends and flushes without
+// allocating.
+type dstState struct {
+	pending []netEntry // not yet delivered
+	due     []netEntry // scratch: the current cycle's deliveries
+	sched   []Time     // cycles with a flush event already queued
+}
+
 // SerialNet is the single-engine CrossNet: everything runs on one Engine,
 // so "crossing" is just a scheduled event — but routed through the same
 // canonical ordering the sharded Group uses, so the serial reference and a
 // sharded run order cross-shard traffic identically.
+//
+// Endpoint ids may include pcie.HostID (-1); state is indexed at id+1.
 type SerialNet struct {
-	eng       *Engine
-	seqs      map[int]uint64
-	pending   map[int][]netEntry        // per destination, not yet delivered
-	scheduled map[int]map[Time]struct{} // (dst, cycle) flushes already queued
+	eng     *Engine
+	seqs    []uint64
+	dsts    []*dstState
+	flushFn func(any) // bound once; arg is the destination id
 }
 
 // NewSerialNet returns a CrossNet that delivers on eng.
 func NewSerialNet(eng *Engine) *SerialNet {
-	return &SerialNet{
-		eng:       eng,
-		seqs:      make(map[int]uint64),
-		pending:   make(map[int][]netEntry),
-		scheduled: make(map[int]map[Time]struct{}),
+	n := &SerialNet{eng: eng}
+	n.flushFn = func(dst any) { n.flush(dst.(int)) }
+	return n
+}
+
+// seqAt returns a pointer to src's sequence counter, growing the table on
+// first use of a source.
+func (n *SerialNet) seqAt(src int) *uint64 {
+	for src+1 >= len(n.seqs) {
+		n.seqs = append(n.seqs, 0)
 	}
+	return &n.seqs[src+1]
+}
+
+// dstAt returns dst's delivery state, growing the table on first use.
+func (n *SerialNet) dstAt(dst int) *dstState {
+	for dst+1 >= len(n.dsts) {
+		n.dsts = append(n.dsts, nil)
+	}
+	if n.dsts[dst+1] == nil {
+		n.dsts[dst+1] = &dstState{}
+	}
+	return n.dsts[dst+1]
 }
 
 // Send implements CrossNet.
 func (n *SerialNet) Send(src, dst int, deliverAt Time, fn func()) {
-	n.seqs[src]++
-	n.pending[dst] = append(n.pending[dst], netEntry{
+	seq := n.seqAt(src)
+	*seq++
+	d := n.dstAt(dst)
+	d.pending = append(d.pending, netEntry{
 		at:   deliverAt,
 		sent: n.eng.Now(),
 		src:  src,
-		seq:  n.seqs[src],
+		seq:  *seq,
 		fn:   fn,
 	})
-	sch := n.scheduled[dst]
-	if sch == nil {
-		sch = make(map[Time]struct{})
-		n.scheduled[dst] = sch
-	}
-	if _, ok := sch[deliverAt]; !ok {
-		sch[deliverAt] = struct{}{}
-		n.eng.AtFront(deliverAt, func() { n.flush(dst) })
+	// One flush event per (dst, cycle): the scheduled set is a small slice
+	// (only cycles within the fabric's latency spread are outstanding), so
+	// a linear scan beats a map here.
+	if !slices.Contains(d.sched, deliverAt) {
+		d.sched = append(d.sched, deliverAt)
+		n.eng.AtFrontArg(deliverAt, n.flushFn, dst)
 	}
 }
 
 // flush applies every delivery due on dst at the current cycle, in canonical
 // order. It runs as a prioDeliver event, ahead of the cycle's local work.
 func (n *SerialNet) flush(dst int) {
+	d := n.dstAt(dst)
 	now := n.eng.Now()
-	delete(n.scheduled[dst], now)
-	var due, rest []netEntry
-	for _, e := range n.pending[dst] {
+	if i := slices.Index(d.sched, now); i >= 0 {
+		d.sched = slices.Delete(d.sched, i, i+1)
+	}
+	// Partition in place: due entries move to the scratch buffer, the rest
+	// compact to the front of pending. The consumed tail is zeroed so the
+	// delivered closures don't linger past their execution.
+	due := d.due[:0]
+	keep := d.pending[:0]
+	for _, e := range d.pending {
 		if e.at == now {
 			due = append(due, e)
 		} else {
-			rest = append(rest, e)
+			keep = append(keep, e)
 		}
 	}
-	n.pending[dst] = rest
-	sort.Slice(due, func(i, j int) bool { return netOrder(due[i], due[j]) })
-	for _, e := range due {
-		e.fn()
+	for i := len(keep); i < len(d.pending); i++ {
+		d.pending[i] = netEntry{}
 	}
+	d.pending = keep
+	slices.SortFunc(due, netCmp)
+	for i := range due {
+		due[i].fn()
+		due[i].fn = nil
+	}
+	d.due = due[:0]
 }

@@ -3,13 +3,20 @@
 // built on: the NoC, caches, memory controllers, PCIe links, bridges and
 // cores all schedule work on a shared Engine.
 //
-// Determinism: events are ordered by (time, sequence number), where the
-// sequence number is assigned at scheduling time. Two runs with the same
+// Determinism: events are ordered by (time, priority, sequence number), where
+// the sequence number is assigned at scheduling time. Two runs with the same
 // inputs produce identical event orders and therefore identical results.
+//
+// Throughput: the engine is allocation-free on its hot path. Events live in a
+// per-Engine pool and are recycled through a free list; a generation counter
+// per slot keeps a stale Timer from cancelling a recycled event. The pending
+// queue is a hand-rolled 4-ary heap over a value slice (no interface boxing,
+// no per-push allocation), and work scheduled for the current cycle bypasses
+// the heap entirely through a FIFO — the majority of cycle-level traffic
+// (zero-delay continuations, process dispatches) never touches the heap.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -21,13 +28,22 @@ type Time uint64
 // TimeMax is the largest representable simulation time.
 const TimeMax Time = math.MaxUint64
 
-// event is a scheduled callback.
+// event is a pooled scheduled callback. Exactly one of fn/afn is set while
+// the event is live; both nil marks a cancelled (or free) slot. gen counts
+// how many times the slot has been recycled, so a Timer holding (idx, gen)
+// can never resurrect or cancel a successor event in the same slot.
 type event struct {
 	at   Time
-	prio uint8
 	seq  uint64
 	fn   func()
+	afn  func(any)
+	arg  any
+	gen  uint64
+	prio uint8
 }
+
+// live reports whether the slot holds a schedulable callback.
+func (ev *event) live() bool { return ev.fn != nil || ev.afn != nil }
 
 // Event priorities: deliveries injected by a CrossNet run at the start of
 // their cycle, before ordinarily scheduled work, so serial and sharded
@@ -37,40 +53,43 @@ const (
 	prioNormal  = 1
 )
 
-// eventHeap implements heap.Interface ordered by (at, prio, seq).
-type eventHeap []*event
+// heapEnt is one pending-queue entry: the ordering key plus the pool index.
+// key folds (prio, seq) into one word — prio in the top bit, seq below — so
+// the heap comparison is two integer compares with no pointer chasing.
+type heapEnt struct {
+	at  Time
+	key uint64
+	idx int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entKey(prio uint8, seq uint64) uint64 { return uint64(prio)<<63 | seq }
+
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
+	return a.key < b.key
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (out any) {
-	old := *h
-	n := len(old)
-	out = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
-}
-func (h eventHeap) peek() *event { return h[0] }
 
 // Engine is a discrete-event simulation engine. The zero value is not ready
 // to use; construct one with NewEngine.
 type Engine struct {
 	now       Time
 	seq       uint64
-	queue     eventHeap
 	stopped   bool
 	live      int  // scheduled events that have not fired and are not cancelled
 	lastEvent Time // timestamp of the most recently executed event
+
+	pool []event   // event slots; index is the stable handle
+	free []int32   // recycled slot indices
+	heap []heapEnt // 4-ary min-heap ordered by (at, prio, seq)
+
+	// Same-cycle FIFO fast path: normal-priority events scheduled for the
+	// current cycle. Entries are appended in seq order, so the FIFO is
+	// already sorted; only a front-of-cycle (prioDeliver) heap event can
+	// order before its head.
+	fifo     []int32
+	fifoHead int
 
 	// stats
 	executed uint64
@@ -78,9 +97,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulation time.
@@ -100,18 +117,105 @@ func (e *Engine) Pending() int { return e.live }
 // reports when the engine last did real work.
 func (e *Engine) LastEventTime() Time { return e.lastEvent }
 
-// NextEventTime returns the timestamp of the earliest live event, discarding
-// any cancelled events it finds at the head of the queue. The second return
-// is false when no live events remain.
-func (e *Engine) NextEventTime() (Time, bool) {
-	for len(e.queue) > 0 {
-		ev := e.queue.peek()
-		if ev.fn != nil {
-			return ev.at, true
-		}
-		heap.Pop(&e.queue)
+// alloc takes a slot from the free list (or grows the pool), stamps it with
+// the next sequence number and returns its index.
+func (e *Engine) alloc(at Time, prio uint8) int32 {
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.pool = append(e.pool, event{})
+		idx = int32(len(e.pool) - 1)
 	}
-	return 0, false
+	e.seq++
+	ev := &e.pool[idx]
+	ev.at = at
+	ev.prio = prio
+	ev.seq = e.seq
+	return idx
+}
+
+// release recycles a slot: the callback references are dropped so the GC can
+// collect them, and the generation is bumped so stale Timers miss.
+func (e *Engine) release(idx int32) {
+	ev := &e.pool[idx]
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.gen++
+	e.free = append(e.free, idx)
+}
+
+// enqueue places a freshly allocated slot in the pending structure: the
+// same-cycle FIFO when it is normal-priority work for the current cycle,
+// the heap otherwise.
+func (e *Engine) enqueue(idx int32, t Time, prio uint8) {
+	e.live++
+	if t == e.now && prio == prioNormal {
+		e.fifo = append(e.fifo, idx)
+		return
+	}
+	e.heapPush(heapEnt{at: t, key: entKey(prio, e.pool[idx].seq), idx: idx})
+}
+
+// heapPush inserts an entry into the 4-ary heap.
+func (e *Engine) heapPush(ent heapEnt) {
+	h := append(e.heap, ent)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// heapPopHead removes the minimum entry.
+func (e *Engine) heapPopHead() {
+	h := e.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	e.heap = h
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// fifoAdvance consumes the FIFO head, resetting the buffer once drained so
+// its capacity is reused cycle after cycle.
+func (e *Engine) fifoAdvance() {
+	e.fifoHead++
+	if e.fifoHead == len(e.fifo) {
+		e.fifo = e.fifo[:0]
+		e.fifoHead = 0
+	}
+}
+
+// pastPanic reports a scheduling-in-the-past bug; it is always a model bug.
+func (e *Engine) pastPanic(t Time) {
+	panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 }
 
 // Schedule runs fn after delay cycles. A delay of zero runs fn later in the
@@ -120,15 +224,37 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// ScheduleArg runs fn(arg) after delay cycles. It is the typed-callback
+// twin of Schedule for hot call sites: a model stores one bound method (or
+// package function) as a func(any) and passes the per-event state as arg,
+// so no capture closure is allocated per event. A pointer-shaped arg (the
+// usual case: *Packet, *Msg, *Envelope, small ints) does not allocate when
+// converted to any.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) {
+	e.AtArg(e.now+delay, fn, arg)
+}
+
 // At runs fn at absolute time t. Scheduling in the past panics: it is always
 // a model bug.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+		e.pastPanic(t)
 	}
-	e.seq++
-	e.live++
-	heap.Push(&e.queue, &event{at: t, prio: prioNormal, seq: e.seq, fn: fn})
+	idx := e.alloc(t, prioNormal)
+	e.pool[idx].fn = fn
+	e.enqueue(idx, t, prioNormal)
+}
+
+// AtArg runs fn(arg) at absolute time t; see ScheduleArg.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) {
+	if t < e.now {
+		e.pastPanic(t)
+	}
+	idx := e.alloc(t, prioNormal)
+	ev := &e.pool[idx]
+	ev.afn = fn
+	ev.arg = arg
+	e.enqueue(idx, t, prioNormal)
 }
 
 // AtFront runs fn at absolute time t, ahead of every normally scheduled
@@ -138,44 +264,131 @@ func (e *Engine) At(t Time, fn func()) {
 // tie the two modes could otherwise order differently.
 func (e *Engine) AtFront(t Time, fn func()) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+		e.pastPanic(t)
 	}
-	e.seq++
-	e.live++
-	heap.Push(&e.queue, &event{at: t, prio: prioDeliver, seq: e.seq, fn: fn})
+	idx := e.alloc(t, prioDeliver)
+	e.pool[idx].fn = fn
+	e.enqueue(idx, t, prioDeliver)
+}
+
+// AtFrontArg is the typed-callback twin of AtFront; see ScheduleArg.
+func (e *Engine) AtFrontArg(t Time, fn func(any), arg any) {
+	if t < e.now {
+		e.pastPanic(t)
+	}
+	idx := e.alloc(t, prioDeliver)
+	ev := &e.pool[idx]
+	ev.afn = fn
+	ev.arg = arg
+	e.enqueue(idx, t, prioDeliver)
 }
 
 // Timer is a handle to a cancellable event scheduled with Engine.After.
+// The zero Timer is valid and cancels nothing. A Timer is a value: it holds
+// the event's pool slot and the slot's generation at scheduling time, so a
+// Cancel that races with slot recycling (the event fired, the slot was
+// reused) is a guaranteed no-op rather than a resurrection bug.
 type Timer struct {
 	eng *Engine
-	ev  *event
+	idx int32
+	gen uint64
 }
 
 // Cancel discards the timer's event. A cancelled event is skipped unexecuted
 // when the queue reaches it: it does not run, does not advance the clock and
 // does not count as executed, so timeout guards that usually get cancelled
-// leave a run's final time and statistics untouched. Safe on a nil Timer and
-// after the event has already fired.
+// leave a run's final time and statistics untouched. Safe on the zero Timer
+// and after the event has already fired.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		if t.ev.fn != nil { // not already fired or cancelled
-			t.ev.fn = nil
-			t.eng.live--
-		}
-		t.ev = nil
+	if t == nil || t.eng == nil {
+		return
 	}
+	ev := &t.eng.pool[t.idx]
+	if ev.gen == t.gen && ev.live() {
+		ev.fn, ev.afn, ev.arg = nil, nil, nil
+		t.eng.live--
+	}
+	t.eng = nil
 }
 
 // After schedules fn after delay cycles, like Schedule, but returns a Timer
 // that can cancel the event before it fires. Models use it for timeout
 // watchdogs (e.g. the PCIe retransmit timer) that are cancelled on the
 // common path.
-func (e *Engine) After(delay Time, fn func()) *Timer {
-	e.seq++
-	e.live++
-	ev := &event{at: e.now + delay, prio: prioNormal, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return &Timer{eng: e, ev: ev}
+func (e *Engine) After(delay Time, fn func()) Timer {
+	t := e.now + delay
+	idx := e.alloc(t, prioNormal)
+	ev := &e.pool[idx]
+	ev.fn = fn
+	gen := ev.gen
+	e.enqueue(idx, t, prioNormal)
+	return Timer{eng: e, idx: idx, gen: gen}
+}
+
+// NextEventTime returns the timestamp of the earliest live event, discarding
+// any cancelled events it finds at the head of the queue (their slots are
+// recycled onto the free list, exactly as Step's drain does). The second
+// return is false when no live events remain.
+func (e *Engine) NextEventTime() (Time, bool) {
+	for e.fifoHead < len(e.fifo) {
+		idx := e.fifo[e.fifoHead]
+		if e.pool[idx].live() {
+			return e.now, true
+		}
+		e.fifoAdvance()
+		e.release(idx)
+	}
+	for len(e.heap) > 0 {
+		ent := e.heap[0]
+		if e.pool[ent.idx].live() {
+			return ent.at, true
+		}
+		e.heapPopHead()
+		e.release(ent.idx)
+	}
+	return 0, false
+}
+
+// peekAt returns the timestamp of the earliest queued event, live or
+// cancelled (run loops use it for deadline checks; Step discards cancelled
+// heads without executing them).
+func (e *Engine) peekAt() (Time, bool) {
+	if e.fifoHead < len(e.fifo) {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
+// next pops the globally earliest queued event's slot index. The FIFO holds
+// only normal-priority work for the current cycle, already in seq order, so
+// the only heap entry that can order before its head is same-cycle work with
+// a smaller key (a front-of-cycle delivery, or a normal event scheduled
+// before the clock reached this cycle).
+func (e *Engine) next() (int32, bool) {
+	hasF := e.fifoHead < len(e.fifo)
+	if len(e.heap) > 0 {
+		ent := e.heap[0]
+		if hasF {
+			f := e.fifo[e.fifoHead]
+			if ent.at == e.now && ent.key < entKey(prioNormal, e.pool[f].seq) {
+				e.heapPopHead()
+				return ent.idx, true
+			}
+			e.fifoAdvance()
+			return f, true
+		}
+		e.heapPopHead()
+		return ent.idx, true
+	}
+	if hasF {
+		f := e.fifo[e.fifoHead]
+		e.fifoAdvance()
+		return f, true
+	}
+	return 0, false
 }
 
 // Step executes the single next event. It reports false when the queue is
@@ -183,19 +396,32 @@ func (e *Engine) After(delay Time, fn func()) *Timer {
 // without executing (and without advancing the clock); Step still reports
 // true for them so run loops keep draining.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.queue) == 0 {
+	if e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	if ev.fn == nil {
-		return true // cancelled; already removed from the live count
+	idx, ok := e.next()
+	if !ok {
+		return false
+	}
+	ev := &e.pool[idx]
+	if !ev.live() {
+		e.release(idx) // cancelled; already removed from the live count
+		return true
 	}
 	e.now = ev.at
 	e.lastEvent = ev.at
 	e.executed++
 	e.live--
-	ev.fn()
-	ev.fn = nil // release the closure; a Timer may still point at the event
+	// Copy the callback out and recycle the slot before invoking: the
+	// callback may schedule (growing the pool and moving ev) and a Timer
+	// still pointing at the slot is fenced off by the generation bump.
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.release(idx)
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 	return true
 }
 
@@ -211,7 +437,11 @@ func (e *Engine) Run() Time {
 // beyond the deadline remain queued; the clock is left at min(deadline,
 // last executed event time).
 func (e *Engine) RunUntil(deadline Time) Time {
-	for !e.stopped && len(e.queue) > 0 && e.queue.peek().at <= deadline {
+	for !e.stopped {
+		t, ok := e.peekAt()
+		if !ok || t > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline && !e.stopped {
@@ -229,7 +459,11 @@ func (e *Engine) RunFor(d Time) Time { return e.RunUntil(e.now + d) }
 // of "now" matches what the serial engine would have seen (forcing would
 // timestamp post-window scheduling differently across modes).
 func (e *Engine) runTo(deadline Time) {
-	for !e.stopped && len(e.queue) > 0 && e.queue.peek().at <= deadline {
+	for !e.stopped {
+		t, ok := e.peekAt()
+		if !ok || t > deadline {
+			break
+		}
 		e.Step()
 	}
 }

@@ -11,7 +11,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -35,8 +35,9 @@ type Group struct {
 	engines   []*Engine
 	seqs      []uint64
 	outbox    [][]groupEnv
-	horizon   Time // current window's exclusive upper bound
-	running   bool // inside a window (workers active)
+	horizon   Time       // current window's exclusive upper bound
+	running   bool       // inside a window (workers active)
+	merged    []groupEnv // inject scratch, reused window to window
 }
 
 // NewGroup builds a synchronizer over the given shard engines. lookahead is
@@ -92,15 +93,20 @@ func (g *Group) Send(src, dst int, deliverAt Time, fn func()) {
 // canonical order reproduces the serial engine's tie-break for deliveries
 // that land on the same (destination, cycle).
 func (g *Group) inject() {
-	var all []groupEnv
+	all := g.merged[:0]
 	for i := range g.outbox {
 		all = append(all, g.outbox[i]...)
+		for j := range g.outbox[i] {
+			g.outbox[i][j] = groupEnv{}
+		}
 		g.outbox[i] = g.outbox[i][:0]
 	}
-	sort.Slice(all, func(i, j int) bool { return netOrder(all[i].netEntry, all[j].netEntry) })
-	for _, e := range all {
-		g.engines[e.dst].AtFront(e.at, e.fn)
+	slices.SortFunc(all, func(a, b groupEnv) int { return netCmp(a.netEntry, b.netEntry) })
+	for i := range all {
+		g.engines[all[i].dst].AtFront(all[i].at, all[i].fn)
+		all[i] = groupEnv{}
 	}
+	g.merged = all[:0]
 }
 
 // minNext returns the earliest live event time across all shards.

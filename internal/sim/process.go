@@ -17,6 +17,13 @@ type Process struct {
 	yield  chan struct{}
 	done   bool
 	err    any // panic value from the process body, re-raised in the engine
+
+	// dispatchFn and wakeFn are bound once at creation so the hot resume
+	// paths (Wait, Call, Suspend) schedule without allocating a closure
+	// per event.
+	dispatchFn func()
+	wakeFn     func()
+	armed      bool // a Suspend/Call completion is outstanding
 }
 
 // Go starts fn as a new process at the current simulation time. fn receives
@@ -28,6 +35,8 @@ func Go(eng *Engine, name string, fn func(*Process)) *Process {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.dispatchFn = p.dispatch
+	p.wakeFn = p.wake
 	go func() {
 		<-p.resume
 		defer func() {
@@ -39,7 +48,7 @@ func Go(eng *Engine, name string, fn func(*Process)) *Process {
 		}()
 		fn(p)
 	}()
-	eng.Schedule(0, p.dispatch)
+	eng.Schedule(0, p.dispatchFn)
 	return p
 }
 
@@ -56,6 +65,18 @@ func (p *Process) dispatch() {
 	}
 }
 
+// wake is the shared completion callback handed out by Suspend and Call. A
+// process can have at most one completion outstanding (it is parked while it
+// waits), so one bound function per process suffices; the armed flag catches
+// a completion invoked twice.
+func (p *Process) wake() {
+	if !p.armed {
+		panic(fmt.Sprintf("sim: process %q woken twice", p.name))
+	}
+	p.armed = false
+	p.eng.Schedule(0, p.dispatchFn)
+}
+
 // Engine returns the engine this process runs on.
 func (p *Process) Engine() *Engine { return p.eng }
 
@@ -70,7 +91,7 @@ func (p *Process) Done() bool { return p.done }
 
 // Wait suspends the process for d cycles.
 func (p *Process) Wait(d Time) {
-	p.eng.Schedule(d, p.dispatch)
+	p.eng.Schedule(d, p.dispatchFn)
 	p.block()
 }
 
@@ -79,7 +100,7 @@ func (p *Process) WaitUntil(t Time) {
 	if t <= p.eng.Now() {
 		return
 	}
-	p.eng.At(t, p.dispatch)
+	p.eng.At(t, p.dispatchFn)
 	p.block()
 }
 
@@ -106,19 +127,13 @@ func (p *Process) Hop(net CrossNet, src, dst int, dstEng *Engine, delay Time) {
 }
 
 // Suspend parks the process indefinitely. The returned wake function
-// reschedules it; it may be called from any event callback exactly once per
-// Suspend. Typical use: issue a request to a model, Suspend, and have the
-// model's completion event call wake.
+// reschedules it; it must be called exactly once per Suspend, from any event
+// callback. Typical use: issue a request to a model, Suspend, and have the
+// model's completion event call wake. The wake function is the process's
+// pooled completion (no allocation); waking twice panics.
 func (p *Process) Suspend() (wake func()) {
-	woken := false
-	wake = func() {
-		if woken {
-			panic(fmt.Sprintf("sim: process %q woken twice", p.name))
-		}
-		woken = true
-		p.eng.Schedule(0, p.dispatch)
-	}
-	return wake
+	p.armed = true
+	return p.wakeFn
 }
 
 // Park suspends until wake is invoked. It is split from Suspend so callers
@@ -129,16 +144,10 @@ func (p *Process) Park() { p.block() }
 // start receives a completion callback; the model must invoke it exactly once
 // (possibly immediately). Call returns at the simulation time of completion.
 func (p *Process) Call(start func(done func())) {
-	fired := false
-	start(func() {
-		if fired {
-			panic(fmt.Sprintf("sim: completion for process %q fired twice", p.name))
-		}
-		fired = true
-		// The engine cannot execute this dispatch before we yield below,
-		// even when the completion is synchronous, because the engine is
-		// blocked waiting on this process.
-		p.eng.Schedule(0, p.dispatch)
-	})
+	p.armed = true
+	// The engine cannot execute the dispatch the completion schedules
+	// before we yield below, even when the completion is synchronous,
+	// because the engine is blocked waiting on this process.
+	start(p.wakeFn)
 	p.block()
 }

@@ -35,6 +35,39 @@ func (c *Counter) Inc() {
 	}
 }
 
+// LazyCounter is a counter handle that registers with its Stats on first
+// increment instead of at construction. Use it for conditionally-hit
+// counters a model resolves up front: a metrics report then lists the
+// counter only if the run actually touched it (exactly as if the model had
+// looked it up by name at each hit), while repeat increments still pay no
+// string building or map lookup. The zero value (and any handle built with
+// a nil Stats) is a no-op.
+type LazyCounter struct {
+	stats *Stats
+	name  string
+	c     *Counter
+}
+
+// LazyCounter returns a lazily-registering handle for name. Safe to call on
+// a nil registry: the handle is then a no-op.
+func (s *Stats) LazyCounter(name string) LazyCounter {
+	return LazyCounter{stats: s, name: name}
+}
+
+// Add increments the counter by n, registering it on first use.
+func (l *LazyCounter) Add(n uint64) {
+	if l.c == nil {
+		if l.stats == nil {
+			return
+		}
+		l.c = l.stats.Counter(l.name)
+	}
+	l.c.Value += n
+}
+
+// Inc increments the counter by one, registering it on first use.
+func (l *LazyCounter) Inc() { l.Add(1) }
+
 // Gauge is a named instantaneous level (queue depth, MSHR occupancy,
 // in-flight transactions). It tracks the high-water mark alongside the
 // current value. The simulation is single-threaded, so unsynchronized

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench.sh — reproducible benchmark runs for the engine fixtures.
+#
+# Usage:
+#   scripts/bench.sh [output-file]             # run, save raw `go test -bench` output
+#   scripts/bench.sh old.txt new.txt           # compare two saved runs with benchstat
+#
+# The run mode executes the BENCH_ENGINE.json fixtures (BenchmarkEngine_*)
+# plus the sharded-engine comparison (BenchmarkParallel_vs_Serial) with a
+# fixed -benchtime and -count, so two runs are comparable point estimates.
+# Save the output before a change and after it, then use the compare mode
+# (or benchstat directly) to get significance-tested deltas:
+#
+#   scripts/bench.sh before.txt
+#   ... hack hack hack ...
+#   scripts/bench.sh after.txt
+#   scripts/bench.sh before.txt after.txt
+#
+# benchstat is optional: compare mode falls back to a side-by-side diff when
+# it is not installed (this repo adds no dependencies; install it with
+# `go install golang.org/x/perf/cmd/benchstat@latest` where network allows).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH='BenchmarkEngine_|BenchmarkParallel_vs_Serial'
+BENCHTIME=${BENCHTIME:-3x}
+COUNT=${COUNT:-1}
+
+if [ $# -eq 2 ]; then
+    if command -v benchstat >/dev/null 2>&1; then
+        exec benchstat "$1" "$2"
+    fi
+    echo "benchstat not installed; raw side-by-side (old | new):" >&2
+    paste -d'|' <(grep '^Benchmark' "$1") <(grep '^Benchmark' "$2") | column -t -s'|'
+    exit 0
+fi
+
+OUT=${1:-/dev/stdout}
+echo "running: go test -run '^\$' -bench '$BENCH' -benchtime $BENCHTIME -count $COUNT -benchmem ." >&2
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . | tee "$OUT"
