@@ -1,0 +1,132 @@
+// Command smappic-fleet runs experiment campaigns: declarative parameter
+// sweeps expanded into independent simulation jobs, executed on a bounded
+// worker pool with a content-addressed result cache, and aggregated into one
+// deterministic report with a cloud cost estimate.
+//
+// Usage:
+//
+//	smappic-fleet -spec sweep.json [-workers N] [-cache dir] [-out prefix]
+//	smappic-fleet -spec smoke            # builtin sweeps by name
+//	smappic-fleet -list                  # show the builtin sweeps
+//
+// The spec is a JSON document (see EXPERIMENTS.md) or the name of a builtin
+// sweep. Completed jobs land in the cache keyed by a hash of their resolved
+// parameters, so re-running a campaign — after an interrupt, a crash, or
+// just to regenerate reports — re-executes nothing. The aggregate report is
+// byte-identical for any worker count and any mix of fresh and cached jobs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"smappic/internal/campaign"
+	"smappic/internal/experiments"
+)
+
+func main() {
+	specArg := flag.String("spec", "", "campaign spec: a JSON file path or a builtin sweep name")
+	list := flag.Bool("list", false, "list builtin sweeps and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs (output is identical for any value)")
+	cacheDir := flag.String("cache", ".smappic-cache", "result cache directory; empty disables caching")
+	out := flag.String("out", "", "write <prefix>.json and <prefix>.csv aggregate reports")
+	report := flag.Bool("report", false, "print the merged campaign-wide counter report")
+	quick := flag.Bool("quick", false, "reduced problem sizes for builtin sweeps")
+	timeout := flag.Float64("timeout", 0, "per-job wall-clock timeout in seconds (overrides the spec)")
+	retries := flag.Int("retries", -1, "extra attempts after a watchdog stall (overrides the spec)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("builtin sweeps:")
+		for _, s := range experiments.BuiltinSpecs(*quick) {
+			jobs, err := s.Jobs()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-14s %d points (%s on %v)\n", s.Name, len(jobs), s.Workloads[0], s.Shapes)
+		}
+		return
+	}
+	if *specArg == "" {
+		fmt.Fprintln(os.Stderr, "smappic-fleet: -spec is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec, ok := experiments.BuiltinSpec(*specArg, *quick)
+	if !ok {
+		data, err := os.ReadFile(*specArg)
+		if err != nil {
+			fatal(fmt.Errorf("spec %q is neither a builtin sweep nor a readable file: %w", *specArg, err))
+		}
+		spec, err = campaign.ParseSpec(data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *timeout > 0 {
+		spec.TimeoutSec = *timeout
+	}
+	if *retries >= 0 {
+		spec.Retries = *retries
+	}
+
+	runner := &campaign.Runner{
+		Workers: *workers,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *cacheDir != "" {
+		cache, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		runner.Cache = cache
+	}
+
+	// Ctrl-C cancels gracefully: in-flight jobs abort at their next event
+	// batch, completed jobs stay cached, and the run exits with a partial
+	// summary a re-run will resume from.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := runner.Run(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Summary())
+	fmt.Printf("  wall clock: %s with %d workers\n", res.Elapsed.Round(1_000_000), *workers)
+
+	agg := res.Aggregate()
+	if *out != "" {
+		doc, err := agg.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out+".json", doc, 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out+".csv", []byte(agg.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  reports: %s.json, %s.csv\n", *out, *out)
+	}
+	if *report {
+		fmt.Println()
+		fmt.Print(agg.MergedReport())
+	}
+	if res.Failed > 0 || res.Skipped > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smappic-fleet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is the content-addressed result store: one JSON file per job, named
+// by the hash of the job's fully resolved parameters (Params.Key). Because
+// jobs are deterministic, a hit is exactly equivalent to re-running the
+// simulation — re-running a campaign skips every point it has already won,
+// and a campaign interrupted mid-flight resumes from what completed.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates (if needed) and opens a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory path.
+func (c *Cache) Dir() string { return c.dir }
+
+// path returns the entry file for a key.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// Get returns the cached result for a key. Unreadable or corrupt entries
+// are treated as misses (the job simply re-runs and overwrites them).
+func (c *Cache) Get(key string) (*Result, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil || r.Key != key {
+		return nil, false
+	}
+	return &r, true
+}
+
+// Put stores a result under its own key, atomically (write to a temp file
+// in the same directory, then rename), so concurrent workers and abrupt
+// interruptions can never leave a half-written entry behind.
+func (c *Cache) Put(r *Result) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, r.Key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(r.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	return nil
+}

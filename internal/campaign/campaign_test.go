@@ -1,0 +1,510 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testSpec is a small grid used by the runner tests (4 points).
+func testSpec() Spec {
+	return Spec{
+		Name:      "test",
+		Shapes:    []string{"1x1x2"},
+		Workloads: []string{WorkloadIS},
+		Seeds:     []uint64{1, 2, 3, 4},
+		Keys:      1 << 8,
+	}
+}
+
+// fakeResult builds a deterministic Result for an executor stub.
+func fakeResult(p Params) *Result {
+	return &Result{
+		Label:  p.Label(),
+		Key:    p.Key(),
+		Params: p,
+		Cycles: 1000 + p.Seed,
+		Stats:  map[string]uint64{"fake.cycles": 1000 + p.Seed},
+	}
+}
+
+func TestSpecExpansionGridAndOrder(t *testing.T) {
+	s := Spec{
+		Name:      "grid",
+		Shapes:    []string{"1x1x2", "2x1x2"},
+		Workloads: []string{WorkloadIS},
+		NUMA:      []bool{true, false},
+		Seeds:     []uint64{1, 2, 3},
+		Keys:      1 << 8,
+	}
+	jobs, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2*2*3 {
+		t.Fatalf("%d jobs, want 12", len(jobs))
+	}
+	keys := map[string]bool{}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Fatalf("job %d has index %d", i, j.Index)
+		}
+		if keys[j.Params.Key()] {
+			t.Fatalf("duplicate cache key at job %d (%s)", i, j.Params.Label())
+		}
+		keys[j.Params.Key()] = true
+	}
+	// Seed is the innermost dimension: the first points differ only by seed.
+	if jobs[0].Params.Seed != 1 || jobs[1].Params.Seed != 2 || jobs[2].Params.Seed != 3 {
+		t.Fatalf("seed not innermost: %d %d %d", jobs[0].Params.Seed, jobs[1].Params.Seed, jobs[2].Params.Seed)
+	}
+	if jobs[0].Params.Shape != jobs[5].Params.Shape || jobs[0].Params.Shape == jobs[6].Params.Shape {
+		t.Fatal("shape should change every 6 jobs (numa x seeds)")
+	}
+	// Expansion is deterministic.
+	again, _ := s.Jobs()
+	for i := range jobs {
+		if jobs[i].Params != again[i].Params {
+			t.Fatalf("expansion not deterministic at job %d", i)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []Spec{
+		{Shapes: []string{"1x1x2"}, Workloads: []string{WorkloadIS}},          // no name
+		{Name: "x", Workloads: []string{WorkloadIS}},                          // no shapes
+		{Name: "x", Shapes: []string{"1x1x2"}, Workloads: []string{"bogus"}},  // unknown workload
+		{Name: "x", Shapes: []string{"1x1x2"}, Workloads: []string{"probe"}},  // probe needs 2 nodes
+		{Name: "x", Shapes: []string{"zzz"}, Workloads: []string{WorkloadIS}}, // bad shape
+		{Name: "x", Shapes: []string{"1x1x2"}, Workloads: []string{WorkloadIS}, Homing: []string{"bogus"}},
+		{Name: "x", Shapes: []string{"1x1x2"}, Workloads: []string{WorkloadIS}, ActiveNodes: []int{5}},
+		{Name: "x", Shapes: []string{"1x1x2"}, Workloads: []string{WorkloadIS}, Faults: []string{"pcie.drop:q=1"}},
+	}
+	for i, s := range cases {
+		if _, err := s.Jobs(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"x","shapes":["1x1x2"],"workloads":["is"],"seedz":[1]}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+	s, err := ParseSpec([]byte(`{"name":"x","shapes":["1x1x2"],"workloads":["is"],"seeds":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "x" || len(s.Seeds) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestCacheRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testSpec()
+	jobs, _ := p.Jobs()
+	r := fakeResult(jobs[0].Params)
+	if _, ok := c.Get(r.Key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(r.Key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Cycles != r.Cycles || got.Label != r.Label || got.Stats["fake.cycles"] != r.Stats["fake.cycles"] {
+		t.Fatalf("cache returned %+v, want %+v", got, r)
+	}
+	// A corrupted entry is a miss, not an error or a poisoned result.
+	if err := os.WriteFile(filepath.Join(dir, r.Key+".json"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(r.Key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	// An entry whose body does not match its address is a miss too.
+	other := fakeResult(jobs[1].Params)
+	body, _ := os.ReadFile(filepath.Join(dir, func() string { c.Put(other); return other.Key }()+".json"))
+	os.WriteFile(filepath.Join(dir, r.Key+".json"), body, 0o644)
+	if _, ok := c.Get(r.Key); ok {
+		t.Fatal("mis-addressed entry served as a hit")
+	}
+}
+
+// The core caching contract: an immediate re-run of the same spec executes
+// zero jobs, and the aggregate is byte-identical to the first run's.
+func TestSecondRunFullyCacheServed(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	exec := func(ctx context.Context, p Params) (*Result, error) {
+		calls.Add(1)
+		return fakeResult(p), nil
+	}
+	r := &Runner{Workers: 2, Cache: cache, Exec: exec}
+
+	first, err := r.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Executed != 4 || first.Cached != 0 || calls.Load() != 4 {
+		t.Fatalf("first run: executed %d cached %d calls %d", first.Executed, first.Cached, calls.Load())
+	}
+
+	second, err := r.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Executed != 0 || second.Cached != 4 || calls.Load() != 4 {
+		t.Fatalf("second run: executed %d cached %d calls %d", second.Executed, second.Cached, calls.Load())
+	}
+
+	j1, err := first.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := second.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("cache-served aggregate differs from fresh aggregate:\n%s\nvs\n%s", j1, j2)
+	}
+}
+
+// A stall is retried within the budget and the winning attempt is recorded.
+func TestStallRetriedThenSucceeds(t *testing.T) {
+	var mu sync.Mutex
+	failed := map[string]bool{}
+	exec := func(ctx context.Context, p Params) (*Result, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !failed[p.Key()] {
+			failed[p.Key()] = true
+			return nil, &StallError{Diagnosis: "WATCHDOG: injected test stall"}
+		}
+		return fakeResult(p), nil
+	}
+	spec := testSpec()
+	spec.Retries = 1
+	r := &Runner{Workers: 2, Exec: exec}
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 4 || res.Failed != 0 {
+		t.Fatalf("executed %d failed %d, want 4/0", res.Executed, res.Failed)
+	}
+	for _, out := range res.Jobs {
+		if out.Result.Attempts != 2 {
+			t.Fatalf("job %d won on attempt %d, want 2", out.Job.Index, out.Result.Attempts)
+		}
+	}
+}
+
+// A job that stalls on every attempt fails once the budget is spent; other
+// failures are not retried at all.
+func TestRetryBudgetAndNonStallFailures(t *testing.T) {
+	var stallCalls, otherCalls atomic.Int64
+	alwaysStall := func(ctx context.Context, p Params) (*Result, error) {
+		stallCalls.Add(1)
+		return nil, &StallError{Diagnosis: "WATCHDOG: wedged"}
+	}
+	spec := testSpec()
+	spec.Seeds = []uint64{1}
+	spec.Retries = 2
+	res, err := (&Runner{Exec: alwaysStall}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || stallCalls.Load() != 3 {
+		t.Fatalf("failed %d after %d attempts, want 1 after 3", res.Failed, stallCalls.Load())
+	}
+	if !strings.Contains(res.Jobs[0].Err, "stalled") {
+		t.Fatalf("failure lost the stall diagnosis: %q", res.Jobs[0].Err)
+	}
+
+	boom := func(ctx context.Context, p Params) (*Result, error) {
+		otherCalls.Add(1)
+		return nil, fmt.Errorf("build exploded")
+	}
+	res, err = (&Runner{Exec: boom}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || otherCalls.Load() != 1 {
+		t.Fatalf("non-stall error retried: %d attempts", otherCalls.Load())
+	}
+}
+
+// Cancelling a campaign mid-run leaves resumable state: completed jobs are
+// cached, interrupted and undispatched jobs are skipped (not failed), and a
+// re-run finishes the campaign serving the completed prefix from cache.
+func TestCancellationLeavesResumableState(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	exec := func(ctx context.Context, p Params) (*Result, error) {
+		n := calls.Add(1)
+		if n >= 2 {
+			// Simulate a job interrupted by campaign cancellation: the
+			// driver observes ctx and aborts mid-simulation.
+			cancel()
+			return nil, fmt.Errorf("campaign: job aborted at cycle 12345: %w", ctx.Err())
+		}
+		return fakeResult(p), nil
+	}
+	r := &Runner{Workers: 1, Cache: cache, Exec: exec}
+	res, err := r.Run(ctx, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 1 || res.Failed != 0 || res.Skipped != 3 {
+		t.Fatalf("after cancel: executed %d failed %d skipped %d, want 1/0/3", res.Executed, res.Failed, res.Skipped)
+	}
+
+	// Resume: same cache, working executor, fresh context.
+	var resumed atomic.Int64
+	r2 := &Runner{Workers: 1, Cache: cache, Exec: func(ctx context.Context, p Params) (*Result, error) {
+		resumed.Add(1)
+		return fakeResult(p), nil
+	}}
+	res2, err := r2.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached != 1 || res2.Executed != 3 || resumed.Load() != 3 {
+		t.Fatalf("resume: cached %d executed %d calls %d, want 1/3/3", res2.Cached, res2.Executed, resumed.Load())
+	}
+}
+
+// A real stall end to end: a hung PCIe endpoint under the stores workload
+// trips the watchdog, Execute converts the diagnosis into a StallError, and
+// the runner burns its retry budget before failing the job.
+func TestExecuteRealWatchdogStall(t *testing.T) {
+	p := Params{
+		Shape:     "2x1x2",
+		Workload:  WorkloadStores,
+		Homing:    HomingRegion,
+		Keys:      16,
+		Seed:      1,
+		Faults:    "pcie.ep0.link.hang:after=4",
+		FaultSeed: 1,
+		Watchdog:  100_000,
+	}
+	_, err := Execute(context.Background(), p)
+	if err == nil {
+		t.Fatal("hung link did not fail the job")
+	}
+	if !IsStall(err) {
+		t.Fatalf("stall not classified as StallError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("error %q does not say stalled", err)
+	}
+
+	spec := Spec{
+		Name:      "stall",
+		Shapes:    []string{"2x1x2"},
+		Workloads: []string{WorkloadStores},
+		Keys:      16,
+		Faults:    []string{"pcie.ep0.link.hang:after=4"},
+		Watchdog:  100_000,
+		Retries:   1,
+	}
+	res, err := (&Runner{}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("stalling job not failed: %+v", res.Jobs[0])
+	}
+	// The deterministic stall wedges identically on both attempts.
+	if !strings.Contains(res.Jobs[0].Err, "WATCHDOG") {
+		t.Fatalf("failure lost the watchdog diagnosis: %q", res.Jobs[0].Err)
+	}
+}
+
+// MaxCycles bounds a runaway job.
+func TestExecuteMaxCycles(t *testing.T) {
+	p := Params{
+		Shape:     "1x1x2",
+		Workload:  WorkloadIS,
+		NUMA:      true,
+		Homing:    HomingRegion,
+		Keys:      1 << 10,
+		Seed:      1,
+		MaxCycles: 1000, // far too few for IS
+	}
+	_, err := Execute(context.Background(), p)
+	if err == nil || !strings.Contains(err.Error(), "max_cycles") {
+		t.Fatalf("runaway job not bounded: %v", err)
+	}
+	if IsStall(err) {
+		t.Fatal("max_cycles abort must not be retried as a stall")
+	}
+}
+
+// Cancelling the context aborts a real simulation between event slices.
+func TestExecuteHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Params{
+		Shape: "1x1x2", Workload: WorkloadIS, NUMA: true,
+		Homing: HomingRegion, Keys: 1 << 10, Seed: 1,
+	}
+	_, err := Execute(ctx, p)
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("cancelled job did not abort: %v", err)
+	}
+}
+
+// The acceptance criterion: a >= 20-point campaign over the real simulator
+// produces a byte-identical aggregate for 1 worker, 8 workers, and a fully
+// cache-served re-run.
+func TestWorkerCountInvariance(t *testing.T) {
+	spec := Spec{
+		Name:      "invariance",
+		Shapes:    []string{"1x1x2", "2x1x2"},
+		Workloads: []string{WorkloadIS},
+		NUMA:      []bool{true, false},
+		Seeds:     []uint64{1, 2, 3, 4, 5},
+		Keys:      1 << 8,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 20 {
+		t.Fatalf("spec expands to %d points, need >= 20", len(jobs))
+	}
+
+	serial, err := (&Runner{Workers: 1}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Executed != len(jobs) || serial.Failed != 0 {
+		t.Fatalf("serial run: executed %d failed %d", serial.Executed, serial.Failed)
+	}
+
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 8, Cache: cache}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parallel.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("8-worker aggregate differs from serial:\n%s\nvs\n%s", want, got)
+	}
+
+	rerun, err := (&Runner{Workers: 8, Cache: cache}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Executed != 0 || rerun.Cached != len(jobs) {
+		t.Fatalf("re-run not cache-served: executed %d cached %d", rerun.Executed, rerun.Cached)
+	}
+	cached, err := rerun.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, cached) {
+		t.Fatal("cache-served aggregate differs from fresh serial aggregate")
+	}
+
+	// Sanity on the content itself: every job sorted its output, and the
+	// cost estimate prices the 2-FPGA shape on the 2-FPGA instance.
+	agg := rerun.Aggregate()
+	for _, r := range agg.Results {
+		if !r.Sorted {
+			t.Fatalf("%s: IS output not sorted", r.Label)
+		}
+		if r.Checksum == "" || r.Cycles == 0 {
+			t.Fatalf("%s: empty measurement", r.Label)
+		}
+	}
+	if agg.Cost == nil || agg.Cost.Instance != "f1.4xl" {
+		t.Fatalf("cost estimate %+v, want f1.4xl", agg.Cost)
+	}
+	if agg.Cost.CloudUSD != agg.Cost.FPGAHours*1.65 {
+		t.Fatalf("cloud bill %.6f != %.6f FPGA-hours at $1.65", agg.Cost.CloudUSD, agg.Cost.FPGAHours)
+	}
+}
+
+// Seeds must actually reach the simulation: different seeds, different
+// answers; same seed, byte-identical result.
+func TestSeedsChangeResults(t *testing.T) {
+	base := Params{
+		Shape: "1x1x2", Workload: WorkloadIS, NUMA: true,
+		Homing: HomingRegion, Keys: 1 << 8, Seed: 1,
+	}
+	r1, err := Execute(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1again, err := Execute(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r1again.Cycles || r1.Checksum != r1again.Checksum {
+		t.Fatal("same params, different result")
+	}
+	other := base
+	other.Seed = 2
+	r2, err := Execute(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Checksum == r1.Checksum {
+		t.Fatal("seed did not reach the workload input")
+	}
+}
+
+func TestAggregateCSV(t *testing.T) {
+	exec := func(ctx context.Context, p Params) (*Result, error) { return fakeResult(p), nil }
+	res, err := (&Runner{Exec: exec}).Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := res.Aggregate().CSV()
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d CSV lines, want header + 4 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "index,label,workload,shape") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	sum := res.Summary()
+	if !strings.Contains(sum, "executed 4, cached 0, failed 0, skipped 0") {
+		t.Fatalf("summary missing counts:\n%s", sum)
+	}
+}

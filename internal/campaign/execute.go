@@ -1,0 +1,223 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"smappic/internal/cache"
+	"smappic/internal/core"
+	"smappic/internal/fault"
+	"smappic/internal/kernel"
+	"smappic/internal/sim"
+	"smappic/internal/workload"
+)
+
+// Result is one job's outcome — everything the aggregate needs, in a form
+// that round-trips through JSON byte-exactly (the cache stores results as
+// JSON, and a cache hit must be indistinguishable from a fresh run).
+type Result struct {
+	Label  string `json:"label"`
+	Key    string `json:"key"`
+	Params Params `json:"params"`
+
+	// Cycles is the workload's own measurement: IS runtime, probe round
+	// trip, or the store stream's duration. RunCycles is the full
+	// simulated time including drain.
+	Cycles    uint64  `json:"cycles"`
+	RunCycles uint64  `json:"run_cycles"`
+	Seconds   float64 `json:"seconds"` // Cycles at the prototype clock
+
+	// Checksum is the IS output hash (hex); empty for other workloads.
+	Checksum string `json:"checksum,omitempty"`
+	Sorted   bool   `json:"sorted,omitempty"`
+
+	// Attempts counts executions including stall retries (set by the
+	// runner; a cached result keeps the count from the run that won it).
+	Attempts int `json:"attempts"`
+
+	// FPGAHours is the job's modeled FPGA time: prototype wall time times
+	// the FPGA count — what the cloud bill is computed from.
+	FPGAHours float64 `json:"fpga_hours"`
+
+	// Stats is the run's counter snapshot (sim.Stats.CounterSnapshot);
+	// campaign aggregation merges these. Metrics is the full MetricsJSON
+	// document, cached so re-runs can serve it without re-simulating.
+	Stats   map[string]uint64 `json:"stats"`
+	Metrics json.RawMessage   `json:"metrics,omitempty"`
+}
+
+// StallError reports a job whose forward-progress watchdog fired: the
+// simulation wedged (typically under injected faults) and was terminated
+// with a diagnosis instead of draining silently.
+type StallError struct{ Diagnosis string }
+
+// Error summarizes the stall; the full diagnosis is preserved.
+func (e *StallError) Error() string {
+	first, _, _ := strings.Cut(e.Diagnosis, "\n")
+	return "campaign: job stalled: " + first
+}
+
+// IsStall reports whether err is (or wraps) a watchdog stall — the one
+// failure class the runner retries.
+func IsStall(err error) bool {
+	var s *StallError
+	return errors.As(err, &s)
+}
+
+// stepBatch is how many events the executor runs between cancellation and
+// timeout checks. Batching by event count (not RunUntil time slices) matters
+// for determinism: RunUntil forces the clock forward to its deadline when
+// the queue drains early, which would inflate the simulated time a kernel
+// Join observes; Step never moves the clock past the last executed event.
+const stepBatch = 4096
+
+// aborted carries a cancellation/timeout/stall out of the event loop; it is
+// recovered at the top of Execute.
+type aborted struct{ err error }
+
+// Execute runs one job to completion and returns its Result. It honors
+// ctx cancellation and deadline between event slices, and returns a
+// *StallError when the job's watchdog detects a wedged simulation.
+// Execution is fully deterministic: equal Params produce byte-identical
+// Results (Attempts excluded; the runner owns it).
+func Execute(ctx context.Context, p Params) (res *Result, err error) {
+	if verr := p.Validate(); verr != nil {
+		return nil, verr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(aborted)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, a.err
+		}
+	}()
+
+	a, b, c, _ := core.ParseShape(p.Shape)
+	cfg := core.DefaultConfig(a, b, c)
+	cfg.Core = core.CoreNone
+	cfg.Seed = p.Seed
+	cfg.GlobalInterleaveHoming = p.Homing == HomingInterleave
+	if p.Credits > 0 {
+		cfg.Bridge.CreditsPerDst = p.Credits
+	}
+	cfg.Bridge.ExtraLatency = sim.Time(p.ExtraLatency)
+	cfg.WatchdogInterval = sim.Time(p.Watchdog)
+	cfg.Faults, err = fault.Parse(p.Faults, p.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
+	proto, err := core.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	drive := func() sim.Time { return driveEngine(ctx, proto, p.MaxCycles) }
+
+	var cycles sim.Time
+	checksum := ""
+	sorted := false
+	switch p.Workload {
+	case WorkloadIS:
+		kc := kernel.DefaultConfig()
+		kc.NUMA = p.NUMA
+		k := kernel.New(proto, kc)
+		k.SetRunner(drive)
+		threads := p.Threads
+		if threads == 0 {
+			threads = len(k.AllHarts())
+		}
+		ip := workload.DefaultISParams(threads)
+		ip.Keys = p.Keys
+		ip.Seed = p.Seed
+		if p.ActiveNodes > 0 {
+			ip.Affinity = k.NodesHarts(p.ActiveNodes)
+		}
+		r := workload.RunIS(k, ip)
+		cycles = r.Cycles
+		checksum = fmt.Sprintf("%016x", r.Checksum)
+		sorted = r.Sorted
+
+	case WorkloadProbe:
+		// One warm dirty-line read from node 0 to node 1, exactly the
+		// Fig. 7 measurement (seq 1 keeps the probe line off the warmup
+		// line). MeasureLatency drains the engine itself; a watchdog, if
+		// armed, guarantees termination under injected hangs.
+		cycles = proto.MeasureLatency(cache.GID{Node: 0, Tile: 0}, cache.GID{Node: 1, Tile: 0}, 1)
+
+	case WorkloadStores:
+		port := proto.PortAt(cache.GID{Node: 0, Tile: 0})
+		remote := proto.Map.NodeDRAMBase(1) + 0x100000
+		done := false
+		sim.Go(proto.Eng, "wl", func(proc *sim.Process) {
+			start := proc.Now()
+			for i := uint64(0); i < uint64(p.Keys); i++ {
+				port.Store(proc, remote+i*64, 8, i) // one miss per line
+			}
+			cycles = proc.Now() - start
+			done = true
+		})
+		drive()
+		if !done {
+			if proto.StallDiagnosis != "" {
+				return nil, &StallError{Diagnosis: proto.StallDiagnosis}
+			}
+			return nil, fmt.Errorf("campaign: %s wedged without a watchdog diagnosis", p.Label())
+		}
+	}
+	if proto.StallDiagnosis != "" {
+		return nil, &StallError{Diagnosis: proto.StallDiagnosis}
+	}
+
+	metrics, err := proto.MetricsJSON()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Label:     p.Label(),
+		Key:       p.Key(),
+		Params:    p,
+		Cycles:    uint64(cycles),
+		RunCycles: uint64(proto.Now()),
+		Seconds:   proto.Seconds(cycles),
+		Checksum:  checksum,
+		Sorted:    sorted,
+		Attempts:  1,
+		FPGAHours: proto.Seconds(proto.Now()) * float64(cfg.FPGAs) / 3600,
+		Stats:     proto.Stats.CounterSnapshot(),
+		Metrics:   metrics,
+	}, nil
+}
+
+// driveEngine advances the serial engine to quiescence in stepBatch-event
+// chunks, checking ctx between chunks so a wall-clock timeout or a campaign
+// cancellation terminates a job mid-simulation. A watchdog stall surfaces
+// here too: the engine drains after the watchdog fires, and the recorded
+// diagnosis is converted into a StallError.
+func driveEngine(ctx context.Context, proto *core.Prototype, maxCycles uint64) sim.Time {
+	eng := proto.Eng
+	for {
+		if err := ctx.Err(); err != nil {
+			panic(aborted{fmt.Errorf("campaign: job aborted at cycle %d: %w", eng.Now(), err)})
+		}
+		next, ok := eng.NextEventTime()
+		if !ok {
+			if proto.StallDiagnosis != "" {
+				panic(aborted{&StallError{Diagnosis: proto.StallDiagnosis}})
+			}
+			return eng.Now()
+		}
+		if maxCycles > 0 && uint64(next) > maxCycles {
+			panic(aborted{fmt.Errorf("campaign: job exceeded max_cycles %d", maxCycles)})
+		}
+		for i := 0; i < stepBatch; i++ {
+			if !eng.Step() {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status classifies how a job's slot in the campaign was filled.
+type Status string
+
+const (
+	// StatusRun: executed in this campaign run.
+	StatusRun Status = "run"
+	// StatusCached: served from the result cache without executing.
+	StatusCached Status = "cached"
+	// StatusFailed: executed and failed (stall after all retries, timeout,
+	// build error).
+	StatusFailed Status = "failed"
+	// StatusSkipped: never executed — the campaign was cancelled before
+	// the job was dispatched. Skipped jobs are what a resumed campaign
+	// picks up.
+	StatusSkipped Status = "skipped"
+)
+
+// JobOutcome pairs a job with how it went.
+type JobOutcome struct {
+	Job    Job
+	Status Status
+	// Result is set for StatusRun and StatusCached.
+	Result *Result
+	// Err describes the failure for StatusFailed.
+	Err string
+}
+
+// CampaignResult is everything a campaign run produced, in job-index order.
+type CampaignResult struct {
+	Spec     Spec
+	Jobs     []JobOutcome
+	Executed int
+	Cached   int
+	Failed   int
+	Skipped  int
+	// Elapsed is wall-clock; it never enters the deterministic reports.
+	Elapsed time.Duration
+}
+
+// Runner executes campaigns.
+type Runner struct {
+	// Workers bounds concurrent jobs; <= 0 means 1. Worker count affects
+	// only wall-clock time: the aggregate output is byte-identical for
+	// any value.
+	Workers int
+	// Cache, when non-nil, is consulted before executing and updated
+	// after every successful job.
+	Cache *Cache
+	// Exec runs one job; nil means Execute (the real simulator). Tests
+	// substitute instrumented executors here.
+	Exec func(ctx context.Context, p Params) (*Result, error)
+	// Log, when non-nil, receives one line per job as it completes.
+	Log func(format string, args ...any)
+}
+
+// Run expands the spec and executes every point not already in the cache.
+// Cancellation via ctx is graceful: in-flight jobs are interrupted at their
+// next event slice, undispatched jobs are marked skipped, and everything
+// already completed is in the cache — re-running the same campaign resumes
+// from there. Run returns the partial CampaignResult in that case, never an
+// error for cancellation itself.
+func (r *Runner) Run(ctx context.Context, spec Spec) (*CampaignResult, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &CampaignResult{Spec: spec, Jobs: make([]JobOutcome, len(jobs))}
+
+	// Resolve cache hits up front (cheap, serial, deterministic), then
+	// fan the remainder out to the pool.
+	var todo []Job
+	for _, job := range jobs {
+		if r.Cache != nil {
+			if cached, ok := r.Cache.Get(job.Params.Key()); ok {
+				res.Jobs[job.Index] = JobOutcome{Job: job, Status: StatusCached, Result: cached}
+				continue
+			}
+		}
+		todo = append(todo, job)
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(todo) && len(todo) > 0 {
+		workers = len(todo)
+	}
+	ch := make(chan Job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards res.Jobs writes from workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				out := r.runJob(ctx, job, spec)
+				mu.Lock()
+				res.Jobs[job.Index] = out
+				mu.Unlock()
+				if r.Log != nil {
+					switch out.Status {
+					case StatusFailed:
+						r.Log("job %d %s: FAILED: %s", job.Index, job.Params.Label(), out.Err)
+					case StatusRun:
+						r.Log("job %d %s: %d cycles (attempt %d)", job.Index, job.Params.Label(), out.Result.Cycles, out.Result.Attempts)
+					}
+				}
+			}
+		}()
+	}
+	for _, job := range todo {
+		ch <- job
+	}
+	close(ch)
+	wg.Wait()
+
+	for i := range res.Jobs {
+		switch res.Jobs[i].Status {
+		case StatusRun:
+			res.Executed++
+		case StatusCached:
+			res.Cached++
+		case StatusFailed:
+			res.Failed++
+		default:
+			res.Skipped++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runJob executes one job with the spec's timeout and stall-retry policy.
+func (r *Runner) runJob(ctx context.Context, job Job, spec Spec) JobOutcome {
+	if ctx.Err() != nil {
+		return JobOutcome{Job: job, Status: StatusSkipped, Err: ctx.Err().Error()}
+	}
+	exec := r.Exec
+	if exec == nil {
+		exec = Execute
+	}
+	var lastErr error
+	for attempt := 1; attempt <= spec.Retries+1; attempt++ {
+		jctx := ctx
+		cancel := context.CancelFunc(func() {})
+		if spec.TimeoutSec > 0 {
+			jctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutSec*float64(time.Second)))
+		}
+		result, err := exec(jctx, job.Params)
+		cancel()
+		if err == nil {
+			result.Attempts = attempt
+			if r.Cache != nil {
+				if cerr := r.Cache.Put(result); cerr != nil && r.Log != nil {
+					r.Log("job %d: cache write failed: %v", job.Index, cerr)
+				}
+			}
+			return JobOutcome{Job: job, Status: StatusRun, Result: result}
+		}
+		lastErr = err
+		// Retry only watchdog stalls: a stall under injected faults is
+		// the one failure mode where another attempt is meaningful
+		// policy (and what the retry budget exists for). Cancellations
+		// and timeouts burn no further attempts.
+		if !IsStall(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	if ctx.Err() != nil && !IsStall(lastErr) {
+		// The campaign was cancelled out from under the job; it never
+		// completed, so it stays resumable rather than failed.
+		return JobOutcome{Job: job, Status: StatusSkipped, Err: lastErr.Error()}
+	}
+	return JobOutcome{Job: job, Status: StatusFailed, Err: fmt.Sprintf("%v", lastErr)}
+}

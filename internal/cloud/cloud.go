@@ -69,26 +69,40 @@ func CheapestFor(req Requirements) (Instance, error) {
 // FPGAHourPrice is the cost of one FPGA-hour on F1 ($1.65, any size).
 const FPGAHourPrice = 1.65
 
-// CloudCost returns the cost of running one FPGA in the cloud for the given
-// number of days (Fig. 14's "Cloud" line; no upfront cost).
-func CloudCost(days float64) float64 { return days * 24 * FPGAHourPrice }
-
-// OnPremCost returns the cost of the equivalent on-premises setup: the
-// upfront hardware purchase (Fig. 14's "On-premises" line).
-func OnPremCost(days float64) float64 {
-	return 8000 // upfront; usage is then free in this model
+// InstanceByName looks an instance up in the catalog.
+func InstanceByName(name string) (Instance, error) {
+	for _, i := range Catalog {
+		if i.Name == name {
+			return i, nil
+		}
+	}
+	return Instance{}, fmt.Errorf("cloud: no instance %q in the catalog", name)
 }
 
+// CloudCost returns the cost of renting inst continuously for the given
+// number of days (Fig. 14's "Cloud" line; no upfront cost).
+func CloudCost(days float64, inst Instance) float64 { return days * 24 * inst.PricePerHr }
+
+// OnPremCost returns the cost of the equivalent on-premises setup: the
+// upfront purchase of inst's hardware (Table 1's bottom row — $8000 for
+// f1.2xl, $64000 for f1.16xl). Usage is then free in this model, so the
+// value is flat in time.
+func OnPremCost(inst Instance) float64 { return inst.HardwarePrice }
+
 // CrossoverDays returns the continuous-modeling duration beyond which
-// buying hardware beats renting (the paper reports ~200 days).
-func CrossoverDays() float64 { return 8000 / (24 * FPGAHourPrice) }
+// buying inst's hardware beats renting it (the paper reports ~200 days;
+// because F1 pricing and hardware cost both scale linearly in FPGA count,
+// every F1 size crosses over at the same point).
+func CrossoverDays(inst Instance) float64 {
+	return inst.HardwarePrice / (24 * inst.PricePerHr)
+}
 
 // CostCurve returns (days, cloud$, onprem$) samples for Fig. 14.
-func CostCurve(maxDays, step float64) (days, cloud, onprem []float64) {
+func CostCurve(inst Instance, maxDays, step float64) (days, cloud, onprem []float64) {
 	for d := step; d <= maxDays; d += step {
 		days = append(days, d)
-		cloud = append(cloud, CloudCost(d))
-		onprem = append(onprem, OnPremCost(d))
+		cloud = append(cloud, CloudCost(d, inst))
+		onprem = append(onprem, OnPremCost(inst))
 	}
 	return days, cloud, onprem
 }

@@ -69,21 +69,59 @@ func TestCheapestForImpossible(t *testing.T) {
 }
 
 func TestCrossoverNear200Days(t *testing.T) {
-	d := CrossoverDays()
+	d := CrossoverDays(f1())
 	if d < 190 || d < 0 || d > 215 {
 		t.Fatalf("crossover at %.0f days, paper says ~200", d)
 	}
 	// Cloud cheaper before, on-prem cheaper after.
-	if CloudCost(d-10) >= OnPremCost(d-10) {
+	if CloudCost(d-10, f1()) >= OnPremCost(f1()) {
 		t.Error("cloud should win before the crossover")
 	}
-	if CloudCost(d+10) <= OnPremCost(d+10) {
+	if CloudCost(d+10, f1()) <= OnPremCost(f1()) {
 		t.Error("on-prem should win after the crossover")
 	}
 }
 
+// Regression: OnPremCost used to hardcode f1.2xl's $8000, so the Fig. 14
+// comparison was wrong for every other instance — an f1.16xl's worth of
+// hardware (8 FPGAs) is $64000, not $8000.
+func TestOnPremCostTracksInstanceHardware(t *testing.T) {
+	big, err := InstanceByName("f1.16xl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OnPremCost(big); got != 64000 {
+		t.Fatalf("OnPremCost(f1.16xl) = $%.0f, want $64000", got)
+	}
+	if got := OnPremCost(f1()); got != 8000 {
+		t.Fatalf("OnPremCost(f1.2xl) = $%.0f, want $8000", got)
+	}
+	// With hardware price in play, the f1.16xl comparison must use the
+	// f1.16xl rent too: past the crossover the 8-FPGA cloud bill exceeds
+	// the 8-FPGA hardware purchase.
+	d := CrossoverDays(big)
+	if CloudCost(d+10, big) <= OnPremCost(big) {
+		t.Error("f1.16xl on-prem should win past its crossover")
+	}
+	if CloudCost(d+10, big) < 64000 {
+		t.Errorf("f1.16xl cloud cost past crossover $%.0f should exceed the $64000 hardware", CloudCost(d+10, big))
+	}
+}
+
+func TestCrossoverSameAcrossF1Sizes(t *testing.T) {
+	// F1 rent and hardware both scale linearly in FPGAs, so every size
+	// crosses over together (~200 days) — but only when each instance's
+	// own hardware price is used.
+	for _, inst := range F1Instances() {
+		d := CrossoverDays(inst)
+		if d < 190 || d > 215 {
+			t.Errorf("%s crossover %.0f days, want ~200", inst.Name, d)
+		}
+	}
+}
+
 func TestCostCurveShape(t *testing.T) {
-	days, cl, op := CostCurve(350, 50)
+	days, cl, op := CostCurve(f1(), 350, 50)
 	if len(days) != 7 || len(cl) != 7 || len(op) != 7 {
 		t.Fatalf("curve lengths %d/%d/%d", len(days), len(cl), len(op))
 	}
@@ -145,8 +183,18 @@ func f1() Instance {
 	panic("no f1.2xl")
 }
 
+func instance(t *testing.T, name string) Instance {
+	t.Helper()
+	inst, err := InstanceByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
 func TestFleetBillsOnlyUsedTime(t *testing.T) {
-	f := NewFleet(f1())
+	// Two concurrent students need two FPGA slots: f1.4xl.
+	f := NewFleet(instance(t, "f1.4xl"))
 	t0 := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
 	if err := f.Launch("alice", t0); err != nil {
 		t.Fatal(err)
@@ -162,10 +210,76 @@ func TestFleetBillsOnlyUsedTime(t *testing.T) {
 	if got := f.StudentHours("alice"); got != 2 {
 		t.Fatalf("alice hours = %v", got)
 	}
+	// Billing is per FPGA slot ($1.65/hr on every F1 size), not per
+	// instance: 2.5 slot-hours at the f1.4xl's $3.30 instance price would
+	// double-charge.
 	want := (2 + 0.5) * 1.65
 	if got := f.Bill(); got < want-0.001 || got > want+0.001 {
 		t.Fatalf("bill = %.3f, want %.3f", got, want)
 	}
+}
+
+// Regression: Launch never checked capacity, so a 1-FPGA f1.2xl happily
+// "hosted" any number of concurrent students.
+func TestFleetLaunchEnforcesCapacity(t *testing.T) {
+	f := NewFleet(instance(t, "f1.4xl")) // 2 FPGA slots
+	t0 := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	if err := f.Launch("alice", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Launch("bob", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Launch("carol", t0); err == nil {
+		t.Fatal("third launch on a 2-slot instance accepted")
+	}
+	if err := f.Release("alice", t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Launch("carol", t0.Add(time.Hour)); err != nil {
+		t.Fatalf("launch after release rejected: %v", err)
+	}
+	if f.Peak() != 2 {
+		t.Fatalf("peak = %d, want 2", f.Peak())
+	}
+}
+
+// Regression: Report ranged over the sessions map and only sorted by hours,
+// so students with tied usage appeared in map iteration order — a different
+// report every run. Render many times and demand byte-stability.
+func TestFleetReportStableUnderTies(t *testing.T) {
+	f := NewFleet(instance(t, "f1.16xl"))
+	t0 := time.Date(2026, 7, 1, 9, 0, 0, 0, time.UTC)
+	for _, s := range []string{"dana", "alice", "carol", "bob", "erin", "frank"} {
+		if err := f.Launch(s, t0); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Release(s, t0.Add(3*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := f.Report()
+	for i := 0; i < 20; i++ {
+		if got := f.Report(); got != first {
+			t.Fatalf("report differs between renders:\n%s\nvs\n%s", first, got)
+		}
+	}
+	// Ties must come out name-ascending.
+	if !tieOrderOK(first, "alice", "bob", "carol", "dana", "erin", "frank") {
+		t.Fatalf("tied students not sorted by name:\n%s", first)
+	}
+}
+
+func tieOrderOK(report string, names ...string) bool {
+	last := -1
+	for _, n := range names {
+		i := strings.Index(report, n)
+		if i < 0 || i < last {
+			return false
+		}
+		last = i
+	}
+	return true
 }
 
 func TestFleetDoubleLaunchRejected(t *testing.T) {
@@ -181,18 +295,38 @@ func TestFleetDoubleLaunchRejected(t *testing.T) {
 }
 
 func TestFleetClassBeatsOwnedLab(t *testing.T) {
-	// A 100-student class doing 3 hours of lab each: the paper's argument
-	// that on-demand FPGA time crushes buying boards.
-	f := NewFleet(f1())
+	// A 96-student class doing 3 hours of lab each, in waves of 8 on an
+	// f1.16xl: the paper's argument that on-demand FPGA time crushes
+	// buying boards. CompareToOwnedLab used to take a caller-supplied
+	// student count, which let callers under- (or over-) count the boards
+	// an owned lab needs; it now prices the tracked peak concurrency.
+	f := NewFleet(instance(t, "f1.16xl"))
 	t0 := time.Now()
-	for i := 0; i < 100; i++ {
-		name := fmt.Sprintf("student%02d", i)
-		f.Launch(name, t0)
-		f.Release(name, t0.Add(3*time.Hour))
+	for wave := 0; wave < 12; wave++ {
+		start := t0.Add(time.Duration(wave) * 3 * time.Hour)
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("student%02d", wave*8+i)
+			if err := f.Launch(name, start); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("student%02d", wave*8+i)
+			if err := f.Release(name, start.Add(3*time.Hour)); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
-	cloud, hw := f.CompareToOwnedLab(100)
-	if cloud >= hw/10 {
-		t.Fatalf("cloud $%.0f should be far below a 100-board lab $%.0f", cloud, hw)
+	cloudCost, hw := f.CompareToOwnedLab()
+	// 96 students * 3 h * $1.65/slot-hour vs. 8 boards * $8000.
+	if want := 96 * 3 * 1.65; math.Abs(cloudCost-want) > 0.01 {
+		t.Fatalf("cloud bill $%.2f, want $%.2f", cloudCost, want)
+	}
+	if hw != 8*8000 {
+		t.Fatalf("owned-lab hardware $%.0f, want $64000 for the 8-board peak", hw)
+	}
+	if cloudCost >= hw/10 {
+		t.Fatalf("cloud $%.0f should be far below an owned lab $%.0f", cloudCost, hw)
 	}
 	rep := f.Report()
 	if !strings.Contains(rep, "TOTAL") || !strings.Contains(rep, "student00") {

@@ -14,6 +14,9 @@ type Fleet struct {
 	instance Instance
 	sessions map[string][]Session
 	active   map[string]time.Time
+	// peak is the high-water mark of concurrently active students — the
+	// number of boards an owned lab would actually have needed.
+	peak int
 }
 
 // Session is one completed student FPGA reservation.
@@ -34,12 +37,20 @@ func NewFleet(instance Instance) *Fleet {
 }
 
 // Launch starts an instance for a student. A student can hold one at a
-// time.
+// time, and the fleet holds one student per FPGA slot: a launch beyond the
+// instance's FPGA count is rejected until someone releases (the capacity
+// the "one student per slot" model always implied but never enforced).
 func (f *Fleet) Launch(student string, at time.Time) error {
 	if _, busy := f.active[student]; busy {
 		return fmt.Errorf("cloud: %s already has an active instance", student)
 	}
+	if len(f.active) >= f.instance.FPGAs {
+		return fmt.Errorf("cloud: all %d FPGA slots of %s are in use", f.instance.FPGAs, f.instance.Name)
+	}
 	f.active[student] = at
+	if len(f.active) > f.peak {
+		f.peak = len(f.active)
+	}
 	return nil
 }
 
@@ -59,6 +70,9 @@ func (f *Fleet) Release(student string, at time.Time) error {
 // Active returns the number of instances currently running.
 func (f *Fleet) Active() int { return len(f.active) }
 
+// Peak returns the highest concurrency the fleet has served.
+func (f *Fleet) Peak() int { return f.peak }
+
 // StudentHours returns a student's total billed FPGA time.
 func (f *Fleet) StudentHours(student string) float64 {
 	var total time.Duration
@@ -68,15 +82,25 @@ func (f *Fleet) StudentHours(student string) float64 {
 	return total.Hours()
 }
 
+// slotPrice is the hourly price of one student's FPGA slot. F1 pricing is
+// linear in FPGA count, so this is $1.65/FPGA-hour for every size; billing
+// at the full instance price would overcharge an f1.16xl student 8x.
+func (f *Fleet) slotPrice() float64 {
+	if f.instance.FPGAs == 0 {
+		return f.instance.PricePerHr
+	}
+	return f.instance.PricePerHr / float64(f.instance.FPGAs)
+}
+
 // Bill returns the total cost of all completed sessions: on-demand hourly
-// pricing, per FPGA, rounded up to the EC2 per-second minimum granularity
-// (modeled as exact seconds here).
+// pricing, per FPGA slot, rounded up to the EC2 per-second minimum
+// granularity (modeled as exact seconds here).
 func (f *Fleet) Bill() float64 {
 	var hours float64
 	for student := range f.sessions {
 		hours += f.StudentHours(student)
 	}
-	return hours * f.instance.PricePerHr
+	return hours * f.slotPrice()
 }
 
 // Report renders per-student usage and the class total, sorted by cost.
@@ -89,18 +113,29 @@ func (f *Fleet) Report() string {
 	for s := range f.sessions {
 		rows = append(rows, row{s, f.StudentHours(s)})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].hours > rows[j].hours })
+	// Cost descending, then name ascending: without the secondary key,
+	// students with equal usage would appear in Go map iteration order
+	// and the report would differ run to run.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].hours != rows[j].hours {
+			return rows[i].hours > rows[j].hours
+		}
+		return rows[i].student < rows[j].student
+	})
 	out := fmt.Sprintf("%-16s %8s %10s\n", "Student", "Hours", "Cost")
 	for _, r := range rows {
-		out += fmt.Sprintf("%-16s %8.2f %9.2f$\n", r.student, r.hours, r.hours*f.instance.PricePerHr)
+		out += fmt.Sprintf("%-16s %8.2f %9.2f$\n", r.student, r.hours, r.hours*f.slotPrice())
 	}
 	out += fmt.Sprintf("%-16s %8s %9.2f$\n", "TOTAL", "", f.Bill())
 	return out
 }
 
 // CompareToOwnedLab contrasts the fleet's bill with buying enough boards
-// for the peak concurrency (the purchase a department would otherwise
-// need).
-func (f *Fleet) CompareToOwnedLab(peakConcurrent int) (cloudCost, hardwareCost float64) {
-	return f.Bill(), float64(peakConcurrent) * f.instance.HardwarePrice
+// for the observed peak concurrency (the purchase a department would
+// otherwise need). The hardware side prices one FPGA's worth of the
+// instance's hardware per concurrently-served student; using the tracked
+// peak instead of a caller-supplied guess keeps the comparison honest.
+func (f *Fleet) CompareToOwnedLab() (cloudCost, hardwareCost float64) {
+	perBoard := f.instance.HardwarePrice / float64(f.instance.FPGAs)
+	return f.Bill(), float64(f.peak) * perBoard
 }

@@ -4,13 +4,10 @@ import (
 	"fmt"
 	"strings"
 
-	"smappic/internal/bridge"
-	"smappic/internal/cache"
+	"smappic/internal/campaign"
 	"smappic/internal/core"
-	"smappic/internal/kernel"
 	"smappic/internal/rvasm"
 	"smappic/internal/sim"
-	"smappic/internal/workload"
 )
 
 // The ablations quantify the design choices DESIGN.md calls out: SMAPPIC's
@@ -27,34 +24,27 @@ type AblationHomingResult struct {
 }
 
 // AblationHoming runs the NUMA-aware integer sort under both homing
-// policies. Region homing is what lets first-touch allocation pay off;
-// global interleaving sends most coherence traffic across the PCIe links
-// regardless of page placement.
+// policies on the campaign engine. Region homing is what lets first-touch
+// allocation pay off; global interleaving sends most coherence traffic
+// across the PCIe links regardless of page placement.
 func AblationHoming() AblationHomingResult {
-	run := func(global bool) sim.Time {
-		cfg := core.DefaultConfig(2, 1, 4)
-		cfg.Core = core.CoreNone
-		cfg.GlobalInterleaveHoming = global
-		p, err := core.Build(cfg)
-		if err != nil {
-			panic(err)
-		}
-		k := kernel.New(p, kernel.DefaultConfig())
-		ip := workload.DefaultISParams(8)
-		ip.Keys = 1 << 13
-		r := workload.RunIS(k, ip)
+	spec, _ := BuiltinSpec("homing", false)
+	res := AblationHomingResult{}
+	for _, out := range runCampaign(spec) {
+		p, r := out.Job.Params, out.Result
 		if !r.Sorted {
 			panic("ablation: unsorted")
 		}
-		snapshot(fmt.Sprintf("ablation-homing/global=%v", global), p)
-		return r.Cycles
+		global := p.Homing == campaign.HomingInterleave
+		snapshotMetrics(fmt.Sprintf("ablation-homing/global=%v", global), r.Metrics)
+		if global {
+			res.InterleaveCycles = sim.Time(r.Cycles)
+		} else {
+			res.RegionCycles = sim.Time(r.Cycles)
+		}
 	}
-	region, inter := run(false), run(true)
-	return AblationHomingResult{
-		RegionCycles:     region,
-		InterleaveCycles: inter,
-		Slowdown:         float64(inter) / float64(region),
-	}
+	res.Slowdown = float64(res.InterleaveCycles) / float64(res.RegionCycles)
+	return res
 }
 
 // String renders the homing ablation.
@@ -72,32 +62,16 @@ type AblationCreditsResult struct {
 
 // AblationCredits measures cross-node store throughput under different
 // credit pools: too few credits leave the PCIe round trip exposed on every
-// packet; the default pool covers it.
+// packet; the default pool covers it. One campaign job per pool size.
 func AblationCredits() AblationCreditsResult {
+	spec, _ := BuiltinSpec("credits", false)
 	res := AblationCreditsResult{}
-	for _, credits := range []int{9, 24, 72, bridge.DefaultParams().CreditsPerDst} {
-		cfg := core.DefaultConfig(2, 1, 2)
-		cfg.Core = core.CoreNone
-		cfg.Bridge.CreditsPerDst = credits
-		p, err := core.Build(cfg)
-		if err != nil {
-			panic(err)
-		}
-		port := p.PortAt(cache.GID{Node: 0, Tile: 0})
-		remote := p.Map.NodeDRAMBase(1) + 0x100000
-		var took sim.Time
-		sim.Go(p.Eng, "wl", func(proc *sim.Process) {
-			start := proc.Now()
-			for i := uint64(0); i < 256; i++ {
-				port.Store(proc, remote+i*64, 8, i) // one miss per line
-			}
-			took = proc.Now() - start
-		})
-		p.Run()
-		snapshot(fmt.Sprintf("ablation-credits/c%d", credits), p)
-		res.Credits = append(res.Credits, credits)
-		res.Cycles = append(res.Cycles, took)
-		res.Stalls = append(res.Stalls, p.Stats.Get("node0.bridge.credit_stall"))
+	for _, out := range runCampaign(spec) {
+		p, r := out.Job.Params, out.Result
+		snapshotMetrics(fmt.Sprintf("ablation-credits/c%d", p.Credits), r.Metrics)
+		res.Credits = append(res.Credits, p.Credits)
+		res.Cycles = append(res.Cycles, sim.Time(r.Cycles))
+		res.Stalls = append(res.Stalls, r.Stats["node0.bridge.credit_stall"])
 	}
 	return res
 }
@@ -123,21 +97,15 @@ type AblationInterconnectResult struct {
 }
 
 // AblationInterconnect sweeps the bridge shaper's extra latency and
-// reports the measured inter-node round trip.
+// reports the measured inter-node round trip, one campaign job per point.
 func AblationInterconnect() AblationInterconnectResult {
+	spec, _ := BuiltinSpec("interconnect", false)
 	res := AblationInterconnectResult{}
-	for _, extra := range []sim.Time{0, 125, 375} {
-		cfg := core.DefaultConfig(2, 1, 4)
-		cfg.Core = core.CoreNone
-		cfg.Bridge.ExtraLatency = extra
-		p, err := core.Build(cfg)
-		if err != nil {
-			panic(err)
-		}
-		lat := p.MeasureLatency(cache.GID{Node: 0, Tile: 0}, cache.GID{Node: 1, Tile: 0}, 1)
-		snapshot(fmt.Sprintf("ablation-interconnect/extra%d", extra), p)
-		res.ExtraLatency = append(res.ExtraLatency, extra)
-		res.InterCycles = append(res.InterCycles, float64(lat))
+	for _, out := range runCampaign(spec) {
+		p, r := out.Job.Params, out.Result
+		snapshotMetrics(fmt.Sprintf("ablation-interconnect/extra%d", p.ExtraLatency), r.Metrics)
+		res.ExtraLatency = append(res.ExtraLatency, sim.Time(p.ExtraLatency))
+		res.InterCycles = append(res.InterCycles, float64(r.Cycles))
 	}
 	return res
 }

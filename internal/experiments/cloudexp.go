@@ -203,22 +203,28 @@ func (r Fig13Result) String() string {
 
 // Fig14Result is the cloud vs on-premises cost study (paper Fig. 14).
 type Fig14Result struct {
+	Instance      string
 	Days          []float64
 	Cloud         []float64
 	OnPrem        []float64
 	CrossoverDays float64
 }
 
-// Fig14 samples both cost curves out to a year.
+// Fig14 samples both cost curves out to a year, for the single-FPGA
+// instance the paper's comparison uses (f1.2xl vs one $8000 board).
 func Fig14() Fig14Result {
-	days, cl, op := cloud.CostCurve(350, 25)
-	return Fig14Result{Days: days, Cloud: cl, OnPrem: op, CrossoverDays: cloud.CrossoverDays()}
+	inst, err := cloud.InstanceByName("f1.2xl")
+	if err != nil {
+		panic(err)
+	}
+	days, cl, op := cloud.CostCurve(inst, 350, 25)
+	return Fig14Result{Instance: inst.Name, Days: days, Cloud: cl, OnPrem: op, CrossoverDays: cloud.CrossoverDays(inst)}
 }
 
 // String renders the cost curves.
 func (r Fig14Result) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Fig 14: FPGA modeling cost, cloud vs on-premises (paper: crossover ~200 days)\n")
+	fmt.Fprintf(&b, "Fig 14: FPGA modeling cost on %s, cloud vs on-premises (paper: crossover ~200 days)\n", r.Instance)
 	fmt.Fprintf(&b, "%8s %12s %14s\n", "Days", "Cloud ($)", "On-prem ($)")
 	for i := range r.Days {
 		fmt.Fprintf(&b, "%8.0f %12.0f %14.0f\n", r.Days[i], r.Cloud[i], r.OnPrem[i])

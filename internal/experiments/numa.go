@@ -5,8 +5,6 @@ import (
 	"strings"
 
 	"smappic/internal/core"
-	"smappic/internal/kernel"
-	"smappic/internal/workload"
 )
 
 // newPrototype builds a CoreNone prototype for execution-driven studies.
@@ -85,40 +83,36 @@ type Fig8Result struct {
 const classCKeys = 134_217_728 // NPB IS class C
 
 // Fig8 runs the NPB integer sort on the 48-core 4x1x12 system with the
-// Linux-NUMA-mode-on/off comparison of paper Fig. 8.
+// Linux-NUMA-mode-on/off comparison of paper Fig. 8. The sweep runs on the
+// campaign engine: every (threads, NUMA) point is one job on the worker
+// pool, and the rows are assembled from the outcomes afterwards.
 func Fig8(quick bool) Fig8Result {
-	threads := []int{3, 6, 12, 24, 48}
-	keys := 1 << 15
-	if quick {
-		threads = []int{3, 12, 48}
-		keys = 1 << 14
+	spec, _ := BuiltinSpec("numa", quick)
+	res := Fig8Result{Keys: spec.Keys}
+	rows := map[int]*Fig8Row{}
+	for _, t := range spec.Threads {
+		rows[t] = &Fig8Row{Threads: t}
 	}
-	res := Fig8Result{Keys: keys}
-	for _, t := range threads {
-		row := Fig8Row{Threads: t}
-		for _, numa := range []bool{true, false} {
-			p := newPrototype(4, 1, 12)
-			kc := kernel.DefaultConfig()
-			kc.NUMA = numa
-			k := kernel.New(p, kc)
-			ip := workload.DefaultISParams(t)
-			ip.Keys = keys
-			r := workload.RunIS(k, ip)
-			if !r.Sorted {
-				panic("experiments: Fig8 run produced unsorted output")
-			}
-			snapshot(fmt.Sprintf("fig8/t%d/numa=%v", t, numa), p)
-			scale := float64(classCKeys) / float64(keys)
-			if numa {
-				row.OnSeconds = r.Seconds
-				row.ClassCOnSeconds = r.Seconds * scale
-			} else {
-				row.OffSeconds = r.Seconds
-				row.ClassCOffSeconds = r.Seconds * scale
-			}
+	scale := float64(classCKeys) / float64(spec.Keys)
+	for _, out := range runCampaign(spec) {
+		p, r := out.Job.Params, out.Result
+		if !r.Sorted {
+			panic("experiments: Fig8 run produced unsorted output")
 		}
+		snapshotMetrics(fmt.Sprintf("fig8/t%d/numa=%v", p.Threads, p.NUMA), r.Metrics)
+		row := rows[p.Threads]
+		if p.NUMA {
+			row.OnSeconds = r.Seconds
+			row.ClassCOnSeconds = r.Seconds * scale
+		} else {
+			row.OffSeconds = r.Seconds
+			row.ClassCOffSeconds = r.Seconds * scale
+		}
+	}
+	for _, t := range spec.Threads {
+		row := rows[t]
 		row.Ratio = row.OffSeconds / row.OnSeconds
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, *row)
 	}
 	return res
 }
@@ -150,36 +144,30 @@ type Fig9Result struct {
 }
 
 // Fig9 fixes 12 threads and pins them (taskset) to 1..4 nodes of the
-// 4x1x12 system, in both NUMA modes (paper Fig. 9).
+// 4x1x12 system, in both NUMA modes (paper Fig. 9), as one campaign over
+// the (active nodes, NUMA) grid.
 func Fig9(quick bool) Fig9Result {
-	keys := 1 << 15
-	if quick {
-		keys = 1 << 13
+	spec, _ := BuiltinSpec("alloc", quick)
+	res := Fig9Result{Keys: spec.Keys, Threads: spec.Threads[0]}
+	rows := map[int]*Fig9Row{}
+	for _, nodes := range spec.ActiveNodes {
+		rows[nodes] = &Fig9Row{ActiveNodes: nodes}
 	}
-	res := Fig9Result{Keys: keys, Threads: 12}
-	for nodes := 1; nodes <= 4; nodes++ {
-		row := Fig9Row{ActiveNodes: nodes}
-		for _, numa := range []bool{true, false} {
-			p := newPrototype(4, 1, 12)
-			kc := kernel.DefaultConfig()
-			kc.NUMA = numa
-			k := kernel.New(p, kc)
-			ip := workload.DefaultISParams(12)
-			ip.Keys = keys
-			ip.Affinity = k.NodesHarts(nodes)
-			r := workload.RunIS(k, ip)
-			if !r.Sorted {
-				panic("experiments: Fig9 run produced unsorted output")
-			}
-			snapshot(fmt.Sprintf("fig9/nodes%d/numa=%v", nodes, numa), p)
-			scale := float64(classCKeys) / float64(keys)
-			if numa {
-				row.OnSeconds = r.Seconds * scale
-			} else {
-				row.OffSeconds = r.Seconds * scale
-			}
+	scale := float64(classCKeys) / float64(spec.Keys)
+	for _, out := range runCampaign(spec) {
+		p, r := out.Job.Params, out.Result
+		if !r.Sorted {
+			panic("experiments: Fig9 run produced unsorted output")
 		}
-		res.Rows = append(res.Rows, row)
+		snapshotMetrics(fmt.Sprintf("fig9/nodes%d/numa=%v", p.ActiveNodes, p.NUMA), r.Metrics)
+		if p.NUMA {
+			rows[p.ActiveNodes].OnSeconds = r.Seconds * scale
+		} else {
+			rows[p.ActiveNodes].OffSeconds = r.Seconds * scale
+		}
+	}
+	for _, nodes := range spec.ActiveNodes {
+		res.Rows = append(res.Rows, *rows[nodes])
 	}
 	return res
 }

@@ -25,3 +25,13 @@ func snapshot(label string, p *core.Prototype) {
 	}
 	SnapshotHook(label, out)
 }
+
+// snapshotMetrics republishes a campaign job's cached metrics document under
+// an experiment's own label — the campaign-ported sweeps keep the exact
+// label scheme the hand-rolled loops used.
+func snapshotMetrics(label string, metrics []byte) {
+	if SnapshotHook == nil || len(metrics) == 0 {
+		return
+	}
+	SnapshotHook(label, metrics)
+}

@@ -112,6 +112,9 @@ type Kernel struct {
 	pageNode  map[uint64]int    // vpage -> owning node (for stats)
 	nextVA    uint64
 	threads   []*Thread
+
+	// runner, when non-nil, replaces Prototype.Run in Join (see SetRunner).
+	runner func() sim.Time
 }
 
 // New boots the kernel on a prototype.
@@ -549,10 +552,21 @@ func (b *Barrier) Wait(c *Ctx) {
 	c.P.Park()
 }
 
+// SetRunner replaces the engine-driving step Join uses (by default
+// Prototype.Run, which drains the queue in one call). The campaign layer
+// installs a chunked runner here so a job can honor wall-clock timeouts and
+// cancellation between event slices; the replacement must only return once
+// the event queue is empty, exactly like Prototype.Run.
+func (k *Kernel) SetRunner(run func() sim.Time) { k.runner = run }
+
 // Join runs the simulation until every spawned thread finished.
 func (k *Kernel) Join() sim.Time {
 	for {
-		k.pr.Run()
+		if k.runner != nil {
+			k.runner()
+		} else {
+			k.pr.Run()
+		}
 		all := true
 		for _, t := range k.threads {
 			if !t.Done {

@@ -305,6 +305,29 @@ func (s *Stats) CopyFrom(parts ...*Stats) {
 	}
 }
 
+// CounterSnapshot returns every counter's current value as a plain map —
+// the portable form of a finished run's counts. The campaign layer stores
+// these snapshots in its result cache and folds them back together with
+// AddCounts, so per-job statistics survive process boundaries without
+// carrying live registries around.
+func (s *Stats) CounterSnapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Value
+	}
+	return out
+}
+
+// AddCounts adds a CounterSnapshot into the registry, creating counters as
+// needed. Together with CounterSnapshot it gives campaign-level aggregation
+// the same merge semantics CopyFrom gives the sharded engine, but over
+// serialized snapshots instead of live registries.
+func (s *Stats) AddCounts(m map[string]uint64) {
+	for name, v := range m {
+		s.Counter(name).Add(v)
+	}
+}
+
 // Get returns the value of a counter, or zero if it was never touched.
 func (s *Stats) Get(name string) uint64 {
 	if c, ok := s.counters[name]; ok {

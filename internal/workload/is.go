@@ -29,6 +29,9 @@ type ISParams struct {
 	Affinity []int
 	// ComputePerKey models the per-element ALU work of the real kernel.
 	ComputePerKey sim.Time
+	// Seed drives key generation; 0 selects the historical default, so
+	// existing callers keep their exact key streams.
+	Seed uint64
 }
 
 // DefaultISParams returns a scaled-down class-C-shaped problem.
@@ -38,6 +41,7 @@ func DefaultISParams(threads int) ISParams {
 		MaxKey:        1 << 10,
 		Threads:       threads,
 		ComputePerKey: 4,
+		Seed:          12345,
 	}
 }
 
@@ -85,7 +89,10 @@ func RunIS(k *kernel.Kernel, p ISParams) ISResult {
 	counts := k.Alloc(uint64(t) * 8) // received-key counts
 
 	bar := k.NewBarrier(t)
-	seed := uint64(12345)
+	seed := p.Seed
+	if seed == 0 {
+		seed = 12345
+	}
 
 	pr := k.Prototype()
 	start := pr.Now()
