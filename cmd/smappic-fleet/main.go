@@ -14,6 +14,11 @@
 // parameters, so re-running a campaign — after an interrupt, a crash, or
 // just to regenerate reports — re-executes nothing. The aggregate report is
 // byte-identical for any worker count and any mix of fresh and cached jobs.
+//
+// -v streams structured job lifecycle events (started, cache_hit,
+// stall_retry, done, failed, skipped) to stderr as they happen. -serve ADDR
+// additionally starts the live dashboard (internal/obs): the fleet job queue
+// at http://ADDR/, the same events over SSE at /api/events.
 package main
 
 import (
@@ -23,10 +28,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 
 	"smappic/internal/campaign"
 	"smappic/internal/experiments"
+	"smappic/internal/obs"
 )
 
 func main() {
@@ -39,6 +46,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced problem sizes for builtin sweeps")
 	timeout := flag.Float64("timeout", 0, "per-job wall-clock timeout in seconds (overrides the spec)")
 	retries := flag.Int("retries", -1, "extra attempts after a watchdog stall (overrides the spec)")
+	verbose := flag.Bool("v", false, "stream job lifecycle events to stderr")
+	serve := flag.String("serve", "", "serve the live campaign dashboard on this address (e.g. 127.0.0.1:8080)")
 	flag.Parse()
 
 	if *list {
@@ -90,6 +99,42 @@ func main() {
 		runner.Cache = cache
 	}
 
+	var srv *obs.Server
+	if *serve != "" {
+		srv = obs.New()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dashboard: http://%s/\n", addr)
+	}
+	if *verbose || srv != nil {
+		var mu sync.Mutex // events arrive concurrently from workers
+		verbosef := *verbose
+		runner.OnEvent = func(ev campaign.Event) {
+			if verbosef {
+				mu.Lock()
+				switch ev.Type {
+				case campaign.EventStallRetry:
+					fmt.Fprintf(os.Stderr, "[%s] job %d/%d %s (attempt %d: %s)\n",
+						ev.Type, ev.Index, ev.Total, ev.Label, ev.Attempt, ev.Err)
+				case campaign.EventDone:
+					fmt.Fprintf(os.Stderr, "[%s] job %d/%d %s (%d cycles)\n",
+						ev.Type, ev.Index, ev.Total, ev.Label, ev.Cycles)
+				case campaign.EventFailed, campaign.EventSkipped:
+					fmt.Fprintf(os.Stderr, "[%s] job %d/%d %s: %s\n",
+						ev.Type, ev.Index, ev.Total, ev.Label, ev.Err)
+				default:
+					fmt.Fprintf(os.Stderr, "[%s] job %d/%d %s\n", ev.Type, ev.Index, ev.Total, ev.Label)
+				}
+				mu.Unlock()
+			}
+			if srv != nil {
+				srv.CampaignEvent(ev)
+			}
+		}
+	}
+
 	// Ctrl-C cancels gracefully: in-flight jobs abort at their next event
 	// batch, completed jobs stay cached, and the run exits with a partial
 	// summary a re-run will resume from.
@@ -99,6 +144,9 @@ func main() {
 	res, err := runner.Run(ctx, spec)
 	if err != nil {
 		fatal(err)
+	}
+	if srv != nil {
+		srv.Flush()
 	}
 	fmt.Print(res.Summary())
 	fmt.Printf("  wall clock: %s with %d workers\n", res.Elapsed.Round(1_000_000), *workers)

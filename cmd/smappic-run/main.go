@@ -48,6 +48,15 @@
 // conservative lookahead synchronizer; results are bit-identical to the
 // default serial engine. The sharded engine does not support the
 // event-trace, sampler or watchdog extras.
+//
+// -serve ADDR starts the live observability dashboard (internal/obs) on
+// ADDR for the duration of the run: open http://ADDR/ in a browser, or poll
+// /api/metrics and /api/events directly. Observation is read-only and
+// non-perturbing — a served run's outputs are byte-identical to an unserved
+// one. -publish-every N sets the serial snapshot cadence in cycles (sharded
+// runs publish at window barriers); -serve-hold D keeps the server (and the
+// process) up for D after the run finishes so the final state can be
+// inspected — all output files are written before the hold begins.
 package main
 
 import (
@@ -56,8 +65,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"smappic"
+	"smappic/internal/obs"
 	"smappic/internal/rvasm"
 )
 
@@ -97,6 +108,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "shard the simulation across goroutines, one per FPGA (>1 = on; results are identical to serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
+	serve := flag.String("serve", "", "serve the live dashboard on this address (e.g. 127.0.0.1:8080) for the duration of the run")
+	publishEvery := flag.Uint64("publish-every", 100_000, "serial dashboard snapshot cadence in cycles (sharded runs publish at window barriers)")
+	serveHold := flag.Duration("serve-hold", 0, "keep the dashboard up this long after the run ends (outputs are written first)")
+	syncMetrics := flag.Bool("sync-metrics", false, "record per-shard synchronizer telemetry (fpga<i>.sync.*) in the metrics report; sharded runs only, makes the report differ from a serial run's")
 	flag.Parse()
 
 	a, b, c, err := smappic.ParseShape(*shape)
@@ -110,6 +125,7 @@ func main() {
 	}
 	cfg := smappic.DefaultConfig(a, b, c)
 	cfg.Parallel = *parallel
+	cfg.SyncMetrics = *syncMetrics
 	cfg.Faults, err = smappic.ParseFaults(*faults, *faultSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -166,8 +182,24 @@ func main() {
 		defer f.Close()
 		defer pprof.StopCPUProfile()
 	}
+	var srv *obs.Server
+	if *serve != "" {
+		srv = obs.New()
+		srv.ObservePrototype(proto)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dashboard: http://%s/\n", addr)
+	}
 	proto.Start()
-	proto.RunUntilHalted(smappic.Time(*maxCycles))
+	if srv != nil {
+		proto.RunUntilHaltedObserved(smappic.Time(*maxCycles), smappic.Time(*publishEvery), srv.Publish)
+		srv.Flush()
+	} else {
+		proto.RunUntilHalted(smappic.Time(*maxCycles))
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -233,5 +265,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if srv != nil && *serveHold > 0 {
+		fmt.Fprintf(os.Stderr, "holding dashboard for %v\n", *serveHold)
+		time.Sleep(*serveHold)
+	}
+	if srv != nil {
+		srv.Close()
 	}
 }

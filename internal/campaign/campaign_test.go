@@ -508,3 +508,142 @@ func TestAggregateCSV(t *testing.T) {
 		t.Fatalf("summary missing counts:\n%s", sum)
 	}
 }
+
+// TestRunnerEmitsLifecycleEvents pins the OnEvent hook: every job produces a
+// coherent event sequence (started ... done/failed, with stall_retry in
+// between), cache hits are reported without execution, and Total is carried
+// on every event.
+func TestRunnerEmitsLifecycleEvents(t *testing.T) {
+	var mu sync.Mutex
+	events := map[int][]Event{}
+	record := func(ev Event) {
+		mu.Lock()
+		events[ev.Index] = append(events[ev.Index], ev)
+		mu.Unlock()
+	}
+
+	// Seed 2 stalls once then succeeds; seed 3 fails hard; the rest are clean.
+	stalled := map[string]bool{}
+	exec := func(ctx context.Context, p Params) (*Result, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch p.Seed {
+		case 2:
+			if !stalled[p.Key()] {
+				stalled[p.Key()] = true
+				return nil, &StallError{Diagnosis: "WATCHDOG: injected"}
+			}
+		case 3:
+			return nil, fmt.Errorf("build exploded")
+		}
+		return fakeResult(p), nil
+	}
+	spec := testSpec()
+	spec.Retries = 1
+	r := &Runner{Workers: 2, Exec: exec, OnEvent: record}
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 3 || res.Failed != 1 {
+		t.Fatalf("executed %d failed %d, want 3/1", res.Executed, res.Failed)
+	}
+
+	types := func(idx int) []EventType {
+		var ts []EventType
+		for _, ev := range events[idx] {
+			ts = append(ts, ev.Type)
+			if ev.Total != 4 {
+				t.Errorf("job %d event %s has Total %d, want 4", idx, ev.Type, ev.Total)
+			}
+			if ev.Label == "" {
+				t.Errorf("job %d event %s has no label", idx, ev.Type)
+			}
+		}
+		return ts
+	}
+	want := map[int][]EventType{
+		0: {EventStarted, EventDone},                  // seed 1
+		1: {EventStarted, EventStallRetry, EventDone}, // seed 2
+		2: {EventStarted, EventFailed},                // seed 3
+		3: {EventStarted, EventDone},                  // seed 4
+	}
+	for idx, w := range want {
+		got := types(idx)
+		if fmt.Sprint(got) != fmt.Sprint(w) {
+			t.Errorf("job %d events = %v, want %v", idx, got, w)
+		}
+	}
+	// The retried job reports the winning attempt number and its cycles.
+	doneEv := events[1][len(events[1])-1]
+	if doneEv.Attempt != 2 || doneEv.Cycles == 0 {
+		t.Errorf("retried done event = %+v, want attempt 2 with cycles", doneEv)
+	}
+	if events[2][1].Err == "" {
+		t.Error("failed event lost its error")
+	}
+
+	// Second run over a cache: every job is a cache_hit with cycles, and the
+	// failed one re-runs.
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := &Runner{Workers: 2, Exec: exec, Cache: cache, OnEvent: record}
+	if _, err := r2.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	events = map[int][]Event{}
+	mu.Unlock()
+	if _, err := r2.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 4; idx++ {
+		got := types(idx)
+		w := []EventType{EventCacheHit}
+		if idx == 2 { // the hard failure is never cached
+			w = []EventType{EventStarted, EventFailed}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(w) {
+			t.Errorf("cached run: job %d events = %v, want %v", idx, got, w)
+		}
+	}
+}
+
+// TestRunnerEmitsSkippedOnCancellation checks that jobs cancelled before
+// dispatch surface as skipped events.
+func TestRunnerEmitsSkippedOnCancellation(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	ctx, cancel := context.WithCancel(context.Background())
+	exec := func(c context.Context, p Params) (*Result, error) {
+		cancel() // first job cancels the campaign
+		return fakeResult(p), nil
+	}
+	r := &Runner{Workers: 1, Exec: exec, OnEvent: func(ev Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	}}
+	res, err := r.Run(ctx, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped == 0 {
+		t.Fatal("cancellation produced no skipped jobs")
+	}
+	skipped := 0
+	for _, ev := range got {
+		if ev.Type == EventSkipped {
+			skipped++
+			if ev.Err == "" {
+				t.Error("skipped event lost the cancellation cause")
+			}
+		}
+	}
+	if skipped != res.Skipped {
+		t.Fatalf("%d skipped events for %d skipped jobs", skipped, res.Skipped)
+	}
+}

@@ -24,6 +24,37 @@ const (
 	StatusSkipped Status = "skipped"
 )
 
+// EventType classifies a job lifecycle event (see Runner.OnEvent).
+type EventType string
+
+const (
+	// EventStarted: the job was dispatched to a worker (first attempt).
+	EventStarted EventType = "started"
+	// EventCacheHit: the job was served from the result cache unexecuted.
+	EventCacheHit EventType = "cache_hit"
+	// EventStallRetry: an attempt hit a watchdog stall and the job is being
+	// retried; Attempt is the attempt that failed.
+	EventStallRetry EventType = "stall_retry"
+	// EventDone: the job completed successfully; Cycles and Attempt are set.
+	EventDone EventType = "done"
+	// EventFailed: the job failed terminally; Err is set.
+	EventFailed EventType = "failed"
+	// EventSkipped: the job was never executed (campaign cancelled).
+	EventSkipped EventType = "skipped"
+)
+
+// Event is one structured job lifecycle notification. The zero Total means
+// the expansion failed before any event was emitted (never seen by hooks).
+type Event struct {
+	Type    EventType `json:"type"`
+	Index   int       `json:"index"`
+	Label   string    `json:"label"`
+	Total   int       `json:"total"`             // jobs in the campaign
+	Attempt int       `json:"attempt,omitempty"` // 1-based, for started/stall_retry/done
+	Cycles  uint64    `json:"cycles,omitempty"`  // workload cycles, for done
+	Err     string    `json:"err,omitempty"`     // for failed/skipped/stall_retry
+}
+
 // JobOutcome pairs a job with how it went.
 type JobOutcome struct {
 	Job    Job
@@ -60,6 +91,19 @@ type Runner struct {
 	Exec func(ctx context.Context, p Params) (*Result, error)
 	// Log, when non-nil, receives one line per job as it completes.
 	Log func(format string, args ...any)
+	// OnEvent, when non-nil, receives structured job lifecycle events
+	// (started, cache_hit, stall_retry, done, failed, skipped) as they
+	// happen. It is called concurrently from worker goroutines and must be
+	// safe for concurrent use; the fleet CLI's -v flag and the live
+	// dashboard both hang off this hook.
+	OnEvent func(Event)
+}
+
+// emit delivers an event to the OnEvent hook, if any.
+func (r *Runner) emit(ev Event) {
+	if r.OnEvent != nil {
+		r.OnEvent(ev)
+	}
 }
 
 // Run expands the spec and executes every point not already in the cache.
@@ -83,6 +127,8 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*CampaignResult, error) {
 		if r.Cache != nil {
 			if cached, ok := r.Cache.Get(job.Params.Key()); ok {
 				res.Jobs[job.Index] = JobOutcome{Job: job, Status: StatusCached, Result: cached}
+				r.emit(Event{Type: EventCacheHit, Index: job.Index, Label: job.Params.Label(),
+					Total: len(jobs), Cycles: cached.Cycles})
 				continue
 			}
 		}
@@ -104,7 +150,7 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*CampaignResult, error) {
 		go func() {
 			defer wg.Done()
 			for job := range ch {
-				out := r.runJob(ctx, job, spec)
+				out := r.runJob(ctx, job, spec, len(jobs))
 				mu.Lock()
 				res.Jobs[job.Index] = out
 				mu.Unlock()
@@ -142,14 +188,17 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*CampaignResult, error) {
 }
 
 // runJob executes one job with the spec's timeout and stall-retry policy.
-func (r *Runner) runJob(ctx context.Context, job Job, spec Spec) JobOutcome {
+func (r *Runner) runJob(ctx context.Context, job Job, spec Spec, total int) JobOutcome {
+	label := job.Params.Label()
 	if ctx.Err() != nil {
+		r.emit(Event{Type: EventSkipped, Index: job.Index, Label: label, Total: total, Err: ctx.Err().Error()})
 		return JobOutcome{Job: job, Status: StatusSkipped, Err: ctx.Err().Error()}
 	}
 	exec := r.Exec
 	if exec == nil {
 		exec = Execute
 	}
+	r.emit(Event{Type: EventStarted, Index: job.Index, Label: label, Total: total, Attempt: 1})
 	var lastErr error
 	for attempt := 1; attempt <= spec.Retries+1; attempt++ {
 		jctx := ctx
@@ -166,6 +215,8 @@ func (r *Runner) runJob(ctx context.Context, job Job, spec Spec) JobOutcome {
 					r.Log("job %d: cache write failed: %v", job.Index, cerr)
 				}
 			}
+			r.emit(Event{Type: EventDone, Index: job.Index, Label: label, Total: total,
+				Attempt: attempt, Cycles: result.Cycles})
 			return JobOutcome{Job: job, Status: StatusRun, Result: result}
 		}
 		lastErr = err
@@ -176,11 +227,17 @@ func (r *Runner) runJob(ctx context.Context, job Job, spec Spec) JobOutcome {
 		if !IsStall(err) || ctx.Err() != nil {
 			break
 		}
+		if attempt <= spec.Retries {
+			r.emit(Event{Type: EventStallRetry, Index: job.Index, Label: label, Total: total,
+				Attempt: attempt, Err: err.Error()})
+		}
 	}
 	if ctx.Err() != nil && !IsStall(lastErr) {
 		// The campaign was cancelled out from under the job; it never
 		// completed, so it stays resumable rather than failed.
+		r.emit(Event{Type: EventSkipped, Index: job.Index, Label: label, Total: total, Err: lastErr.Error()})
 		return JobOutcome{Job: job, Status: StatusSkipped, Err: lastErr.Error()}
 	}
+	r.emit(Event{Type: EventFailed, Index: job.Index, Label: label, Total: total, Err: fmt.Sprintf("%v", lastErr)})
 	return JobOutcome{Job: job, Status: StatusFailed, Err: fmt.Sprintf("%v", lastErr)}
 }

@@ -89,6 +89,16 @@ type Config struct {
 	// live-introspection extras (tracer, sampler, watchdog, latency probe)
 	// are serial-only. 0 or 1 (the default) runs serial.
 	Parallel int
+
+	// SyncMetrics, with Parallel > 1, records the window synchronizer's
+	// behavior (windows executed, envelopes merged, horizon and per-shard
+	// lag) as fpga<N>.sync.* instruments in the per-shard registries, so
+	// MetricsJSON captures it alongside the dashboard. Opt-in because the
+	// extra instruments necessarily make a sharded report differ from the
+	// serial reference document (a serial engine has no windows); leave it
+	// off when byte-comparing the two, as the differential harness does.
+	// Ignored when serial.
+	SyncMetrics bool
 }
 
 // DefaultConfig returns the paper's Table 2 system for the given shape.

@@ -170,6 +170,9 @@ func Build(cfg Config) (*Prototype, error) {
 		}
 		p.Group = sim.NewGroup(cfg.PCIe.MinCrossing(), p.engs...)
 		p.net = p.Group
+		if cfg.SyncMetrics {
+			p.Group.EnableSyncStats(p.shardStats)
+		}
 	} else {
 		p.Eng = sim.NewEngine()
 		p.Stats = &sim.Stats{}
@@ -442,6 +445,39 @@ func (p *Prototype) Run() sim.Time {
 	return p.Eng.Run()
 }
 
+// RunObserved drains the simulation like Run while invoking publish at
+// non-perturbing boundaries: every `every` cycles from the driving goroutine
+// between events when serial, and at every window barrier when sharded (via
+// Group.OnBarrier, which it installs for the duration of the call, chaining
+// any hook already present). publish must only read state — it runs while
+// the simulation is provably quiescent, so a snapshot taken inside it cannot
+// perturb event order, and the run's outputs are byte-identical to an
+// unobserved one.
+func (p *Prototype) RunObserved(every sim.Time, publish func()) sim.Time {
+	if p.Group != nil {
+		prev := p.Group.OnBarrier
+		p.Group.OnBarrier = func() {
+			if prev != nil {
+				prev()
+			}
+			publish()
+		}
+		defer func() { p.Group.OnBarrier = prev }()
+		return p.Group.Run()
+	}
+	if every <= 0 {
+		every = 100_000
+	}
+	next := p.Eng.Now() + every
+	for p.Eng.Step() {
+		if p.Eng.Now() >= next {
+			publish()
+			next = p.Eng.Now() + every
+		}
+	}
+	return p.Eng.Now()
+}
+
 // RunUntil advances simulation to the deadline. Serial-only: sharded
 // execution advances in lookahead windows, not to arbitrary deadlines.
 func (p *Prototype) RunUntil(t sim.Time) sim.Time {
@@ -466,6 +502,37 @@ func (p *Prototype) RunUntilHalted(limit sim.Time) sim.Time {
 	for !p.AllHalted() && p.Eng.Now() < limit {
 		if !p.Eng.Step() {
 			break
+		}
+	}
+	return p.Eng.Now()
+}
+
+// RunUntilHaltedObserved is RunUntilHalted with the observation contract of
+// RunObserved: publish runs between events every `every` cycles when serial,
+// and at window barriers when sharded.
+func (p *Prototype) RunUntilHaltedObserved(limit, every sim.Time, publish func()) sim.Time {
+	if p.Group != nil {
+		prev := p.Group.OnBarrier
+		p.Group.OnBarrier = func() {
+			if prev != nil {
+				prev()
+			}
+			publish()
+		}
+		defer func() { p.Group.OnBarrier = prev }()
+		return p.RunUntilHalted(limit)
+	}
+	if every <= 0 {
+		every = 100_000
+	}
+	next := p.Eng.Now() + every
+	for !p.AllHalted() && p.Eng.Now() < limit {
+		if !p.Eng.Step() {
+			break
+		}
+		if p.Eng.Now() >= next {
+			publish()
+			next = p.Eng.Now() + every
 		}
 	}
 	return p.Eng.Now()

@@ -294,6 +294,33 @@ func (m *Mesh) Send(pkt *Packet) {
 	m.eng.AtArg(t, m.deliverFn, pkt)
 }
 
+// Dims returns the mesh's width and height in tiles.
+func (m *Mesh) Dims() (w, h int) { return m.p.Width, m.p.Height }
+
+// LinkStat is one directed link's cumulative traffic.
+type LinkStat struct {
+	Flits uint64 `json:"flits"`
+	Busy  uint64 `json:"busy"` // cycles the link was serializing flits
+}
+
+// LinkStatsSnapshot copies the per-link traffic accounting of every NoC
+// class into plain values: result[class][link], with links indexed as the
+// mesh reserves them (tile*4 + direction N/E/S/W, then the chipset and
+// bridge exit links at the tail — see linkIndex/exitLink). Unlike
+// FlushLinkStats it mutates nothing, so the observability layer can call it
+// at quiescent boundaries without perturbing the stats registry.
+func (m *Mesh) LinkStatsSnapshot() [][]LinkStat {
+	out := make([][]LinkStat, numClasses)
+	for c := Class(0); c < numClasses; c++ {
+		links := make([]LinkStat, len(m.linkFlits[c]))
+		for l := range links {
+			links[l] = LinkStat{Flits: m.linkFlits[c][l], Busy: uint64(m.linkBusy[c][l])}
+		}
+		out[c] = links
+	}
+	return out
+}
+
 // FlushLinkStats publishes the per-link flit and busy-cycle totals into the
 // Stats registry under "<mesh>.<class>.linkNNN.{flits,busy_cycles}". It
 // assigns (rather than accumulates) counter values, so calling it repeatedly

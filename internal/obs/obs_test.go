@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"smappic/internal/campaign"
+	"smappic/internal/core"
+	"smappic/internal/kernel"
+	"smappic/internal/workload"
+)
+
+// buildSmall builds a cheap CoreNone prototype for endpoint tests.
+func buildSmall(t *testing.T, parallel int) *core.Prototype {
+	t.Helper()
+	cfg := core.DefaultConfig(2, 1, 2)
+	cfg.Core = core.CoreNone
+	cfg.Parallel = parallel
+	p, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEndpointsServeDashboardMetricsAndSSE(t *testing.T) {
+	srv := New()
+	srv.ObservePrototype(buildSmall(t, 0))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Dashboard.
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != 200 || !strings.Contains(body, "SMAPPIC") {
+		t.Fatalf("dashboard: status %d, body %q...", resp.StatusCode, body[:min(len(body), 80)])
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("dashboard content type %q", ct)
+	}
+
+	// Metrics: a valid snapshot with the prototype's shape, present before
+	// the run even starts (ObservePrototype publishes an initial snapshot).
+	resp, err = http.Get(ts.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sn Snapshot
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &sn); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v", err)
+	}
+	if sn.Seq == 0 || sn.Meta == nil || sn.Meta.Shape != "2x1x2" {
+		t.Fatalf("unexpected snapshot: %+v", sn)
+	}
+	if sn.Meta.Parallel || sn.Sync != nil {
+		t.Fatalf("serial build reported as sharded: %+v", sn.Meta)
+	}
+	if len(sn.NoC) != 2 {
+		t.Fatalf("got %d mesh views, want 2", len(sn.NoC))
+	}
+
+	// SSE: a subscriber gets a hello event immediately, without waiting for
+	// a publish.
+	resp, err = http.Get(ts.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line != "event: hello\n" {
+		t.Fatalf("first SSE line %q, want hello event", line)
+	}
+	data, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(data, "data: {") {
+		t.Fatalf("hello payload line %q", data)
+	}
+}
+
+func TestParallelSnapshotCarriesSyncView(t *testing.T) {
+	srv := New()
+	p := buildSmall(t, 2)
+	srv.ObservePrototype(p)
+	sn := srv.snap.Load()
+	if sn == nil || sn.Sync == nil {
+		t.Fatal("sharded build published no sync view")
+	}
+	if len(sn.Sync.Shards) != 2 || len(sn.Sync.ShardStats) != 2 {
+		t.Fatalf("sync view: %+v", sn.Sync)
+	}
+	if sn.Sync.Lookahead != p.Lookahead() {
+		t.Fatalf("lookahead %d, want %d", sn.Sync.Lookahead, p.Lookahead())
+	}
+}
+
+func TestCampaignEventsUpdateTableAndStream(t *testing.T) {
+	srv := New()
+	srv.MinPublishInterval = 0
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Subscribe before the events fire.
+	resp, err := http.Get(ts.URL + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sse := bufio.NewReader(resp.Body)
+	if line, _ := sse.ReadString('\n'); line != "event: hello\n" {
+		t.Fatalf("expected hello, got %q", line)
+	}
+
+	srv.CampaignEvent(campaign.Event{Type: campaign.EventStarted, Index: 1, Label: "b", Total: 3, Attempt: 1})
+	srv.CampaignEvent(campaign.Event{Type: campaign.EventCacheHit, Index: 0, Label: "a", Total: 3, Cycles: 123})
+	srv.CampaignEvent(campaign.Event{Type: campaign.EventStallRetry, Index: 1, Label: "b", Total: 3, Attempt: 1, Err: "stall"})
+	srv.CampaignEvent(campaign.Event{Type: campaign.EventDone, Index: 1, Label: "b", Total: 3, Attempt: 2, Cycles: 456})
+	srv.CampaignEvent(campaign.Event{Type: campaign.EventFailed, Index: 2, Label: "c", Total: 3, Err: "boom"})
+
+	view := srv.campaignView()
+	if view.Total != 3 || len(view.Jobs) != 3 {
+		t.Fatalf("campaign view: %+v", view)
+	}
+	// Jobs come back index-ordered regardless of event arrival order.
+	for i, j := range view.Jobs {
+		if j.Index != i {
+			t.Fatalf("job table not index-ordered: %+v", view.Jobs)
+		}
+	}
+	if view.Jobs[0].Status != "cached" || view.Jobs[0].Cycles != 123 {
+		t.Fatalf("job 0: %+v", view.Jobs[0])
+	}
+	if view.Jobs[1].Status != "done" || view.Jobs[1].Attempt != 2 || view.Jobs[1].Err != "" {
+		t.Fatalf("job 1 (retried then done): %+v", view.Jobs[1])
+	}
+	if view.Jobs[2].Status != "failed" || view.Jobs[2].Err != "boom" {
+		t.Fatalf("job 2: %+v", view.Jobs[2])
+	}
+	if view.Counts["done"] != 1 || view.Counts["cached"] != 1 || view.Counts["failed"] != 1 {
+		t.Fatalf("counts: %v", view.Counts)
+	}
+
+	// The stream carried the job events (interleaved with ticks).
+	sawJob := false
+	for i := 0; i < 64 && !sawJob; i++ {
+		line, err := sse.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended early: %v", err)
+		}
+		sawJob = line == "event: job\n"
+	}
+	if !sawJob {
+		t.Fatal("no job event on the SSE stream")
+	}
+
+	// The snapshot endpoint reflects the same table.
+	mresp, err := http.Get(ts.URL + "/api/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sn Snapshot
+	if err := json.Unmarshal([]byte(readAll(t, mresp)), &sn); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Campaign == nil || sn.Campaign.Counts["done"] != 1 {
+		t.Fatalf("snapshot campaign section: %+v", sn.Campaign)
+	}
+}
+
+// TestServedParallelRunIsNonPerturbing is the package's core guarantee under
+// the race detector: a sharded workload run with the dashboard attached —
+// publishing at every window barrier, with HTTP clients hammering the
+// metrics endpoint and the SSE stream throughout — produces MetricsJSON
+// byte-identical to the same run without a server.
+func TestServedParallelRunIsNonPerturbing(t *testing.T) {
+	runIS := func(p *core.Prototype) []byte {
+		kc := kernel.DefaultConfig()
+		kc.Seed = 42
+		k := kernel.New(p, kc)
+		ip := workload.DefaultISParams(p.Cfg.TotalTiles())
+		ip.Keys = 1 << 10
+		if r := workload.RunIS(k, ip); !r.Sorted {
+			t.Fatal("IS output not sorted")
+		}
+		m, err := p.MetricsJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Reference: no server anywhere near the run.
+	want := runIS(buildSmall(t, 2))
+
+	// Observed: server attached, publishing from every window barrier
+	// (throttle off = worst case), clients hammering both endpoints.
+	p := buildSmall(t, 2)
+	srv := New()
+	srv.MinPublishInterval = 0
+	srv.ObservePrototype(p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/api/metrics")
+				if err != nil {
+					return // server shutting down
+				}
+				var sn Snapshot
+				if err := json.Unmarshal([]byte(readAll(t, resp)), &sn); err != nil {
+					t.Errorf("mid-run metrics not valid JSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/api/events")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		r := bufio.NewReader(resp.Body)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+
+	got := runIS(p)
+	srv.Flush()
+	close(done)
+	ts.CloseClientConnections()
+	wg.Wait()
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("MetricsJSON perturbed by the attached server (%d vs %d bytes)", len(got), len(want))
+	}
+	if sn := srv.snap.Load(); sn == nil || sn.Seq < 2 {
+		t.Fatal("server never published during the run")
+	} else if sn.Sync == nil || sn.Sync.Windows == 0 {
+		t.Fatalf("final snapshot has no synchronizer progress: %+v", sn.Sync)
+	}
+}
+
+// TestHubDropsSlowSubscribers pins the non-blocking broadcast: a subscriber
+// that never reads cannot stall the publisher.
+func TestHubDropsSlowSubscribers(t *testing.T) {
+	h := newHub()
+	ch := h.subscribe()
+	if h.subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", h.subscribers())
+	}
+	for i := 0; i < subBuffer*3; i++ { // must not block
+		h.broadcast("tick", map[string]int{"i": i})
+	}
+	if len(ch) != subBuffer {
+		t.Fatalf("buffered %d frames, want full buffer %d", len(ch), subBuffer)
+	}
+	h.unsubscribe(ch)
+	if h.subscribers() != 0 {
+		t.Fatalf("subscribers = %d after unsubscribe", h.subscribers())
+	}
+	h.broadcast("tick", nil) // no subscribers: no-op
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, b.String())
+	}
+	return b.String()
+}

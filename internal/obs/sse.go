@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// hub fans events out to SSE subscribers. Broadcasting never blocks: a
+// subscriber whose buffer is full simply misses events (the dashboard
+// re-syncs from /api/metrics on the next tick), so a slow or stuck HTTP
+// client can never stall the goroutine publishing from the simulation side.
+type hub struct {
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+}
+
+// subBuffer is each subscriber's channel depth. Deep enough to ride out a
+// TCP hiccup, small enough that an abandoned connection holds trivial memory.
+const subBuffer = 256
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan []byte]struct{})}
+}
+
+// subscribe registers a new subscriber and returns its event channel.
+func (h *hub) subscribe() chan []byte {
+	ch := make(chan []byte, subBuffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes a subscriber. Its channel is not closed — the reader
+// owns the receive loop and exits on its request context instead.
+func (h *hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+// subscribers returns the current subscriber count.
+func (h *hub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// broadcast marshals data and sends one SSE frame to every subscriber,
+// dropping frames for subscribers that cannot keep up.
+func (h *hub) broadcast(event string, data any) {
+	h.mu.Lock()
+	if len(h.subs) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	frame := formatSSE(event, data)
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default: // slow subscriber: drop, never block the publisher
+		}
+	}
+	h.mu.Unlock()
+}
+
+// formatSSE renders one server-sent event frame: an event name line, the
+// JSON payload on a data line, and the blank separator line.
+func formatSSE(event string, data any) []byte {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		payload = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return []byte("event: " + event + "\ndata: " + string(payload) + "\n\n")
+}

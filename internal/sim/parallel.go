@@ -38,6 +38,37 @@ type Group struct {
 	horizon   Time       // current window's exclusive upper bound
 	running   bool       // inside a window (workers active)
 	merged    []groupEnv // inject scratch, reused window to window
+
+	// Synchronizer telemetry, maintained unconditionally (a few integer
+	// bumps per window). envOut[i] is written only by shard i's goroutine
+	// during a window; everything else is coordinator-owned and touched only
+	// while the group is quiescent — the window WaitGroup provides the
+	// happens-before edges in both directions.
+	windows    uint64   // completed synchronization windows
+	ranWindows []uint64 // windows in which shard i actually executed work
+	envIn      []uint64 // envelopes injected into shard i (merged deliveries)
+	envOut     []uint64 // envelopes sent by shard i
+
+	// syncStats, when bound with EnableSyncStats, mirrors the telemetry into
+	// per-shard stats registries at every barrier.
+	syncStats []shardSyncStats
+
+	// OnBarrier, when non-nil, runs at the end of every synchronization
+	// window, after the worker goroutines have joined and before the next
+	// window begins. The group is quiescent: the callback may inspect any
+	// shard engine or registry freely, but must not schedule events or send
+	// envelopes. The observability layer publishes its snapshot here.
+	OnBarrier func()
+}
+
+// shardSyncStats is the per-shard registry binding of the synchronizer
+// telemetry (see EnableSyncStats).
+type shardSyncStats struct {
+	windows *Counter
+	envIn   *Counter
+	envOut  *Counter
+	horizon *Gauge
+	lag     *Gauge
 }
 
 // NewGroup builds a synchronizer over the given shard engines. lookahead is
@@ -51,11 +82,91 @@ func NewGroup(lookahead Time, engines ...*Engine) *Group {
 		panic("sim: parallel group needs at least one engine")
 	}
 	return &Group{
-		lookahead: lookahead,
-		engines:   engines,
-		seqs:      make([]uint64, len(engines)),
-		outbox:    make([][]groupEnv, len(engines)),
+		lookahead:  lookahead,
+		engines:    engines,
+		seqs:       make([]uint64, len(engines)),
+		outbox:     make([][]groupEnv, len(engines)),
+		ranWindows: make([]uint64, len(engines)),
+		envIn:      make([]uint64, len(engines)),
+		envOut:     make([]uint64, len(engines)),
 	}
+}
+
+// EnableSyncStats registers the synchronizer's telemetry as instruments in
+// the given per-shard registries (regs[i] belongs to shard i) under the
+// "fpga<i>.sync." prefix: windows executed, envelopes merged in and sent
+// out, the current window horizon, and the shard's lag behind that horizon.
+// Values are refreshed at every window barrier. Note that a report folding
+// these registries will then differ from a serial run's (a serial engine has
+// no windows), so the feature is opt-in — see core.Config.SyncMetrics.
+func (g *Group) EnableSyncStats(regs []*Stats) {
+	if len(regs) != len(g.engines) {
+		panic(fmt.Sprintf("sim: EnableSyncStats got %d registries for %d shards", len(regs), len(g.engines)))
+	}
+	g.syncStats = make([]shardSyncStats, len(regs))
+	for i, s := range regs {
+		prefix := fmt.Sprintf("fpga%d.sync.", i)
+		g.syncStats[i] = shardSyncStats{
+			windows: s.Counter(prefix + "windows"),
+			envIn:   s.Counter(prefix + "envelopes_in"),
+			envOut:  s.Counter(prefix + "envelopes_out"),
+			horizon: s.Gauge(prefix + "horizon"),
+			lag:     s.Gauge(prefix + "lag"),
+		}
+	}
+}
+
+// flushSyncStats assigns the current telemetry into the bound registries.
+// Assignment (not accumulation) keeps it idempotent; it runs only at
+// barriers, where the coordinator owns every shard registry.
+func (g *Group) flushSyncStats() {
+	for i := range g.syncStats {
+		ss := &g.syncStats[i]
+		ss.windows.Value = g.ranWindows[i]
+		ss.envIn.Value = g.envIn[i]
+		ss.envOut.Value = g.envOut[i]
+		ss.horizon.Set(int64(g.horizon))
+		lag := int64(0)
+		if le := g.engines[i].LastEventTime(); g.horizon > 0 && g.horizon-1 > le {
+			lag = int64(g.horizon - 1 - le)
+		}
+		ss.lag.Set(lag)
+	}
+}
+
+// ShardSync is one shard's synchronizer state, captured at a barrier.
+type ShardSync struct {
+	Shard     int    `json:"shard"`
+	Windows   uint64 `json:"windows"` // windows in which the shard ran work
+	EnvIn     uint64 `json:"env_in"`  // envelopes merged into the shard
+	EnvOut    uint64 `json:"env_out"` // envelopes the shard sent
+	LastEvent Time   `json:"last_event"`
+	Pending   int    `json:"pending"` // live events still queued
+	Lag       Time   `json:"lag"`     // cycles behind the window horizon
+}
+
+// SyncSnapshot captures the synchronizer's state: total windows, the current
+// horizon, and per-shard occupancy. It must only be called while the group
+// is quiescent (between windows — e.g. from OnBarrier — or before/after Run).
+func (g *Group) SyncSnapshot() (windows uint64, horizon Time, shards []ShardSync) {
+	shards = make([]ShardSync, len(g.engines))
+	for i, e := range g.engines {
+		le := e.LastEventTime()
+		var lag Time
+		if g.horizon > 0 && g.horizon-1 > le {
+			lag = g.horizon - 1 - le
+		}
+		shards[i] = ShardSync{
+			Shard:     i,
+			Windows:   g.ranWindows[i],
+			EnvIn:     g.envIn[i],
+			EnvOut:    g.envOut[i],
+			LastEvent: le,
+			Pending:   e.Pending(),
+			Lag:       lag,
+		}
+	}
+	return g.windows, g.horizon, shards
 }
 
 // Shards returns the number of shard engines.
@@ -81,6 +192,7 @@ func (g *Group) Send(src, dst int, deliverAt Time, fn func()) {
 			deliverAt, g.horizon, g.lookahead))
 	}
 	g.seqs[src]++
+	g.envOut[src]++
 	g.outbox[src] = append(g.outbox[src], groupEnv{
 		netEntry: netEntry{at: deliverAt, sent: g.engines[src].Now(), src: src, seq: g.seqs[src], fn: fn},
 		dst:      dst,
@@ -103,6 +215,7 @@ func (g *Group) inject() {
 	}
 	slices.SortFunc(all, func(a, b groupEnv) int { return netCmp(a.netEntry, b.netEntry) })
 	for i := range all {
+		g.envIn[all[i].dst]++
 		g.engines[all[i].dst].AtFront(all[i].at, all[i].fn)
 		all[i] = groupEnv{}
 	}
@@ -133,8 +246,9 @@ func (g *Group) StepWindow() bool {
 	g.horizon = t + g.lookahead
 	g.running = true
 	var wg sync.WaitGroup
-	for _, e := range g.engines {
+	for i, e := range g.engines {
 		if next, ok := e.NextEventTime(); ok && next < g.horizon {
+			g.ranWindows[i]++
 			wg.Add(1)
 			go func(e *Engine) {
 				defer wg.Done()
@@ -144,6 +258,13 @@ func (g *Group) StepWindow() bool {
 	}
 	wg.Wait()
 	g.running = false
+	g.windows++
+	if g.syncStats != nil {
+		g.flushSyncStats()
+	}
+	if g.OnBarrier != nil {
+		g.OnBarrier()
+	}
 	return true
 }
 

@@ -219,3 +219,107 @@ func TestSerialNetCanonicalOrder(t *testing.T) {
 		t.Fatalf("delivery order %v, want %v", order, want)
 	}
 }
+
+// TestGroupSyncTelemetry drives the cross-shard model and checks the
+// synchronizer's window/envelope accounting: SyncSnapshot at barriers and at
+// the end, and OnBarrier firing once per window while the group is quiescent.
+func TestGroupSyncTelemetry(t *testing.T) {
+	const la = Time(61)
+	m := &crossModel{la: la, log: make([][]string, 2)}
+	e0, e1 := NewEngine(), NewEngine()
+	g := NewGroup(la, e0, e1)
+	m.engs = []*Engine{e0, e1}
+	m.net = g
+	m.start(8)
+
+	barriers := 0
+	var lastWindows uint64
+	g.OnBarrier = func() {
+		barriers++
+		w, horizon, shards := g.SyncSnapshot()
+		if w != uint64(barriers) {
+			t.Errorf("barrier %d: windows = %d", barriers, w)
+		}
+		if w < lastWindows {
+			t.Errorf("windows went backwards: %d after %d", w, lastWindows)
+		}
+		lastWindows = w
+		if horizon == 0 {
+			t.Error("horizon not set at barrier")
+		}
+		if len(shards) != 2 {
+			t.Fatalf("got %d shard views, want 2", len(shards))
+		}
+		for _, s := range shards {
+			if s.LastEvent >= horizon {
+				t.Errorf("shard %d ran to %d, beyond horizon %d", s.Shard, s.LastEvent, horizon)
+			}
+		}
+	}
+	g.Run()
+
+	windows, _, shards := g.SyncSnapshot()
+	if barriers == 0 || uint64(barriers) != windows {
+		t.Fatalf("OnBarrier fired %d times for %d windows", barriers, windows)
+	}
+	var in, out uint64
+	for _, s := range shards {
+		if s.Windows == 0 {
+			t.Errorf("shard %d never ran a window", s.Shard)
+		}
+		if s.Pending != 0 {
+			t.Errorf("shard %d still has %d pending after drain", s.Shard, s.Pending)
+		}
+		in += s.EnvIn
+		out += s.EnvOut
+	}
+	// Every envelope sent was delivered: 8 rounds, both shards send each round.
+	if out == 0 || in != out {
+		t.Fatalf("envelope accounting: in %d, out %d", in, out)
+	}
+}
+
+// TestGroupEnableSyncStats checks the opt-in registry mirror: after a run the
+// per-shard registries carry the fpga<i>.sync.* instruments with values that
+// match SyncSnapshot.
+func TestGroupEnableSyncStats(t *testing.T) {
+	const la = Time(61)
+	m := &crossModel{la: la, log: make([][]string, 2)}
+	e0, e1 := NewEngine(), NewEngine()
+	g := NewGroup(la, e0, e1)
+	m.engs = []*Engine{e0, e1}
+	m.net = g
+	regs := []*Stats{{}, {}}
+	g.EnableSyncStats(regs)
+	m.start(6)
+	g.Run()
+
+	_, _, shards := g.SyncSnapshot()
+	for i, reg := range regs {
+		prefix := fmt.Sprintf("fpga%d.sync.", i)
+		if got := reg.Get(prefix + "windows"); got != shards[i].Windows {
+			t.Errorf("shard %d windows counter = %d, snapshot says %d", i, got, shards[i].Windows)
+		}
+		if got := reg.Get(prefix + "envelopes_in"); got != shards[i].EnvIn {
+			t.Errorf("shard %d env_in counter = %d, snapshot says %d", i, got, shards[i].EnvIn)
+		}
+		if got := reg.Get(prefix + "envelopes_out"); got != shards[i].EnvOut {
+			t.Errorf("shard %d env_out counter = %d, snapshot says %d", i, got, shards[i].EnvOut)
+		}
+		if h, ok := reg.GaugeValue(prefix + "horizon"); !ok || h == 0 {
+			t.Errorf("shard %d horizon gauge = %d,%v", i, h, ok)
+		}
+		if _, ok := reg.GaugeValue(prefix + "lag"); !ok {
+			t.Errorf("shard %d lag gauge missing", i)
+		}
+	}
+	// Mismatched registry count is a wiring bug and must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EnableSyncStats with wrong registry count did not panic")
+			}
+		}()
+		NewGroup(la, NewEngine(), NewEngine()).EnableSyncStats([]*Stats{{}})
+	}()
+}

@@ -27,6 +27,19 @@ type Sampler struct {
 	rows     []SampleRow
 	lastExec uint64
 	stopped  bool
+
+	// maxRows, when positive, caps the retained time series: once reached,
+	// each new row overwrites the oldest (start marks the ring head). The
+	// default (0) keeps every row, preserving historical behavior.
+	maxRows int
+	start   int
+
+	// OnRow, when non-nil, is invoked with each freshly taken row, after it
+	// has been recorded. It runs inside the sampler's own tick event on the
+	// simulation goroutine, so it may read simulation state freely but must
+	// not schedule events or block — the observability layer uses it to hand
+	// rows to its snapshot mailbox and SSE stream.
+	OnRow func(SampleRow)
 }
 
 // SampleRow is one snapshot: the cycle it was taken at and the sampled
@@ -48,11 +61,36 @@ func NewSampler(eng *Engine, stats *Stats, every Time, names ...string) *Sampler
 	return s
 }
 
+// SetMaxRows caps the retained time series at n rows: once full, each new
+// sample overwrites the oldest (a ring buffer), so an indefinitely running
+// sampler — a long -serve session, a numa48-scale run — holds bounded memory.
+// n <= 0 restores the default unbounded behavior. Call it before the series
+// wraps; shrinking an already-wrapped series is not supported.
+func (s *Sampler) SetMaxRows(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxRows = n
+}
+
+// MaxRows returns the ring-buffer cap (0 = unbounded).
+func (s *Sampler) MaxRows() int { return s.maxRows }
+
 // Names returns the sampled column names.
 func (s *Sampler) Names() []string { return s.names }
 
-// Rows returns the recorded time series.
-func (s *Sampler) Rows() []SampleRow { return s.rows }
+// Rows returns the recorded time series in chronological order. When the
+// ring-buffer cap has dropped old rows, the slice starts at the oldest
+// retained row.
+func (s *Sampler) Rows() []SampleRow {
+	if s.start == 0 {
+		return s.rows
+	}
+	out := make([]SampleRow, 0, len(s.rows))
+	out = append(out, s.rows[s.start:]...)
+	out = append(out, s.rows[:s.start]...)
+	return out
+}
 
 // Every returns the sampling interval in cycles.
 func (s *Sampler) Every() Time { return s.every }
@@ -68,7 +106,15 @@ func (s *Sampler) tick() {
 	for i, n := range s.names {
 		row.Values[i] = s.sample(n)
 	}
-	s.rows = append(s.rows, row)
+	if s.maxRows > 0 && len(s.rows) >= s.maxRows {
+		s.rows[s.start] = row
+		s.start = (s.start + 1) % len(s.rows)
+	} else {
+		s.rows = append(s.rows, row)
+	}
+	if s.OnRow != nil {
+		s.OnRow(row)
+	}
 	// Quiesce detection: if only our own tick executed since the last one,
 	// the simulation is idle; re-arming would keep Engine.Run alive forever.
 	exec := s.eng.Executed()
@@ -105,7 +151,7 @@ func (s *Sampler) CSV() string {
 		b.WriteString(n)
 	}
 	b.WriteByte('\n')
-	for _, r := range s.rows {
+	for _, r := range s.Rows() {
 		fmt.Fprintf(&b, "%d", r.At)
 		for _, v := range r.Values {
 			fmt.Fprintf(&b, ",%d", v)
@@ -117,8 +163,9 @@ func (s *Sampler) CSV() string {
 
 // MarshalJSON renders {"every":N,"names":[...],"rows":[[cycle,v0,v1,...],...]}.
 func (s *Sampler) MarshalJSON() ([]byte, error) {
-	rows := make([][]uint64, len(s.rows))
-	for i, r := range s.rows {
+	ordered := s.Rows()
+	rows := make([][]uint64, len(ordered))
+	for i, r := range ordered {
 		row := make([]uint64, 0, len(r.Values)+1)
 		row = append(row, uint64(r.At))
 		row = append(row, r.Values...)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -129,5 +130,86 @@ func TestSamplerDefaultInterval(t *testing.T) {
 	sm := NewSampler(eng, &s, 0)
 	if sm.Every() != 1000 {
 		t.Fatalf("default interval = %d, want 1000", sm.Every())
+	}
+}
+
+// TestSamplerRingBuffer checks the MaxRows cap: the series stays bounded,
+// drops the oldest rows, and Rows/CSV/JSON all present the retained window
+// in chronological order.
+func TestSamplerRingBuffer(t *testing.T) {
+	eng := NewEngine()
+	var s Stats
+	sampledWorkload(eng, &s, 200)
+	sm := NewSampler(eng, &s, 10, "node0.mesh.noc1.flits")
+	sm.SetMaxRows(5)
+	if sm.MaxRows() != 5 {
+		t.Fatalf("MaxRows = %d, want 5", sm.MaxRows())
+	}
+	eng.Run()
+
+	rows := sm.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5 (ring cap)", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].At <= rows[i-1].At {
+			t.Fatalf("rows not chronological after wrap: %d then %d", rows[i-1].At, rows[i].At)
+		}
+	}
+	// The retained window must be the LAST five samples of the run: the
+	// unbounded reference run tells us what those are.
+	ref := NewEngine()
+	var rs Stats
+	sampledWorkload(ref, &rs, 200)
+	rm := NewSampler(ref, &rs, 10, "node0.mesh.noc1.flits")
+	ref.Run()
+	all := rm.Rows()
+	want := all[len(all)-5:]
+	for i := range want {
+		if rows[i].At != want[i].At || rows[i].Values[0] != want[i].Values[0] {
+			t.Fatalf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+	// CSV and JSON go through Rows(), so they see the same ordered window.
+	csv := sm.CSV()
+	if !strings.Contains(csv, fmt.Sprintf("\n%d,", want[0].At)) {
+		t.Fatalf("CSV missing oldest retained row %d:\n%s", want[0].At, csv)
+	}
+	if strings.Contains(csv, fmt.Sprintf("\n%d,", all[0].At)) {
+		t.Fatalf("CSV still contains dropped row %d:\n%s", all[0].At, csv)
+	}
+}
+
+// TestSamplerUnboundedByDefault pins the compatibility contract: without
+// SetMaxRows every sample is retained (goldens embed full series).
+func TestSamplerUnboundedByDefault(t *testing.T) {
+	eng := NewEngine()
+	var s Stats
+	sampledWorkload(eng, &s, 500)
+	sm := NewSampler(eng, &s, 10, "node0.mesh.noc1.flits")
+	eng.Run()
+	if n := len(sm.Rows()); n < 49 {
+		t.Fatalf("unbounded sampler kept %d rows, want ~50", n)
+	}
+}
+
+// TestSamplerOnRow checks the observability hook: each recorded row is also
+// handed to OnRow, in order, after being recorded.
+func TestSamplerOnRow(t *testing.T) {
+	eng := NewEngine()
+	var s Stats
+	sampledWorkload(eng, &s, 50)
+	sm := NewSampler(eng, &s, 10, "node0.mesh.noc1.flits")
+	var seen []Time
+	sm.OnRow = func(r SampleRow) { seen = append(seen, r.At) }
+	eng.Run()
+	rows := sm.Rows()
+	if len(seen) != len(rows) {
+		t.Fatalf("OnRow saw %d rows, sampler recorded %d", len(seen), len(rows))
+	}
+	for i, r := range rows {
+		if seen[i] != r.At {
+			t.Fatalf("OnRow order mismatch at %d: %d vs %d", i, seen[i], r.At)
+		}
 	}
 }

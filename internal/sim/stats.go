@@ -328,6 +328,63 @@ func (s *Stats) AddCounts(m map[string]uint64) {
 	}
 }
 
+// GaugeSnap is the immutable copy of a gauge inside a StatsSnapshot.
+type GaugeSnap struct {
+	Value int64 `json:"value"`
+	High  int64 `json:"high"`
+}
+
+// HistSnap is the immutable summary of a histogram inside a StatsSnapshot.
+type HistSnap struct {
+	Samples uint64  `json:"samples"`
+	Sum     uint64  `json:"sum"`
+	Min     uint64  `json:"min"`
+	Max     uint64  `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     uint64  `json:"p50"`
+	P95     uint64  `json:"p95"`
+	P99     uint64  `json:"p99"`
+}
+
+// StatsSnapshot is a point-in-time deep copy of a registry: plain maps with
+// no pointers back into the live instruments. The observability layer builds
+// snapshots at quiescent boundaries (sample ticks, window barriers) and hands
+// them to HTTP handlers, which may marshal them concurrently with the
+// simulation precisely because nothing in a snapshot aliases live state.
+// Untouched-histogram entries are omitted, matching MarshalJSON.
+type StatsSnapshot struct {
+	Counters   map[string]uint64    `json:"counters"`
+	Gauges     map[string]GaugeSnap `json:"gauges"`
+	Histograms map[string]HistSnap  `json:"histograms"`
+}
+
+// Snapshot deep-copies the registry. The caller must hold the simulation
+// quiescent (single-threaded engine, or a window barrier of the sharded one);
+// the returned snapshot is then safe to share across goroutines.
+func (s *Stats) Snapshot() *StatsSnapshot {
+	snap := &StatsSnapshot{
+		Counters:   make(map[string]uint64, len(s.counters)),
+		Gauges:     make(map[string]GaugeSnap, len(s.gauges)),
+		Histograms: make(map[string]HistSnap, len(s.hists)),
+	}
+	for name, c := range s.counters {
+		snap.Counters[name] = c.Value
+	}
+	for name, g := range s.gauges {
+		snap.Gauges[name] = GaugeSnap{Value: g.Value, High: g.High}
+	}
+	for name, h := range s.hists {
+		if h.Samples == 0 {
+			continue
+		}
+		snap.Histograms[name] = HistSnap{
+			Samples: h.Samples, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			Mean: h.Mean(), P50: h.P50(), P95: h.P95(), P99: h.P99(),
+		}
+	}
+	return snap
+}
+
 // Get returns the value of a counter, or zero if it was never touched.
 func (s *Stats) Get(name string) uint64 {
 	if c, ok := s.counters[name]; ok {
