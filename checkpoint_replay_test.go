@@ -1,0 +1,181 @@
+// Differential harness for replay checkpoints: a run that checkpoints
+// mid-flight and a run restored from that checkpoint must both be
+// byte-identical to the uninterrupted reference — same MetricsJSON, same
+// final time, same console output — in serial and sharded mode, with and
+// without a PCIe fault plan (so cuts land mid-retransmission).
+package smappic_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"smappic"
+	"smappic/internal/ckpt"
+	"smappic/internal/core"
+	"smappic/internal/rvasm"
+)
+
+// replayCfg is the configuration under test: multi-FPGA so the cut crosses
+// bridge and PCIe traffic.
+func replayCfg(t *testing.T, parallel int, faults string) smappic.Config {
+	t.Helper()
+	cfg := smappic.DefaultConfig(4, 1, 2)
+	cfg.Parallel = parallel
+	cfg.Seed = 42
+	if faults != "" {
+		var err error
+		cfg.Faults, err = smappic.ParseFaults(faults, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cfg
+}
+
+// replayOutcome captures everything a completed run must reproduce.
+func replayOutcome(t *testing.T, p *core.Prototype) diffOutcome {
+	t.Helper()
+	if !p.AllHalted() {
+		t.Fatal("harts did not halt")
+	}
+	m, err := p.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := uint64(0)
+	host := p.Host()
+	for n := 0; n < p.Cfg.TotalNodes(); n++ {
+		for _, ch := range host.Console(n) {
+			sum = sum*31 + uint64(ch)
+		}
+	}
+	return diffOutcome{metrics: m, cycles: p.Now(), checksum: sum}
+}
+
+// startReplayProto builds a prototype and loads the cross-node program.
+func startReplayProto(t *testing.T, cfg smappic.Config) *core.Prototype {
+	t.Helper()
+	p, err := core.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := rvasm.MustAssemble(smappic.ResetPC, diffProgram)
+	host := p.Host()
+	for n := 0; n < p.Cfg.TotalNodes(); n++ {
+		host.LoadProgram(n, prog)
+	}
+	p.Start()
+	return p
+}
+
+// TestReplayCheckpointRoundTrip checkpoints a RISC-V run at mid-run cycles,
+// restores each snapshot via deterministic replay, and requires the
+// continued run to match the uninterrupted reference byte for byte.
+func TestReplayCheckpointRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		parallel int
+		faults   string
+	}{
+		{"serial", 0, ""},
+		{"serial-faults", 0, pcieFaults},
+		{"sharded", 4, ""},
+		{"sharded-faults", 4, pcieFaults},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := replayCfg(t, tc.parallel, tc.faults)
+
+			cold := startReplayProto(t, cfg)
+			cold.RunUntilHalted(20_000_000)
+			want := replayOutcome(t, cold)
+
+			for _, at := range []smappic.Time{500, 2_000, want.cycles / 2} {
+				// Checkpointing run: pause at the cut, snapshot, continue.
+				// The pause itself must not perturb the result.
+				p := startReplayProto(t, cfg)
+				p.RunUntilHalted(at)
+				var buf bytes.Buffer
+				if err := p.Checkpoint(&buf); err != nil {
+					t.Fatalf("at=%d: Checkpoint: %v", at, err)
+				}
+				p.RunUntilHalted(20_000_000)
+				if got := replayOutcome(t, p); !bytes.Equal(got.metrics, want.metrics) ||
+					got.cycles != want.cycles || got.checksum != want.checksum {
+					t.Fatalf("at=%d: checkpointing run diverged from reference", at)
+				}
+
+				// Restored run: rebuild, replay to the cursor, continue.
+				r, snap, err := core.RestorePrototype(bytes.NewReader(buf.Bytes()), cfg)
+				if err != nil {
+					t.Fatalf("at=%d: RestorePrototype: %v", at, err)
+				}
+				prog := rvasm.MustAssemble(smappic.ResetPC, diffProgram)
+				host := r.Host()
+				for n := 0; n < r.Cfg.TotalNodes(); n++ {
+					host.LoadProgram(n, prog)
+				}
+				r.Start()
+				if err := r.Replay(snap); err != nil {
+					t.Fatalf("at=%d: Replay: %v", at, err)
+				}
+				r.RunUntilHalted(20_000_000)
+				got := replayOutcome(t, r)
+				if got.cycles != want.cycles {
+					t.Errorf("at=%d: final time %d, want %d", at, got.cycles, want.cycles)
+				}
+				if got.checksum != want.checksum {
+					t.Errorf("at=%d: console checksum %#x, want %#x", at, got.checksum, want.checksum)
+				}
+				if !bytes.Equal(got.metrics, want.metrics) {
+					t.Errorf("at=%d: MetricsJSON diverges:\n%s", at, firstDiff(got.metrics, want.metrics))
+				}
+			}
+		})
+	}
+}
+
+// TestReplayRejectsModeMismatch restores a serial snapshot into a sharded
+// build (and vice versa); both must be refused with a typed error.
+func TestReplayRejectsModeMismatch(t *testing.T) {
+	snapFor := func(parallel int) []byte {
+		cfg := replayCfg(t, parallel, "")
+		p := startReplayProto(t, cfg)
+		p.RunUntilHalted(2_000)
+		var buf bytes.Buffer
+		if err := p.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, tc := range []struct {
+		name    string
+		snapPar int
+		restPar int
+	}{
+		{"serial-into-sharded", 0, 4},
+		{"sharded-into-serial", 4, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := snapFor(tc.snapPar)
+			cfg := replayCfg(t, tc.restPar, "")
+			p, snap, err := core.RestorePrototype(bytes.NewReader(raw), cfg)
+			if err != nil {
+				t.Fatalf("RestorePrototype: %v", err)
+			}
+			prog := rvasm.MustAssemble(smappic.ResetPC, diffProgram)
+			host := p.Host()
+			for n := 0; n < p.Cfg.TotalNodes(); n++ {
+				host.LoadProgram(n, prog)
+			}
+			p.Start()
+			err = p.Replay(snap)
+			var me *ckpt.MismatchError
+			if !errors.As(err, &me) {
+				t.Fatalf("replay across engine modes: error %T (%v), want MismatchError", err, err)
+			}
+		})
+	}
+}

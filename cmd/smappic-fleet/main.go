@@ -15,10 +15,22 @@
 // just to regenerate reports — re-executes nothing. The aggregate report is
 // byte-identical for any worker count and any mix of fresh and cached jobs.
 //
+// -resume makes in-flight IS jobs periodically checkpoint their full
+// simulation state into the cache directory ( -checkpoint-every sets the
+// cadence) and lets a re-run pick interrupted jobs up mid-flight instead of
+// from cycle 0 — preemption-proof fleets: SIGKILL the campaign, run it
+// again, and the aggregate is byte-identical to an uninterrupted one.
+// -warm-start forks every IS sweep point from a shared boot+keygen prefix
+// snapshot, built once per prefix identity (faults/credits/latency
+// stripped; one per shape × seed × size) and cached, so each point
+// simulates only its own divergent suffix. Warm-started results carry their
+// own cache identity (warm_start is part of the job key).
+//
 // -v streams structured job lifecycle events (started, cache_hit,
-// stall_retry, done, failed, skipped) to stderr as they happen. -serve ADDR
-// additionally starts the live dashboard (internal/obs): the fleet job queue
-// at http://ADDR/, the same events over SSE at /api/events.
+// stall_retry, panic_retry, resumed, done, failed, skipped) to stderr as
+// they happen. -serve ADDR additionally starts the live dashboard
+// (internal/obs): the fleet job queue at http://ADDR/, the same events over
+// SSE at /api/events.
 package main
 
 import (
@@ -48,6 +60,9 @@ func main() {
 	retries := flag.Int("retries", -1, "extra attempts after a watchdog stall (overrides the spec)")
 	verbose := flag.Bool("v", false, "stream job lifecycle events to stderr")
 	serve := flag.String("serve", "", "serve the live campaign dashboard on this address (e.g. 127.0.0.1:8080)")
+	resume := flag.Bool("resume", false, "checkpoint in-flight IS jobs into the cache and resume interrupted ones mid-run (needs -cache)")
+	ckptEvery := flag.Uint64("checkpoint-every", 250_000, "checkpoint cadence in simulated cycles (with -resume; spec checkpoint_every wins if set)")
+	warmStart := flag.Bool("warm-start", false, "fork IS sweep points from a shared boot+keygen prefix snapshot (changes job cache identity)")
 	flag.Parse()
 
 	if *list {
@@ -84,6 +99,16 @@ func main() {
 	if *retries >= 0 {
 		spec.Retries = *retries
 	}
+	if *resume && spec.CheckpointEvery == 0 {
+		spec.CheckpointEvery = *ckptEvery
+	}
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "smappic-fleet: -resume needs a cache directory (-cache)")
+		os.Exit(2)
+	}
+	if *warmStart {
+		spec.WarmStart = true
+	}
 
 	runner := &campaign.Runner{
 		Workers: *workers,
@@ -115,7 +140,7 @@ func main() {
 			if verbosef {
 				mu.Lock()
 				switch ev.Type {
-				case campaign.EventStallRetry:
+				case campaign.EventStallRetry, campaign.EventPanicRetry:
 					fmt.Fprintf(os.Stderr, "[%s] job %d/%d %s (attempt %d: %s)\n",
 						ev.Type, ev.Index, ev.Total, ev.Label, ev.Attempt, ev.Err)
 				case campaign.EventDone:

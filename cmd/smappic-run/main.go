@@ -47,7 +47,17 @@
 // -parallel N (N > 1) shards the simulation one-engine-per-FPGA under the
 // conservative lookahead synchronizer; results are bit-identical to the
 // default serial engine. The sharded engine does not support the
-// event-trace, sampler or watchdog extras.
+// event-trace or sampler extras; -watchdog works in both modes (sharded
+// runs check forward progress at window barriers and name the wedged
+// shard).
+//
+// -checkpoint FILE -checkpoint-at N writes a replay snapshot of the run at
+// cycle N and then continues to completion. -restore FILE rebuilds the same
+// configuration and deterministically replays to the snapshot's cursor
+// before continuing — the completed run is byte-identical to an
+// uninterrupted one, serial or sharded. Snapshots are integrity-checked
+// (format version plus SHA-256 footer); a corrupt, truncated or
+// wrong-configuration file is refused with a diagnostic, never a crash.
 //
 // -serve ADDR starts the live observability dashboard (internal/obs) on
 // ADDR for the duration of the run: open http://ADDR/ in a browser, or poll
@@ -68,6 +78,8 @@ import (
 	"time"
 
 	"smappic"
+	"smappic/internal/ckpt"
+	"smappic/internal/core"
 	"smappic/internal/obs"
 	"smappic/internal/rvasm"
 )
@@ -112,6 +124,9 @@ func main() {
 	publishEvery := flag.Uint64("publish-every", 100_000, "serial dashboard snapshot cadence in cycles (sharded runs publish at window barriers)")
 	serveHold := flag.Duration("serve-hold", 0, "keep the dashboard up this long after the run ends (outputs are written first)")
 	syncMetrics := flag.Bool("sync-metrics", false, "record per-shard synchronizer telemetry (fpga<i>.sync.*) in the metrics report; sharded runs only, makes the report differ from a serial run's")
+	checkpoint := flag.String("checkpoint", "", "write a replay snapshot to this file at -checkpoint-at cycles, then continue")
+	checkpointAt := flag.Uint64("checkpoint-at", 0, "simulated cycle at which to take the -checkpoint snapshot")
+	restore := flag.String("restore", "", "restore a replay snapshot from this file (same -shape/-faults/etc as the original run), then continue")
 	flag.Parse()
 
 	a, b, c, err := smappic.ParseShape(*shape)
@@ -132,10 +147,31 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.WatchdogInterval = smappic.Time(*watchdog)
-	proto, err := smappic.Build(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if *checkpoint != "" && *checkpointAt == 0 {
+		fmt.Fprintln(os.Stderr, "smappic-run: -checkpoint needs -checkpoint-at N")
 		os.Exit(1)
+	}
+
+	var proto *smappic.Prototype
+	var restored *ckpt.Snapshot
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		proto, restored, err = core.RestorePrototype(f, cfg)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smappic-run: cannot restore %s: %v\n", *restore, err)
+			os.Exit(1)
+		}
+	} else {
+		proto, err = smappic.Build(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	source := helloProgram
@@ -194,6 +230,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dashboard: http://%s/\n", addr)
 	}
 	proto.Start()
+	if restored != nil {
+		// Deterministic re-execution to the snapshot cursor: the program is
+		// loaded and the engine replays exactly the recorded event count.
+		if err := proto.Replay(restored); err != nil {
+			fmt.Fprintf(os.Stderr, "smappic-run: replay of %s failed: %v\n", *restore, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "restored %s at cycle %d\n", *restore, proto.Now())
+	}
+	if *checkpoint != "" {
+		proto.RunUntilHalted(smappic.Time(*checkpointAt))
+		f, err := os.Create(*checkpoint)
+		if err == nil {
+			err = proto.Checkpoint(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint %s written at cycle %d\n", *checkpoint, proto.Now())
+	}
 	if srv != nil {
 		proto.RunUntilHaltedObserved(smappic.Time(*maxCycles), smappic.Time(*publishEvery), srv.Publish)
 		srv.Flush()

@@ -38,6 +38,13 @@ func (s *Shaper) SetStats(stats *sim.Stats, name string) {
 	s.cBytes = stats.Counter(name + ".shaped_bytes")
 }
 
+// Busy returns the bandwidth-reservation clock, the shaper's only mutable
+// state (for checkpoint capture).
+func (s *Shaper) Busy() sim.Time { return s.busy }
+
+// SetBusy restores the bandwidth-reservation clock from a checkpoint.
+func (s *Shaper) SetBusy(t sim.Time) { s.busy = t }
+
 func (s *Shaper) delay(n int) sim.Time {
 	d := s.ExtraLatency
 	s.cBytes.Add(uint64(n))

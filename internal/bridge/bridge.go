@@ -17,8 +17,10 @@ package bridge
 
 import (
 	"fmt"
+	"sort"
 
 	"smappic/internal/axi"
+	"smappic/internal/ckpt"
 	"smappic/internal/fault"
 	"smappic/internal/noc"
 	"smappic/internal/sim"
@@ -82,6 +84,7 @@ type Bridge struct {
 	stats  *sim.Stats
 	name   string
 	out    axi.Target
+	shaper *axi.Shaper // non-nil when Params request link shaping
 	addrOf func(dstNode int) axi.Addr
 
 	credits    map[int]int       // send credits per destination node
@@ -189,6 +192,7 @@ func (b *Bridge) ConnectOut(out axi.Target, addrOf func(dstNode int) axi.Addr) {
 	if b.p.ExtraLatency > 0 || b.p.BytesPerCycle > 0 {
 		sh := axi.NewShaper(b.eng, out, b.p.ExtraLatency, b.p.BytesPerCycle)
 		sh.SetStats(b.stats, b.name+".shaper")
+		b.shaper = sh
 		out = sh
 	}
 	b.out = out
@@ -389,6 +393,78 @@ func (b *Bridge) drain(dst int) {
 		b.hCreditWait.Observe(uint64(b.eng.Now() - st.at))
 		b.credits[dst] -= st.env.Flits
 		b.transmit(st.env)
+	}
+}
+
+// CaptureState records the bridge's credit bookkeeping, keyed by peer node.
+// The send queue, outstanding credit reads and the reconciliation watchdog
+// must be idle (quiescence check): a stalled packet is an in-flight NoC
+// transfer and cannot be captured at the bridge layer.
+func (b *Bridge) CaptureState() (ckpt.BridgeState, error) {
+	if b.nStalled != 0 {
+		return ckpt.BridgeState{}, fmt.Errorf("bridge: %s has %d packets stalled on credits; not at a quiescent safepoint", b.name, b.nStalled)
+	}
+	for dst, outstanding := range b.creditRead {
+		if outstanding {
+			return ckpt.BridgeState{}, fmt.Errorf("bridge: %s has an outstanding credit read toward node %d; not at a quiescent safepoint", b.name, dst)
+		}
+	}
+	peers := make(map[int]struct{})
+	for d := range b.credits {
+		peers[d] = struct{}{}
+	}
+	for d := range b.returned {
+		peers[d] = struct{}{}
+	}
+	for d := range b.freed {
+		peers[d] = struct{}{}
+	}
+	for d := range b.freedTotal {
+		peers[d] = struct{}{}
+	}
+	for d := range b.crFails {
+		peers[d] = struct{}{}
+	}
+	for d := range b.wedged {
+		peers[d] = struct{}{}
+	}
+	var st ckpt.BridgeState
+	for d := range peers {
+		cr, ok := b.credits[d]
+		if !ok {
+			cr = b.p.CreditsPerDst
+		}
+		st.Dsts = append(st.Dsts, ckpt.BridgeDstState{
+			Dst:        d,
+			Credits:    cr,
+			Returned:   b.returned[d],
+			Freed:      uint64(b.freed[d]),
+			FreedTotal: b.freedTotal[d],
+			CrFails:    b.crFails[d],
+			Wedged:     b.wedged[d],
+		})
+	}
+	sort.Slice(st.Dsts, func(i, j int) bool { return st.Dsts[i].Dst < st.Dsts[j].Dst })
+	if b.shaper != nil {
+		st.ShaperBusy = uint64(b.shaper.Busy())
+	}
+	return st, nil
+}
+
+// RestoreState overlays captured credit bookkeeping onto a fresh bridge.
+func (b *Bridge) RestoreState(st ckpt.BridgeState) {
+	for _, d := range st.Dsts {
+		b.credits[d.Dst] = d.Credits
+		b.returned[d.Dst] = d.Returned
+		b.freed[d.Dst] = int(d.Freed)
+		b.freedTotal[d.Dst] = d.FreedTotal
+		b.crFails[d.Dst] = d.CrFails
+		if d.Wedged {
+			b.wedged[d.Dst] = true
+		}
+	}
+	if b.shaper != nil {
+		b.shaper.SetBusy(sim.Time(st.ShaperBusy))
 	}
 }
 

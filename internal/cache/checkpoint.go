@@ -1,0 +1,125 @@
+// Checkpoint capture/restore for the cache hierarchy. State snapshots are
+// taken at quiescent safepoints (event queue drained, all threads parked at
+// a barrier cut), where every protocol transaction has completed: the BPC
+// MSHRs, the home's line locks, queued requests and outstanding memory
+// fetches are all empty. Capture checks that instead of assuming it — a
+// non-quiescent capture would silently drop in-flight transactions.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"smappic/internal/ckpt"
+)
+
+// captureSetAssoc copies a tag array into snapshot form.
+func captureSetAssoc(c *setAssoc) ckpt.SetAssocState {
+	st := ckpt.SetAssocState{Tick: c.tick, Sets: make([][]ckpt.WayState, len(c.sets))}
+	for i, set := range c.sets {
+		ways := make([]ckpt.WayState, len(set))
+		for j, w := range set {
+			ways[j] = ckpt.WayState{Line: w.line, State: uint8(w.st), Dirty: w.dirty, LRU: w.lru}
+		}
+		st.Sets[i] = ways
+	}
+	return st
+}
+
+// restoreSetAssoc overlays a captured tag array, verifying the geometry
+// matches the built one (a snapshot from a different cache configuration
+// must be refused, not silently reshaped).
+func restoreSetAssoc(c *setAssoc, st ckpt.SetAssocState, what string) error {
+	if len(st.Sets) != len(c.sets) {
+		return &ckpt.MismatchError{Field: what + " set count",
+			Got: fmt.Sprint(len(st.Sets)), Want: fmt.Sprint(len(c.sets))}
+	}
+	for i, ways := range st.Sets {
+		if len(ways) != len(c.sets[i]) {
+			return &ckpt.MismatchError{Field: what + " associativity",
+				Got: fmt.Sprint(len(ways)), Want: fmt.Sprint(len(c.sets[i]))}
+		}
+		for j, w := range ways {
+			if w.State > uint8(stModified) {
+				return &ckpt.CorruptError{Reason: fmt.Sprintf("%s way state %d out of range", what, w.State)}
+			}
+			c.sets[i][j] = way{line: w.Line, st: state(w.State), dirty: w.Dirty, lru: w.LRU}
+		}
+	}
+	c.tick = st.Tick
+	return nil
+}
+
+// CaptureState records the private stack's tag arrays into st. The MSHRs
+// and the stalled-access queue must be empty (quiescence check).
+func (c *Private) CaptureState(st *ckpt.TileState) error {
+	if len(c.mshrs) != 0 || len(c.blocked) != 0 {
+		return fmt.Errorf("cache: %s has %d outstanding misses and %d stalled accesses; not at a quiescent safepoint",
+			c.name, len(c.mshrs), len(c.blocked))
+	}
+	st.L1I = captureSetAssoc(c.l1i)
+	st.L1D = captureSetAssoc(c.l1d)
+	st.BPC = captureSetAssoc(c.bpc)
+	return nil
+}
+
+// RestoreState overlays captured tag arrays onto a freshly built stack.
+func (c *Private) RestoreState(st *ckpt.TileState) error {
+	if err := restoreSetAssoc(c.l1i, st.L1I, c.name+".l1i"); err != nil {
+		return err
+	}
+	if err := restoreSetAssoc(c.l1d, st.L1D, c.name+".l1d"); err != nil {
+		return err
+	}
+	return restoreSetAssoc(c.bpc, st.BPC, c.name+".bpc")
+}
+
+// CaptureState records the home slice's tag array, directory and monotonic
+// transaction-tag counter into st. The line locks, pending queues and
+// outstanding memory fetches must be empty (quiescence check).
+func (s *Slice) CaptureState(st *ckpt.TileState) error {
+	if len(s.busy) != 0 || len(s.pending) != 0 || len(s.memTags) != 0 || s.nq != 0 {
+		return fmt.Errorf("cache: %s has in-flight transactions (%d busy, %d queued, %d memory fetches); not at a quiescent safepoint",
+			s.name, len(s.busy), s.nq, len(s.memTags))
+	}
+	st.LLC = captureSetAssoc(s.tags)
+	st.NextTag = s.nextTag
+	st.Dir = make([]ckpt.DirEntry, 0, len(s.dir))
+	for line, e := range s.dir {
+		de := ckpt.DirEntry{
+			Line:  line,
+			State: uint8(e.st),
+			Owner: ckpt.GIDState{Node: e.owner.Node, Tile: e.owner.Tile},
+		}
+		for _, g := range e.sortedSharers() {
+			de.Sharers = append(de.Sharers, ckpt.GIDState{Node: g.Node, Tile: g.Tile})
+		}
+		st.Dir = append(st.Dir, de)
+	}
+	sort.Slice(st.Dir, func(i, j int) bool { return st.Dir[i].Line < st.Dir[j].Line })
+	return nil
+}
+
+// RestoreState overlays a captured home slice onto a freshly built one.
+func (s *Slice) RestoreState(st *ckpt.TileState) error {
+	if err := restoreSetAssoc(s.tags, st.LLC, s.name); err != nil {
+		return err
+	}
+	s.nextTag = st.NextTag
+	s.dir = make(map[uint64]*dirEntry, len(st.Dir))
+	for _, de := range st.Dir {
+		if de.State > uint8(dirE) {
+			return &ckpt.CorruptError{Reason: fmt.Sprintf("%s directory state %d out of range", s.name, de.State)}
+		}
+		e := &dirEntry{
+			st:      dirState(de.State),
+			owner:   GID{Node: de.Owner.Node, Tile: de.Owner.Tile},
+			sharers: make(map[GID]struct{}, len(de.Sharers)),
+		}
+		for _, g := range de.Sharers {
+			e.sharers[GID{Node: g.Node, Tile: g.Tile}] = struct{}{}
+		}
+		s.dir[de.Line] = e
+	}
+	return nil
+}

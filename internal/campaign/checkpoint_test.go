@@ -1,0 +1,331 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"smappic/internal/ckpt"
+)
+
+// isParams is a small real-simulation IS job used by the checkpoint tests.
+func isParams() Params {
+	return Params{
+		Shape:    "1x1x2",
+		Workload: WorkloadIS,
+		Homing:   HomingRegion,
+		NUMA:     true,
+		Seed:     3,
+		Keys:     1 << 10,
+	}
+}
+
+// resultBytes renders a Result for byte comparison, with the runner-owned
+// Attempts field masked out.
+func resultBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	c := *r
+	c.Attempts = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestExecuteRecoversPanic wedges an IS job (hang fault, no watchdog) so the
+// kernel's Join panics on a drained queue, and requires ExecuteWithOpts to
+// convert that into a typed, retryable PanicError instead of crashing.
+func TestExecuteRecoversPanic(t *testing.T) {
+	p := isParams()
+	p.Shape = "2x1x2" // multi-node, so the hang wedges real PCIe traffic
+	p.Faults = "pcie.*.hang:after=10"
+	_, err := Execute(context.Background(), p)
+	if !IsPanic(err) {
+		t.Fatalf("error %T (%v), want PanicError", err, err)
+	}
+	var pe *PanicError
+	errors.As(err, &pe)
+	if pe.Stack == "" {
+		t.Error("PanicError carries no stack trace")
+	}
+}
+
+// TestPanicRetriedThenSucceeds drives the runner's retry policy with an
+// executor that panics (as a recovered PanicError) once per job before
+// succeeding: every job must finish StatusRun on attempt 2 with a
+// panic_retry event in between.
+func TestPanicRetriedThenSucceeds(t *testing.T) {
+	spec := testSpec()
+	spec.Retries = 1
+	var mu sync.Mutex
+	failed := map[string]bool{}
+	var events []EventType
+	r := &Runner{
+		Workers: 2,
+		Exec: func(ctx context.Context, p Params) (*Result, error) {
+			mu.Lock()
+			first := !failed[p.Key()]
+			failed[p.Key()] = true
+			mu.Unlock()
+			if first {
+				return nil, &PanicError{Value: "injected", Stack: "stack"}
+			}
+			return fakeResult(p), nil
+		},
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev.Type)
+			mu.Unlock()
+		},
+	}
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 4 || res.Failed != 0 {
+		t.Fatalf("executed %d failed %d, want 4/0", res.Executed, res.Failed)
+	}
+	retries := 0
+	for _, out := range res.Jobs {
+		if out.Result.Attempts != 2 {
+			t.Errorf("job %s: %d attempts, want 2", out.Job.Params.Label(), out.Result.Attempts)
+		}
+	}
+	for _, ev := range events {
+		if ev == EventPanicRetry {
+			retries++
+		}
+	}
+	if retries != 4 {
+		t.Errorf("%d panic_retry events, want 4", retries)
+	}
+}
+
+// TestExecuteCheckpointResumeByteIdentical interrupts a checkpointing job by
+// construction — the periodic checkpoint file it leaves behind IS the state
+// of an interrupted run — and requires the resumed execution to reproduce
+// the cold run byte for byte, including metrics and cycle accounting.
+func TestExecuteCheckpointResumeByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	p := isParams()
+	cold, err := Execute(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ckptFile := filepath.Join(dir, "job.ckpt")
+	mid, err := ExecuteWithOpts(ctx, p, ExecuteOpts{CheckpointPath: ckptFile, CheckpointEvery: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, mid), resultBytes(t, cold)) {
+		t.Fatal("periodic checkpointing perturbed the result")
+	}
+	if _, err := os.Stat(ckptFile); err != nil {
+		t.Fatalf("no checkpoint file left behind: %v", err)
+	}
+
+	resumed, err := ExecuteWithOpts(ctx, p, ExecuteOpts{ResumeFrom: ckptFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, resumed), resultBytes(t, cold)) {
+		t.Fatal("resumed result diverges from the cold run")
+	}
+	if resumed.SimulatedCycles != cold.SimulatedCycles {
+		t.Errorf("resume changed SimulatedCycles: %d vs %d (resume must not re-base accounting)",
+			resumed.SimulatedCycles, cold.SimulatedCycles)
+	}
+}
+
+// TestRunnerResumesFromCheckpointFile plants an interrupted job's checkpoint
+// in the cache directory and verifies the runner picks it up (resumed
+// event), completes it, serves a byte-identical result, and cleans the file
+// up on success. A corrupt checkpoint must be discarded — cold restart —
+// without failing the job or burning a retry attempt.
+func TestRunnerResumesFromCheckpointFile(t *testing.T) {
+	ctx := context.Background()
+	spec := Spec{
+		Name:            "resume",
+		Shapes:          []string{"1x1x2"},
+		Workloads:       []string{WorkloadIS},
+		NUMA:            []bool{true},
+		Seeds:           []uint64{3},
+		Keys:            1 << 10,
+		CheckpointEvery: 10_000,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := jobs[0].Params // the exact params (with defaults) the runner will key by
+	cold, err := Execute(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRunner := func(dir string, events *[]EventType) *Runner {
+		cache, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		return &Runner{Cache: cache, OnEvent: func(ev Event) {
+			mu.Lock()
+			*events = append(*events, ev.Type)
+			mu.Unlock()
+		}}
+	}
+	sawEvent := func(events []EventType, want EventType) bool {
+		for _, ev := range events {
+			if ev == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	t.Run("valid", func(t *testing.T) {
+		dir := t.TempDir()
+		// Fabricate the interruption: run once with checkpointing to get a
+		// real mid-run snapshot, then plant it where the runner looks.
+		ckptFile := filepath.Join(dir, p.Key()+".ckpt")
+		if _, err := ExecuteWithOpts(ctx, p, ExecuteOpts{CheckpointPath: ckptFile, CheckpointEvery: 10_000}); err != nil {
+			t.Fatal(err)
+		}
+		var events []EventType
+		res, err := newRunner(dir, &events).Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Executed != 1 || res.Failed != 0 {
+			t.Fatalf("executed %d failed %d, want 1/0", res.Executed, res.Failed)
+		}
+		if !sawEvent(events, EventResumed) {
+			t.Errorf("no resumed event; saw %v", events)
+		}
+		if !bytes.Equal(resultBytes(t, res.Jobs[0].Result), resultBytes(t, cold)) {
+			t.Error("resumed job result diverges from cold run")
+		}
+		if _, err := os.Stat(ckptFile); !os.IsNotExist(err) {
+			t.Error("checkpoint file not removed after success")
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		ckptFile := filepath.Join(dir, p.Key()+".ckpt")
+		if err := os.WriteFile(ckptFile, []byte("not a snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var events []EventType
+		res, err := newRunner(dir, &events).Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Executed != 1 || res.Failed != 0 {
+			t.Fatalf("executed %d failed %d, want 1/0", res.Executed, res.Failed)
+		}
+		if res.Jobs[0].Result.Attempts != 1 {
+			t.Errorf("cold restart after corrupt checkpoint burned attempts: %d", res.Jobs[0].Result.Attempts)
+		}
+		if !bytes.Equal(resultBytes(t, res.Jobs[0].Result), resultBytes(t, cold)) {
+			t.Error("job result after discarded checkpoint diverges from cold run")
+		}
+	})
+}
+
+// TestWarmStartForksAndSavesCycles runs the same job cold and warm-started:
+// the warm run must simulate strictly fewer cycles, produce the same sorted
+// output, and — for a fault-free default-bridge job, where the prefix
+// configuration equals the full configuration — the same metrics document.
+func TestWarmStartForksAndSavesCycles(t *testing.T) {
+	ctx := context.Background()
+	cold, err := Execute(ctx, isParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := isParams()
+	wp.WarmStart = true
+	warm, err := ExecuteWithOpts(ctx, wp, ExecuteOpts{}) // no path: prefix built in-process
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.SimulatedCycles >= cold.SimulatedCycles {
+		t.Errorf("warm start saved nothing: %d simulated cycles vs cold %d",
+			warm.SimulatedCycles, cold.SimulatedCycles)
+	}
+	if warm.Checksum != cold.Checksum || !warm.Sorted {
+		t.Errorf("warm output wrong: checksum %s sorted=%v, cold %s", warm.Checksum, warm.Sorted, cold.Checksum)
+	}
+	// Exact equality holds only on single-node shapes: the fork skips
+	// bridge/injector restore, so multi-node warm runs are
+	// result-identical but not cycle-identical to cold.
+	if warm.RunCycles != cold.RunCycles || !bytes.Equal(warm.Metrics, cold.Metrics) {
+		t.Error("fault-free warm run should equal the cold run's simulation exactly")
+	}
+	if warm.Key == cold.Key {
+		t.Error("warm_start does not change the cache key")
+	}
+}
+
+// TestRunnerWarmStartSharesPrefix runs a multi-seed warm-started sweep and
+// verifies the prefix snapshot is generated once in the cache directory,
+// every point succeeds, and its recorded prefix identity matches PrefixKey.
+func TestRunnerWarmStartSharesPrefix(t *testing.T) {
+	spec := Spec{
+		Name:      "warm",
+		Shapes:    []string{"1x1x2"},
+		Workloads: []string{WorkloadIS},
+		NUMA:      []bool{true},
+		Seeds:     []uint64{3},
+		Faults:    []string{"", "node0.bridge.delay:p=0.02,cycles=400"},
+		Keys:      1 << 10,
+		WarmStart: true,
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Workers: 2, Cache: cache}
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != len(jobs) || res.Failed != 0 {
+		t.Fatalf("executed %d failed %d, want %d/0", res.Executed, res.Failed, len(jobs))
+	}
+	// Both fault variants share one prefix identity (faults are excluded
+	// from the prefix), so exactly one warm-*.ckpt exists.
+	warmFiles, err := filepath.Glob(filepath.Join(dir, "warm-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warmFiles) != 1 {
+		t.Fatalf("%d warm prefix files, want 1: %v", len(warmFiles), warmFiles)
+	}
+	snap, err := ckpt.ReadFile(warmFiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.PrefixHash != jobs[0].Params.PrefixKey() {
+		t.Error("prefix snapshot's identity does not match PrefixKey")
+	}
+	for _, out := range res.Jobs {
+		if out.Result.SimulatedCycles >= out.Result.RunCycles {
+			t.Errorf("job %s: warm start simulated %d of %d cycles — no savings",
+				out.Job.Params.Label(), out.Result.SimulatedCycles, out.Result.RunCycles)
+		}
+	}
+}

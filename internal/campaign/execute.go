@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 
 	"smappic/internal/cache"
+	"smappic/internal/ckpt"
 	"smappic/internal/core"
 	"smappic/internal/fault"
 	"smappic/internal/kernel"
@@ -29,6 +31,14 @@ type Result struct {
 	Cycles    uint64  `json:"cycles"`
 	RunCycles uint64  `json:"run_cycles"`
 	Seconds   float64 `json:"seconds"` // Cycles at the prototype clock
+
+	// SimulatedCycles is how much simulated time this job actually had to
+	// execute: RunCycles for a cold run, RunCycles minus the shared prefix
+	// for a warm-started one. It depends only on Params (the prefix cut
+	// time is deterministic), so results stay byte-identical across cache
+	// states — and it is the number the warm-start savings are measured
+	// from.
+	SimulatedCycles uint64 `json:"simulated_cycles"`
 
 	// Checksum is the IS output hash (hex); empty for other workloads.
 	Checksum string `json:"checksum,omitempty"`
@@ -60,11 +70,28 @@ func (e *StallError) Error() string {
 	return "campaign: job stalled: " + first
 }
 
-// IsStall reports whether err is (or wraps) a watchdog stall — the one
-// failure class the runner retries.
+// IsStall reports whether err is (or wraps) a watchdog stall — one of the
+// failure classes the runner retries.
 func IsStall(err error) bool {
 	var s *StallError
 	return errors.As(err, &s)
+}
+
+// PanicError reports a job whose execution panicked. The executor recovers
+// the panic instead of taking the whole campaign down: one job's crash is
+// that job's failure, retryable like a stall, while the worker pool keeps
+// draining the rest of the sweep.
+type PanicError struct {
+	Value string // the panic value, rendered
+	Stack string // the goroutine stack at recovery
+}
+
+func (e *PanicError) Error() string { return "campaign: job panicked: " + e.Value }
+
+// IsPanic reports whether err is (or wraps) a recovered job panic.
+func IsPanic(err error) bool {
+	var p *PanicError
+	return errors.As(err, &p)
 }
 
 // stepBatch is how many events the executor runs between cancellation and
@@ -78,25 +105,38 @@ const stepBatch = 4096
 // recovered at the top of Execute.
 type aborted struct{ err error }
 
+// ExecuteOpts tune how a job is executed. None of them change what the job
+// computes: periodic checkpointing and crash resume reproduce the cold
+// run's result byte-for-byte, and the warm-start prefix is pinned into the
+// job's identity by Params.WarmStart, not by these knobs.
+type ExecuteOpts struct {
+	// CheckpointPath + CheckpointEvery enable periodic checkpointing (IS
+	// only): every CheckpointEvery simulated cycles the run cuts at the
+	// next phase barrier, writes a state snapshot to CheckpointPath, and
+	// continues from its own snapshot — so every written file is a
+	// self-tested restore.
+	CheckpointPath  string
+	CheckpointEvery uint64
+	// ResumeFrom, when set, starts the job from this state snapshot
+	// (written by a previous, interrupted execution of the same job).
+	ResumeFrom string
+	// WarmStartPath, for jobs with Params.WarmStart, is the shared prefix
+	// snapshot to fork from; empty makes the executor build the prefix
+	// in-process (correct but unshared).
+	WarmStartPath string
+}
+
 // Execute runs one job to completion and returns its Result. It honors
 // ctx cancellation and deadline between event slices, and returns a
 // *StallError when the job's watchdog detects a wedged simulation.
 // Execution is fully deterministic: equal Params produce byte-identical
 // Results (Attempts excluded; the runner owns it).
-func Execute(ctx context.Context, p Params) (res *Result, err error) {
-	if verr := p.Validate(); verr != nil {
-		return nil, verr
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			a, ok := r.(aborted)
-			if !ok {
-				panic(r)
-			}
-			res, err = nil, a.err
-		}
-	}()
+func Execute(ctx context.Context, p Params) (*Result, error) {
+	return ExecuteWithOpts(ctx, p, ExecuteOpts{})
+}
 
+// configFor derives the prototype configuration of a job.
+func configFor(p Params) (core.Config, error) {
 	a, b, c, _ := core.ParseShape(p.Shape)
 	cfg := core.DefaultConfig(a, b, c)
 	cfg.Core = core.CoreNone
@@ -107,37 +147,45 @@ func Execute(ctx context.Context, p Params) (res *Result, err error) {
 	}
 	cfg.Bridge.ExtraLatency = sim.Time(p.ExtraLatency)
 	cfg.WatchdogInterval = sim.Time(p.Watchdog)
+	var err error
 	cfg.Faults, err = fault.Parse(p.Faults, p.FaultSeed)
-	if err != nil {
-		return nil, err
+	return cfg, err
+}
+
+// ExecuteWithOpts is Execute with checkpoint/resume/warm-start policies.
+func ExecuteWithOpts(ctx context.Context, p Params, opts ExecuteOpts) (res *Result, err error) {
+	if verr := p.Validate(); verr != nil {
+		return nil, verr
 	}
-	proto, err := core.Build(cfg)
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := r.(aborted); ok {
+				res, err = nil, a.err
+				return
+			}
+			// Any other panic is a crashed job, not a crashed campaign:
+			// surface it as a retryable error with the stack preserved.
+			res, err = nil, &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+
+	cfg, err := configFor(p)
 	if err != nil {
 		return nil, err
 	}
 
-	drive := func() sim.Time { return driveEngine(ctx, proto, p.MaxCycles) }
-
+	var proto *core.Prototype
 	var cycles sim.Time
+	var simBase uint64
 	checksum := ""
 	sorted := false
 	switch p.Workload {
 	case WorkloadIS:
-		kc := kernel.DefaultConfig()
-		kc.NUMA = p.NUMA
-		k := kernel.New(proto, kc)
-		k.SetRunner(drive)
-		threads := p.Threads
-		if threads == 0 {
-			threads = len(k.AllHarts())
+		var r workload.ISResult
+		proto, r, simBase, err = runIS(ctx, p, cfg, opts)
+		if err != nil {
+			return nil, err
 		}
-		ip := workload.DefaultISParams(threads)
-		ip.Keys = p.Keys
-		ip.Seed = p.Seed
-		if p.ActiveNodes > 0 {
-			ip.Affinity = k.NodesHarts(p.ActiveNodes)
-		}
-		r := workload.RunIS(k, ip)
 		cycles = r.Cycles
 		checksum = fmt.Sprintf("%016x", r.Checksum)
 		sorted = r.Sorted
@@ -147,9 +195,17 @@ func Execute(ctx context.Context, p Params) (res *Result, err error) {
 		// Fig. 7 measurement (seq 1 keeps the probe line off the warmup
 		// line). MeasureLatency drains the engine itself; a watchdog, if
 		// armed, guarantees termination under injected hangs.
+		proto, err = core.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
 		cycles = proto.MeasureLatency(cache.GID{Node: 0, Tile: 0}, cache.GID{Node: 1, Tile: 0}, 1)
 
 	case WorkloadStores:
+		proto, err = core.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
 		port := proto.PortAt(cache.GID{Node: 0, Tile: 0})
 		remote := proto.Map.NodeDRAMBase(1) + 0x100000
 		done := false
@@ -161,7 +217,7 @@ func Execute(ctx context.Context, p Params) (res *Result, err error) {
 			cycles = proc.Now() - start
 			done = true
 		})
-		drive()
+		driveEngine(ctx, proto, p.MaxCycles)
 		if !done {
 			if proto.StallDiagnosis != "" {
 				return nil, &StallError{Diagnosis: proto.StallDiagnosis}
@@ -178,19 +234,186 @@ func Execute(ctx context.Context, p Params) (res *Result, err error) {
 		return nil, err
 	}
 	return &Result{
-		Label:     p.Label(),
-		Key:       p.Key(),
-		Params:    p,
-		Cycles:    uint64(cycles),
-		RunCycles: uint64(proto.Now()),
-		Seconds:   proto.Seconds(cycles),
-		Checksum:  checksum,
-		Sorted:    sorted,
-		Attempts:  1,
-		FPGAHours: proto.Seconds(proto.Now()) * float64(cfg.FPGAs) / 3600,
-		Stats:     proto.Stats.CounterSnapshot(),
-		Metrics:   metrics,
+		Label:           p.Label(),
+		Key:             p.Key(),
+		Params:          p,
+		Cycles:          uint64(cycles),
+		RunCycles:       uint64(proto.Now()),
+		SimulatedCycles: uint64(proto.Now()) - simBase,
+		Seconds:         proto.Seconds(cycles),
+		Checksum:        checksum,
+		Sorted:          sorted,
+		Attempts:        1,
+		FPGAHours:       proto.Seconds(proto.Now()) * float64(cfg.FPGAs) / 3600,
+		Stats:           proto.Stats.CounterSnapshot(),
+		Metrics:         metrics,
 	}, nil
+}
+
+// isSetup builds one IS execution: prototype, booted kernel with the
+// chunked ctx-aware runner installed, and resolved sort parameters.
+func isSetup(ctx context.Context, p Params, cfg core.Config) (*core.Prototype, *kernel.Kernel, workload.ISParams, error) {
+	proto, err := core.Build(cfg)
+	if err != nil {
+		return nil, nil, workload.ISParams{}, err
+	}
+	kc := kernel.DefaultConfig()
+	kc.NUMA = p.NUMA
+	k := kernel.New(proto, kc)
+	k.SetRunner(func() sim.Time { return driveEngine(ctx, proto, p.MaxCycles) })
+	threads := p.Threads
+	if threads == 0 {
+		threads = len(k.AllHarts())
+	}
+	ip := workload.DefaultISParams(threads)
+	ip.Keys = p.Keys
+	ip.Seed = p.Seed
+	if p.ActiveNodes > 0 {
+		ip.Affinity = k.NodesHarts(p.ActiveNodes)
+	}
+	return proto, k, ip, nil
+}
+
+// snapshotCut assembles and encodes the full state snapshot of a just-cut,
+// quiescent run.
+func snapshotCut(proto *core.Prototype, cfg core.Config, ic *workload.ISCut, prefixHash string) (*ckpt.Snapshot, error) {
+	st, err := proto.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	st.Kernel = ic.KernelState()
+	st.Workload = ic.WorkloadState()
+	return &ckpt.Snapshot{
+		Kind:       ckpt.KindState,
+		ConfigHash: cfg.ConfigHash(),
+		PrefixHash: prefixHash,
+		Workload:   proto.WorkloadTag,
+		Now:        uint64(proto.Now()),
+		State:      st,
+	}, nil
+}
+
+// BuildPrefix simulates the shared warm-start prefix of p — boot plus IS
+// key generation, cut at the first phase barrier, under the fault-free
+// default-bridge prefix configuration — and returns its snapshot, tagged
+// with p's PrefixKey.
+func BuildPrefix(ctx context.Context, p Params) (*ckpt.Snapshot, error) {
+	pp := p.prefixParams()
+	cfg, err := configFor(pp)
+	if err != nil {
+		return nil, err
+	}
+	proto, k, ip, err := isSetup(ctx, pp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cut := &workload.CutPlan{After: 1}
+	_, ic := workload.RunISCut(k, ip, cut)
+	if proto.StallDiagnosis != "" {
+		return nil, &StallError{Diagnosis: proto.StallDiagnosis}
+	}
+	if ic == nil {
+		return nil, fmt.Errorf("campaign: prefix run completed before its cut; nothing to fork")
+	}
+	return snapshotCut(proto, cfg, ic, p.PrefixKey())
+}
+
+// warmPrefix loads (or builds) the prefix snapshot a warm-started job
+// forks from.
+func warmPrefix(ctx context.Context, p Params, path string) (*ckpt.Snapshot, error) {
+	if path == "" {
+		return BuildPrefix(ctx, p)
+	}
+	snap, err := ckpt.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Kind != ckpt.KindState {
+		return nil, &ckpt.MismatchError{Field: "snapshot kind", Got: snap.Kind.String(), Want: ckpt.KindState.String()}
+	}
+	if snap.PrefixHash != p.PrefixKey() {
+		return nil, &ckpt.MismatchError{Field: "warm-start prefix", Got: snap.PrefixHash, Want: p.PrefixKey()}
+	}
+	return snap, nil
+}
+
+// runIS executes the IS workload under the checkpoint/resume/warm-start
+// policies. It returns the final prototype (quiescent, fully drained), the
+// sort result, and the simulated-cycle base (the warm prefix's cut time;
+// zero for cold and crash-resumed runs, whose accounting must match cold).
+func runIS(ctx context.Context, p Params, cfg core.Config, opts ExecuteOpts) (*core.Prototype, workload.ISResult, uint64, error) {
+	var overlay *ckpt.State
+	var warmFork bool
+	var simBase, startNow uint64
+
+	switch {
+	case p.WarmStart:
+		snap, err := warmPrefix(ctx, p, opts.WarmStartPath)
+		if err != nil {
+			return nil, workload.ISResult{}, 0, err
+		}
+		overlay, warmFork = snap.State, true
+		simBase, startNow = snap.Now, snap.Now
+	case opts.ResumeFrom != "":
+		snap, err := ckpt.ReadFile(opts.ResumeFrom)
+		if err != nil {
+			return nil, workload.ISResult{}, 0, err
+		}
+		if snap.Kind != ckpt.KindState {
+			return nil, workload.ISResult{}, 0, &ckpt.MismatchError{Field: "snapshot kind", Got: snap.Kind.String(), Want: ckpt.KindState.String()}
+		}
+		if snap.ConfigHash != cfg.ConfigHash() {
+			return nil, workload.ISResult{}, 0, &ckpt.MismatchError{Field: "configuration", Got: snap.ConfigHash, Want: cfg.ConfigHash()}
+		}
+		overlay, startNow = snap.State, snap.Now
+	}
+
+	for {
+		proto, k, ip, err := isSetup(ctx, p, cfg)
+		if err != nil {
+			return nil, workload.ISResult{}, 0, err
+		}
+		if overlay != nil {
+			if err := proto.ApplyState(overlay, warmFork); err != nil {
+				return nil, workload.ISResult{}, 0, err
+			}
+		}
+		var cut *workload.CutPlan
+		if opts.CheckpointEvery > 0 && opts.CheckpointPath != "" {
+			cut = &workload.CutPlan{After: sim.Time(startNow + opts.CheckpointEvery)}
+		}
+		var r workload.ISResult
+		var ic *workload.ISCut
+		if overlay != nil {
+			r, ic, err = workload.ResumeIS(k, ip, overlay.Kernel, overlay.Workload, cut)
+			if err != nil {
+				return nil, workload.ISResult{}, 0, err
+			}
+		} else {
+			r, ic = workload.RunISCut(k, ip, cut)
+		}
+		if proto.StallDiagnosis != "" {
+			return nil, workload.ISResult{}, 0, &StallError{Diagnosis: proto.StallDiagnosis}
+		}
+		if ic == nil {
+			return proto, r, simBase, nil
+		}
+		// Periodic checkpoint: persist the cut, then continue from our own
+		// file — the continuation doubles as a restore self-test, and a
+		// SIGKILL at any point leaves a usable snapshot behind.
+		snap, err := snapshotCut(proto, cfg, ic, "")
+		if err != nil {
+			return nil, workload.ISResult{}, 0, err
+		}
+		if err := snap.WriteFile(opts.CheckpointPath); err != nil {
+			return nil, workload.ISResult{}, 0, err
+		}
+		reread, err := ckpt.ReadFile(opts.CheckpointPath)
+		if err != nil {
+			return nil, workload.ISResult{}, 0, err
+		}
+		overlay, warmFork, startNow = reread.State, false, reread.Now
+	}
 }
 
 // driveEngine advances the serial engine to quiescence in stepBatch-event

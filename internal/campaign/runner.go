@@ -3,8 +3,12 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
+
+	"smappic/internal/ckpt"
 )
 
 // Status classifies how a job's slot in the campaign was filled.
@@ -35,6 +39,13 @@ const (
 	// EventStallRetry: an attempt hit a watchdog stall and the job is being
 	// retried; Attempt is the attempt that failed.
 	EventStallRetry EventType = "stall_retry"
+	// EventPanicRetry: an attempt panicked, the panic was recovered into a
+	// PanicError, and the job is being retried; Attempt is the attempt that
+	// failed.
+	EventPanicRetry EventType = "panic_retry"
+	// EventResumed: a checkpoint file from an interrupted run of this exact
+	// job was found; the job restarts from that snapshot instead of cycle 0.
+	EventResumed EventType = "resumed"
 	// EventDone: the job completed successfully; Cycles and Attempt are set.
 	EventDone EventType = "done"
 	// EventFailed: the job failed terminally; Err is set.
@@ -135,6 +146,39 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*CampaignResult, error) {
 		todo = append(todo, job)
 	}
 
+	// Warm-start prefixes are shared across every sweep point with the same
+	// (shape, workload) prefix identity. Build each missing one exactly once,
+	// serially, before the fan-out — so workers only ever fork, never race to
+	// generate the same prefix.
+	if r.Cache != nil && r.Exec == nil {
+		built := map[string]bool{}
+		for _, job := range todo {
+			if !job.Params.WarmStart {
+				continue
+			}
+			key := job.Params.PrefixKey()
+			if built[key] {
+				continue
+			}
+			built[key] = true
+			path := r.warmPath(job.Params)
+			if _, err := os.Stat(path); err == nil {
+				continue
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			snap, err := BuildPrefix(ctx, job.Params)
+			if err == nil {
+				err = snap.WriteFile(path)
+			}
+			if err != nil && r.Log != nil {
+				// Not fatal: the affected jobs build their prefix in-process.
+				r.Log("warm prefix %s: %v", key[:12], err)
+			}
+		}
+	}
+
 	workers := r.Workers
 	if workers <= 0 {
 		workers = 1
@@ -187,7 +231,23 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*CampaignResult, error) {
 	return res, nil
 }
 
-// runJob executes one job with the spec's timeout and stall-retry policy.
+// warmPath is where the shared warm-start prefix snapshot for p's prefix
+// identity lives in the cache directory.
+func (r *Runner) warmPath(p Params) string {
+	return filepath.Join(r.Cache.Dir(), "warm-"+p.PrefixKey()+".ckpt")
+}
+
+// ckptPath is where a job's in-flight periodic checkpoint lives. It is keyed
+// by the job's full identity, written during execution, and deleted on
+// success — so its existence means "this exact job was interrupted mid-run".
+func (r *Runner) ckptPath(p Params) string {
+	return filepath.Join(r.Cache.Dir(), p.Key()+".ckpt")
+}
+
+// runJob executes one job with the spec's timeout, retry, and
+// checkpoint/resume policy. Stalls and recovered panics are retryable; a
+// corrupt or version-skewed resume snapshot is discarded and the job
+// restarts cold without burning a retry attempt.
 func (r *Runner) runJob(ctx context.Context, job Job, spec Spec, total int) JobOutcome {
 	label := job.Params.Label()
 	if ctx.Err() != nil {
@@ -195,12 +255,30 @@ func (r *Runner) runJob(ctx context.Context, job Job, spec Spec, total int) JobO
 		return JobOutcome{Job: job, Status: StatusSkipped, Err: ctx.Err().Error()}
 	}
 	exec := r.Exec
+	var opts ExecuteOpts
+	ckptFile := ""
 	if exec == nil {
-		exec = Execute
+		if r.Cache != nil {
+			if job.Params.WarmStart {
+				if wp := r.warmPath(job.Params); fileExists(wp) {
+					opts.WarmStartPath = wp
+				}
+			}
+			if spec.CheckpointEvery > 0 && job.Params.Workload == WorkloadIS {
+				ckptFile = r.ckptPath(job.Params)
+				opts.CheckpointPath = ckptFile
+				opts.CheckpointEvery = spec.CheckpointEvery
+				if fileExists(ckptFile) {
+					opts.ResumeFrom = ckptFile
+					r.emit(Event{Type: EventResumed, Index: job.Index, Label: label, Total: total})
+				}
+			}
+		}
+		exec = func(c context.Context, p Params) (*Result, error) { return ExecuteWithOpts(c, p, opts) }
 	}
 	r.emit(Event{Type: EventStarted, Index: job.Index, Label: label, Total: total, Attempt: 1})
 	var lastErr error
-	for attempt := 1; attempt <= spec.Retries+1; attempt++ {
+	for attempt := 1; attempt <= spec.Retries+1; {
 		jctx := ctx
 		cancel := context.CancelFunc(func() {})
 		if spec.TimeoutSec > 0 {
@@ -210,6 +288,9 @@ func (r *Runner) runJob(ctx context.Context, job Job, spec Spec, total int) JobO
 		cancel()
 		if err == nil {
 			result.Attempts = attempt
+			if ckptFile != "" {
+				os.Remove(ckptFile)
+			}
 			if r.Cache != nil {
 				if cerr := r.Cache.Put(result); cerr != nil && r.Log != nil {
 					r.Log("job %d: cache write failed: %v", job.Index, cerr)
@@ -220,24 +301,47 @@ func (r *Runner) runJob(ctx context.Context, job Job, spec Spec, total int) JobO
 			return JobOutcome{Job: job, Status: StatusRun, Result: result}
 		}
 		lastErr = err
-		// Retry only watchdog stalls: a stall under injected faults is
-		// the one failure mode where another attempt is meaningful
-		// policy (and what the retry budget exists for). Cancellations
-		// and timeouts burn no further attempts.
-		if !IsStall(err) || ctx.Err() != nil {
+		if opts.ResumeFrom != "" && ckpt.IsSnapshotError(err) {
+			// The resume snapshot is corrupt, truncated, or from another
+			// format version — a bad file, not a bad job. Discard it and
+			// restart cold; this costs no retry attempt.
+			os.Remove(ckptFile)
+			opts.ResumeFrom = ""
+			if r.Log != nil {
+				r.Log("job %d %s: discarding unusable checkpoint: %v", job.Index, label, err)
+			}
+			continue
+		}
+		// Retry watchdog stalls and recovered panics: the failure modes
+		// where another attempt is meaningful policy (and what the retry
+		// budget exists for). Cancellations and timeouts burn no further
+		// attempts.
+		if (!IsStall(err) && !IsPanic(err)) || ctx.Err() != nil {
 			break
 		}
 		if attempt <= spec.Retries {
-			r.emit(Event{Type: EventStallRetry, Index: job.Index, Label: label, Total: total,
+			typ := EventStallRetry
+			if IsPanic(err) {
+				typ = EventPanicRetry
+			}
+			r.emit(Event{Type: typ, Index: job.Index, Label: label, Total: total,
 				Attempt: attempt, Err: err.Error()})
 		}
+		attempt++
 	}
-	if ctx.Err() != nil && !IsStall(lastErr) {
+	if ctx.Err() != nil && !IsStall(lastErr) && !IsPanic(lastErr) {
 		// The campaign was cancelled out from under the job; it never
-		// completed, so it stays resumable rather than failed.
+		// completed, so it stays resumable rather than failed. Any periodic
+		// checkpoint it wrote stays on disk for the resumed campaign.
 		r.emit(Event{Type: EventSkipped, Index: job.Index, Label: label, Total: total, Err: lastErr.Error()})
 		return JobOutcome{Job: job, Status: StatusSkipped, Err: lastErr.Error()}
 	}
 	r.emit(Event{Type: EventFailed, Index: job.Index, Label: label, Total: total, Err: fmt.Sprintf("%v", lastErr)})
 	return JobOutcome{Job: job, Status: StatusFailed, Err: fmt.Sprintf("%v", lastErr)}
+}
+
+// fileExists reports whether path names an existing file.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }

@@ -72,12 +72,19 @@ type Params struct {
 	// Watchdog arms the forward-progress watchdog with this window; a job
 	// that trips it fails with ErrStalled and is eligible for retry.
 	Watchdog uint64 `json:"watchdog"`
+	// WarmStart forks the run from a shared boot+keygen prefix snapshot
+	// instead of simulating the prefix again (IS only). A warm-started
+	// job's prefix ran under fault-free, default-bridge conditions, so its
+	// result can differ from the cold run of the same point when fork-time
+	// knobs (faults, credits, shaping) are set; the flag is therefore part
+	// of the job's identity and cache key.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // cacheVersion salts the content hash; bump it whenever the executor or the
 // Result encoding changes meaning, so stale cache entries miss instead of
 // poisoning new runs.
-const cacheVersion = "campaign-v1"
+const cacheVersion = "campaign-v2"
 
 // Key returns the content address of the job: a hash of the canonical JSON
 // encoding of the fully resolved parameters.
@@ -87,6 +94,31 @@ func (p Params) Key() string {
 		panic(fmt.Sprintf("campaign: params not encodable: %v", err))
 	}
 	sum := sha256.Sum256(append([]byte(cacheVersion+"\n"), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// prefixParams reduces the job to its warm-start prefix identity: the
+// parameters the boot+keygen prefix depends on. Fork-time knobs — fault
+// plan, bridge credits and shaping, cycle limits, the watchdog — are
+// zeroed, so every sweep point differing only in those shares one prefix.
+func (p Params) prefixParams() Params {
+	p.Faults = ""
+	p.FaultSeed = 0
+	p.Credits = 0
+	p.ExtraLatency = 0
+	p.MaxCycles = 0
+	p.Watchdog = 0
+	p.WarmStart = false
+	return p
+}
+
+// PrefixKey content-addresses the warm-start prefix this job forks from.
+func (p Params) PrefixKey() string {
+	b, err := json.Marshal(p.prefixParams())
+	if err != nil {
+		panic(fmt.Sprintf("campaign: params not encodable: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte(cacheVersion+"-warm\n"), b...))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -155,6 +187,9 @@ func (p Params) Validate() error {
 	if _, err := fault.Parse(p.Faults, p.FaultSeed); err != nil {
 		return err
 	}
+	if p.WarmStart && p.Workload != WorkloadIS {
+		return fmt.Errorf("campaign: warm_start applies only to the %s workload", WorkloadIS)
+	}
 	return nil
 }
 
@@ -183,9 +218,19 @@ type Spec struct {
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
 	Watchdog  uint64 `json:"watchdog,omitempty"`
 
+	// WarmStart forks every IS point from a shared boot+keygen prefix
+	// snapshot (cached per prefix identity) instead of re-simulating the
+	// prefix. Part of each job's identity: see Params.WarmStart.
+	WarmStart bool `json:"warm_start,omitempty"`
+
 	// Execution policy (does not affect results, only how they are won).
 	TimeoutSec float64 `json:"timeout_sec,omitempty"` // per-job wall clock, 0 = none
-	Retries    int     `json:"retries,omitempty"`     // extra attempts after a stall
+	Retries    int     `json:"retries,omitempty"`     // extra attempts after a stall or panic
+	// CheckpointEvery, with a cache configured, checkpoints every running
+	// IS job each time it crosses another interval of simulated cycles; a
+	// killed campaign resumes those jobs mid-flight instead of from zero.
+	// Results are byte-identical with or without checkpointing.
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
 }
 
 // Job is one expanded point of a campaign.
@@ -271,6 +316,7 @@ func (s Spec) Jobs() ([]Job, error) {
 											p := Params{
 												Shape:        shape,
 												Workload:     wl,
+												WarmStart:    s.WarmStart && wl == WorkloadIS,
 												NUMA:         numa,
 												Homing:       homing,
 												Threads:      threads,

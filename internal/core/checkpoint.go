@@ -1,0 +1,290 @@
+// Checkpoint/restore assembly for the platform. Two snapshot kinds exist
+// (package ckpt): replay cursors, which any prototype can take at any point
+// and which restore by deterministic re-execution; and full state captures,
+// which are serial-only and must be taken at a quiescent safepoint (event
+// queue drained) — the campaign layer arranges those at workload barrier
+// cuts. See DESIGN.md "Snapshot format".
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"smappic/internal/ckpt"
+	"smappic/internal/sim"
+)
+
+// canonicalString renders every parameter that shapes the simulated event
+// stream, in a fixed order. Struct fields print with %+v, whose layout is
+// fixed by the type definitions; the fault plan uses its canonical form so
+// differently-written but equal specs fingerprint identically.
+func (c Config) canonicalString() string {
+	return fmt.Sprintf("shape=%s;core=%s;cache=%+v;unified=%t;gih=%t;dram=%d/%d;bridge=%+v;pcie=%+v;clock=%d;seed=%d;faults=%s;watchdog=%d",
+		c.Shape(), c.Core, c.Cache, c.UnifiedMemory, c.GlobalInterleaveHoming,
+		c.DRAMLatency, c.DRAMBytesPerCycle, c.Bridge, c.PCIe, c.ClockMHz,
+		c.Seed, c.Faults.String(), c.WatchdogInterval)
+}
+
+// ConfigHash fingerprints the configuration for snapshot/restore matching.
+// Parallel is deliberately excluded: serial and sharded runs of one
+// configuration are byte-identical, and the execution mode is verified
+// separately (with a clearer error) when replaying a cursor.
+func (c Config) ConfigHash() string {
+	sum := sha256.Sum256([]byte(c.canonicalString()))
+	return hex.EncodeToString(sum[:])
+}
+
+// PrefixString renders only the boot-relevant parameter subset: what a
+// warm-start prefix depends on. Fork-time parameters — fault plan, bridge
+// credits and link shaping, the watchdog — are excluded, so sweep points
+// that differ only in those share one prefix snapshot. The campaign layer
+// appends its workload parameters before hashing.
+func (c Config) PrefixString() string {
+	return fmt.Sprintf("shape=%s;core=%s;cache=%+v;unified=%t;gih=%t;dram=%d/%d;pcie=%+v;clock=%d;seed=%d",
+		c.Shape(), c.Core, c.Cache, c.UnifiedMemory, c.GlobalInterleaveHoming,
+		c.DRAMLatency, c.DRAMBytesPerCycle, c.PCIe, c.ClockMHz, c.Seed)
+}
+
+// normalizedParallel folds "unset" and "1" into one serial mode value.
+func normalizedParallel(parallel int) int {
+	if parallel <= 1 {
+		return 1
+	}
+	return parallel
+}
+
+// Checkpoint writes a replay-cursor snapshot of the run so far: the
+// executed-event count (serial) or completed-window count (sharded), plus
+// the engine clock for verification. It may be taken at any point where the
+// caller's run loop is between events/windows. WorkloadTag (set by the
+// caller after loading software) guards restore against replaying a
+// different program.
+func (p *Prototype) Checkpoint(w io.Writer) error {
+	snap := &ckpt.Snapshot{
+		Kind:       ckpt.KindReplay,
+		ConfigHash: p.Cfg.ConfigHash(),
+		Workload:   p.WorkloadTag,
+		Now:        uint64(p.Now()),
+		Replay:     &ckpt.Replay{Parallel: normalizedParallel(p.Cfg.Parallel)},
+	}
+	if p.Group != nil {
+		snap.Replay.Windows = p.Group.Windows()
+	} else {
+		snap.Replay.Executed = p.Eng.Executed()
+	}
+	return snap.Write(w)
+}
+
+// RestorePrototype reads and verifies a snapshot, checks it belongs to cfg,
+// and builds a fresh prototype for it. The caller then loads the same
+// software, starts the prototype and — for replay snapshots — calls Replay
+// to re-execute to the cursor, or — for state snapshots — applies the state
+// sections. All failure modes return typed ckpt errors; nothing panics on a
+// hostile snapshot.
+func RestorePrototype(r io.Reader, cfg Config) (*Prototype, *ckpt.Snapshot, error) {
+	snap, err := ckpt.Read(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap.ConfigHash != cfg.ConfigHash() {
+		return nil, nil, &ckpt.MismatchError{Field: "configuration", Got: snap.ConfigHash, Want: cfg.ConfigHash()}
+	}
+	p, err := Build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, snap, nil
+}
+
+// Replay re-executes a freshly built, started prototype to a replay
+// snapshot's cursor. Determinism does the heavy lifting: stepping the same
+// build the same number of events (or windows) reproduces the exact global
+// state, and the recorded clock cross-checks it — a mismatch means the
+// software or configuration differs from the checkpointed run.
+func (p *Prototype) Replay(snap *ckpt.Snapshot) error {
+	if snap.Kind != ckpt.KindReplay || snap.Replay == nil {
+		return &ckpt.MismatchError{Field: "snapshot kind", Got: snap.Kind.String(), Want: ckpt.KindReplay.String()}
+	}
+	if snap.Workload != p.WorkloadTag {
+		return &ckpt.MismatchError{Field: "workload", Got: snap.Workload, Want: p.WorkloadTag}
+	}
+	rp := snap.Replay
+	if rp.Parallel != normalizedParallel(p.Cfg.Parallel) {
+		return &ckpt.MismatchError{Field: "execution mode (parallel shards)",
+			Got: fmt.Sprint(rp.Parallel), Want: fmt.Sprint(normalizedParallel(p.Cfg.Parallel))}
+	}
+	if p.Group != nil {
+		for p.Group.Windows() < rp.Windows {
+			if !p.Group.StepWindow() {
+				return &ckpt.MismatchError{Field: "replay cursor",
+					Got:  fmt.Sprintf("%d windows", rp.Windows),
+					Want: fmt.Sprintf("run drained after %d", p.Group.Windows())}
+			}
+		}
+		if uint64(p.Group.Now()) != snap.Now {
+			return &ckpt.MismatchError{Field: "replay clock",
+				Got: fmt.Sprint(snap.Now), Want: fmt.Sprint(p.Group.Now())}
+		}
+		return nil
+	}
+	for p.Eng.Executed() < rp.Executed {
+		if !p.Eng.Step() {
+			return &ckpt.MismatchError{Field: "replay cursor",
+				Got:  fmt.Sprintf("%d events", rp.Executed),
+				Want: fmt.Sprintf("run drained after %d", p.Eng.Executed())}
+		}
+	}
+	if uint64(p.Eng.Now()) != snap.Now {
+		return &ckpt.MismatchError{Field: "replay clock",
+			Got: fmt.Sprint(snap.Now), Want: fmt.Sprint(p.Eng.Now())}
+	}
+	return nil
+}
+
+// statsToCkpt converts a registry dump to snapshot form.
+func statsToCkpt(s *sim.Stats) ckpt.StatsState {
+	counters, gauges, hists := s.CaptureState()
+	var st ckpt.StatsState
+	for _, c := range counters {
+		st.Counters = append(st.Counters, ckpt.CounterState{Name: c.Name, Value: c.Value})
+	}
+	for _, g := range gauges {
+		st.Gauges = append(st.Gauges, ckpt.GaugeState{Name: g.Name, Value: g.Value, High: g.High})
+	}
+	for _, h := range hists {
+		st.Hists = append(st.Hists, ckpt.HistState{
+			Name: h.Name, Samples: h.Samples, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			Bins: append([]uint64(nil), h.Bins[:]...),
+		})
+	}
+	return st
+}
+
+// statsFromCkpt applies a snapshot registry dump.
+func statsFromCkpt(s *sim.Stats, st ckpt.StatsState) error {
+	var counters []sim.Counter
+	var gauges []sim.Gauge
+	var hists []sim.Histogram
+	for _, c := range st.Counters {
+		counters = append(counters, sim.Counter{Name: c.Name, Value: c.Value})
+	}
+	for _, g := range st.Gauges {
+		gauges = append(gauges, sim.Gauge{Name: g.Name, Value: g.Value, High: g.High})
+	}
+	for _, h := range st.Hists {
+		hist := sim.Histogram{Name: h.Name, Samples: h.Samples, Sum: h.Sum, Min: h.Min, Max: h.Max}
+		if len(h.Bins) != len(hist.Bins) {
+			return &ckpt.CorruptError{Reason: fmt.Sprintf("histogram %s has %d bins; this build uses %d", h.Name, len(h.Bins), len(hist.Bins))}
+		}
+		copy(hist.Bins[:], h.Bins)
+		hists = append(hists, hist)
+	}
+	s.RestoreState(counters, gauges, hists)
+	return nil
+}
+
+// CaptureState assembles the full quiescent-state section: backing memory,
+// every node's devices and caches, the PCIe fabric, fault-injector progress
+// and the statistics registry. Serial-only (state snapshots are taken by
+// campaign jobs, which run serial), and the event queue must be fully
+// drained — each subsystem additionally checks its own quiescence
+// invariants and errors instead of capturing a torn state.
+func (p *Prototype) CaptureState() (*ckpt.State, error) {
+	p.mustSerial("CaptureState")
+	if p.Eng.Pending() != 0 {
+		return nil, fmt.Errorf("core: %d events still pending; state capture requires a drained engine", p.Eng.Pending())
+	}
+	st := &ckpt.State{Mem: p.Backing.CaptureState()}
+	for _, n := range p.Nodes {
+		ns := ckpt.NodeState{
+			Node: n.ID,
+			DRAM: n.DRAM.CaptureState(),
+			NoC:  n.Mesh.CaptureState(),
+		}
+		mc, err := n.MemCtl.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		ns.MemCtl = mc
+		br, err := n.Bridge.CaptureState()
+		if err != nil {
+			return nil, err
+		}
+		ns.Bridge = br
+		for _, t := range n.Tiles {
+			ts := ckpt.TileState{Tile: t.ID.Tile}
+			if err := t.Priv.CaptureState(&ts); err != nil {
+				return nil, err
+			}
+			if err := t.LLC.CaptureState(&ts); err != nil {
+				return nil, err
+			}
+			ns.Tiles = append(ns.Tiles, ts)
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	st.PCIe = p.Fabric.CaptureState()
+	st.Fault = p.Injector.CaptureState()
+	st.Stats = []ckpt.StatsState{statsToCkpt(p.Stats)}
+	return st, nil
+}
+
+// ApplyState overlays a captured state section onto a freshly built serial
+// prototype. With warmFork set — warm-start forking, where the restoring
+// configuration may differ in fork-time parameters — the bridge section
+// (credits, link shaper) and fault section are skipped: a fresh bridge's
+// full-credit quiescent state is consistent on both sides of every link,
+// and the fork's own fault plan starts its streams from zero.
+func (p *Prototype) ApplyState(st *ckpt.State, warmFork bool) error {
+	p.mustSerial("ApplyState")
+	if err := p.Backing.RestoreState(st.Mem); err != nil {
+		return err
+	}
+	if len(st.Nodes) != len(p.Nodes) {
+		return &ckpt.MismatchError{Field: "node count",
+			Got: fmt.Sprint(len(st.Nodes)), Want: fmt.Sprint(len(p.Nodes))}
+	}
+	for i, ns := range st.Nodes {
+		n := p.Nodes[i]
+		if ns.Node != n.ID {
+			return &ckpt.CorruptError{Reason: fmt.Sprintf("node section %d labeled node%d", i, ns.Node)}
+		}
+		n.DRAM.RestoreState(ns.DRAM)
+		n.MemCtl.RestoreState(ns.MemCtl)
+		if err := n.Mesh.RestoreState(ns.NoC); err != nil {
+			return err
+		}
+		if !warmFork {
+			n.Bridge.RestoreState(ns.Bridge)
+		}
+		if len(ns.Tiles) != len(n.Tiles) {
+			return &ckpt.MismatchError{Field: "tile count",
+				Got: fmt.Sprint(len(ns.Tiles)), Want: fmt.Sprint(len(n.Tiles))}
+		}
+		for j, ts := range ns.Tiles {
+			t := n.Tiles[j]
+			if err := t.Priv.RestoreState(&ts); err != nil {
+				return err
+			}
+			if err := t.LLC.RestoreState(&ts); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.Fabric.RestoreState(st.PCIe); err != nil {
+		return err
+	}
+	if !warmFork {
+		if err := p.Injector.RestoreState(st.Fault); err != nil {
+			return err
+		}
+	}
+	if len(st.Stats) > 0 {
+		if err := statsFromCkpt(p.Stats, st.Stats[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -78,6 +78,11 @@ type Config struct {
 	// WatchdogInterval, when nonzero, arms the forward-progress watchdog:
 	// if no event executes for this many cycles while transactions are in
 	// flight, the run records a stall diagnosis instead of draining silently.
+	// Serial builds use the event-based sim.Watchdog; sharded builds use a
+	// barrier-hook GroupWatchdog that checks per-shard progress at window
+	// barriers without scheduling events (so arming it keeps the sharded
+	// event stream byte-identical to an unwatched sharded run, and the
+	// diagnosis names the wedged shard).
 	WatchdogInterval sim.Time
 
 	// Parallel > 1 shards the simulation: one engine per FPGA running on its
@@ -86,8 +91,9 @@ type Config struct {
 	// is always the FPGA count — the intra-FPGA crossbar couples co-located
 	// nodes too tightly to split — so the value only selects the mode.
 	// Sharded runs produce byte-identical MetricsJSON to serial ones; the
-	// live-introspection extras (tracer, sampler, watchdog, latency probe)
-	// are serial-only. 0 or 1 (the default) runs serial.
+	// live-introspection extras (tracer, sampler, latency probe) are
+	// serial-only, and the watchdog switches to its barrier-hook sharded
+	// form. 0 or 1 (the default) runs serial.
 	Parallel int
 
 	// SyncMetrics, with Parallel > 1, records the window synchronizer's
@@ -176,9 +182,6 @@ func (c Config) Validate() error {
 	}
 	if c.Core != CoreAriane && c.Core != CorePicoRV32 && c.Core != CoreNone {
 		return fmt.Errorf("core: unknown core type %q", c.Core)
-	}
-	if c.Parallel > 1 && c.WatchdogInterval > 0 {
-		return fmt.Errorf("core: the watchdog is serial-only; drop -watchdog or -parallel")
 	}
 	return nil
 }

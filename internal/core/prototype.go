@@ -126,9 +126,18 @@ type Prototype struct {
 	// Watchdog is the forward-progress monitor armed by EnableWatchdog (or
 	// by Build when Cfg.WatchdogInterval is set).
 	Watchdog *sim.Watchdog
+	// GroupWatchdog is the sharded-run forward-progress monitor installed by
+	// Build when Cfg.WatchdogInterval is set on a parallel build. It piggy-
+	// backs on window barriers instead of scheduling events, so arming it
+	// does not perturb the simulated event stream.
+	GroupWatchdog *GroupWatchdog
 	// StallDiagnosis is filled when the watchdog detects a wedged run: no
 	// event executed for a full interval while transactions were in flight.
 	StallDiagnosis string
+	// WorkloadTag names the software loaded into the prototype (set by the
+	// workload layer); snapshots record it so restore can refuse to replay a
+	// cursor against a different program.
+	WorkloadTag string
 }
 
 // EnableTrace installs an event tracer retaining the last capacity events
@@ -192,7 +201,11 @@ func Build(cfg Config) (*Prototype, error) {
 		}
 	}
 	if cfg.WatchdogInterval > 0 {
-		p.EnableWatchdog(cfg.WatchdogInterval)
+		if parallel {
+			p.EnableGroupWatchdog(cfg.WatchdogInterval)
+		} else {
+			p.EnableWatchdog(cfg.WatchdogInterval)
+		}
 	}
 
 	w, h := cfg.MeshDims()
@@ -430,6 +443,11 @@ func (p *Prototype) StatsForNode(node int) *sim.Stats {
 // it too or they would diverge from sharded ones).
 func (p *Prototype) Lookahead() sim.Time { return p.Cfg.PCIe.MinCrossing() }
 
+// MustSerial panics when a serial-only feature is used on a sharded build;
+// exported for the software layers (kernel, workload) that add their own
+// serial-only features, such as state capture.
+func (p *Prototype) MustSerial(what string) { p.mustSerial(what) }
+
 // mustSerial panics when a serial-only feature is used on a sharded build.
 func (p *Prototype) mustSerial(what string) {
 	if p.Eng == nil {
@@ -440,7 +458,9 @@ func (p *Prototype) mustSerial(what string) {
 // Run drains the simulation (until all activity quiesces).
 func (p *Prototype) Run() sim.Time {
 	if p.Group != nil {
-		return p.Group.Run()
+		t := p.Group.Run()
+		p.GroupWatchdog.drained()
+		return t
 	}
 	return p.Eng.Run()
 }
@@ -463,7 +483,9 @@ func (p *Prototype) RunObserved(every sim.Time, publish func()) sim.Time {
 			publish()
 		}
 		defer func() { p.Group.OnBarrier = prev }()
-		return p.Group.Run()
+		t := p.Group.Run()
+		p.GroupWatchdog.drained()
+		return t
 	}
 	if every <= 0 {
 		every = 100_000
@@ -494,6 +516,7 @@ func (p *Prototype) RunUntilHalted(limit sim.Time) sim.Time {
 	if p.Group != nil {
 		for !p.AllHalted() && p.Group.Now() < limit {
 			if !p.Group.StepWindow() {
+				p.GroupWatchdog.drained()
 				break
 			}
 		}

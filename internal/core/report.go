@@ -178,3 +178,129 @@ func (p *Prototype) stallDiagnosis(interval sim.Time) string {
 	}
 	return b.String()
 }
+
+// GroupWatchdog is the sharded-run forward-progress monitor. The serial
+// watchdog schedules check events, which a sharded run cannot afford: an
+// extra event per interval would perturb window contents and break the
+// serial/parallel byte-equality contract. Instead this watchdog piggybacks
+// on the window barrier — a point where every shard is provably quiescent —
+// and compares each shard engine's executed-event count against the last
+// barrier at which that shard made progress. A shard that executes nothing
+// for a full interval while its own registry shows outstanding transactions
+// is wedged; the diagnosis names it. A second detector covers total
+// wedges the barrier hook cannot see: if the whole group drains (StepWindow
+// returns false) while occupancy gauges are still nonzero, callbacks were
+// lost and the run stalled silently — Run/RunUntilHalted call drained() for
+// that case.
+type GroupWatchdog struct {
+	p        *Prototype
+	interval sim.Time
+	lastExec []uint64   // executed-event count per shard at its last progress
+	lastAt   []sim.Time // group time of that last progress
+	fired    bool
+}
+
+// EnableGroupWatchdog arms the sharded watchdog; Build calls it when
+// WatchdogInterval is set on a parallel configuration. It chains onto any
+// Group.OnBarrier hook already installed and schedules no events.
+func (p *Prototype) EnableGroupWatchdog(interval sim.Time) *GroupWatchdog {
+	if p.Group == nil {
+		panic("core: EnableGroupWatchdog needs a sharded build; use EnableWatchdog")
+	}
+	w := &GroupWatchdog{
+		p:        p,
+		interval: interval,
+		lastExec: make([]uint64, p.Group.Shards()),
+		lastAt:   make([]sim.Time, p.Group.Shards()),
+	}
+	prev := p.Group.OnBarrier
+	p.Group.OnBarrier = func() {
+		if prev != nil {
+			prev()
+		}
+		w.check()
+	}
+	p.GroupWatchdog = w
+	return w
+}
+
+// Fired reports whether the watchdog has recorded a stall diagnosis.
+func (w *GroupWatchdog) Fired() bool { return w != nil && w.fired }
+
+// check runs at every window barrier, while all shards are parked.
+func (w *GroupWatchdog) check() {
+	if w.fired {
+		return
+	}
+	now := w.p.Group.Now()
+	for i := range w.lastExec {
+		e := w.p.Group.Engine(i).Executed()
+		if e != w.lastExec[i] {
+			w.lastExec[i], w.lastAt[i] = e, now
+			continue
+		}
+		if now-w.lastAt[i] < w.interval {
+			continue
+		}
+		if !w.p.shardHasInflight(i) {
+			// Idle, not wedged (e.g. this FPGA's cores halted early);
+			// restart its clock so later traffic gets a full interval.
+			w.lastAt[i] = now
+			continue
+		}
+		w.fired = true
+		w.p.StallDiagnosis = w.p.shardStallDiagnosis(i, w.interval)
+		return
+	}
+}
+
+// drained runs after the group's event queues empty: a drain with
+// transactions still outstanding means callbacks were dropped and the run
+// wedged without ever reaching another barrier check. Nil-safe (serial
+// builds and unwatched sharded builds have no GroupWatchdog).
+func (w *GroupWatchdog) drained() {
+	if w == nil || w.fired {
+		return
+	}
+	for i := range w.lastExec {
+		if w.p.shardHasInflight(i) {
+			w.fired = true
+			w.p.StallDiagnosis = w.p.shardStallDiagnosis(i, w.interval)
+			return
+		}
+	}
+}
+
+// shardHasInflight is hasInflight scoped to one shard's registry.
+func (p *Prototype) shardHasInflight(shard int) bool {
+	s := p.shardStats[shard]
+	if s == nil {
+		return false
+	}
+	for _, name := range s.GaugeNames() {
+		if v, ok := s.GaugeValue(name); ok && v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// shardStallDiagnosis renders the sharded watchdog's dump, naming the
+// wedged shard and listing where its outstanding work is stuck.
+func (p *Prototype) shardStallDiagnosis(shard int, interval sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WATCHDOG: shard %d (fpga%d) made no forward progress for %d cycles at cycle %d with transactions in flight\n",
+		shard, shard, interval, p.Group.Now())
+	fmt.Fprintf(&b, "outstanding on shard %d (nonzero gauges):\n", shard)
+	s := p.shardStats[shard]
+	for _, name := range s.GaugeNames() {
+		if v, ok := s.GaugeValue(name); ok && v != 0 {
+			fmt.Fprintf(&b, "  %-40s %d\n", name, v)
+		}
+	}
+	if p.Injector != nil {
+		b.WriteString("fault sites:\n")
+		b.WriteString(p.Injector.String())
+	}
+	return b.String()
+}

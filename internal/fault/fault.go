@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"smappic/internal/ckpt"
 	"smappic/internal/sim"
 )
 
@@ -94,6 +95,23 @@ type Rule struct {
 type Plan struct {
 	Rules []Rule
 	Seed  uint64
+}
+
+// String renders the plan in canonical spec form (every parameter explicit,
+// fixed order), so equal plans — however their specs were written — render
+// identically. Used for configuration fingerprinting; a nil plan renders
+// empty.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for _, r := range p.Rules {
+		fmt.Fprintf(&b, ";%s.%s:p=%g,n=%d,after=%d,cycles=%d,seed=%d",
+			r.Pattern, r.Kind, r.P, r.N, r.After, uint64(r.Cycles), r.Seed)
+	}
+	return b.String()
 }
 
 // Parse builds a Plan from a spec string. The grammar is
@@ -279,6 +297,64 @@ func (inj *Injector) Sites() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// CaptureState records every resolved site's deterministic progress: its
+// RNG stream position, hang/stall condition and per-rule trigger counters,
+// sorted by site name. Restoring it into a fresh injector built from the
+// same plan resumes the exact fault sequence mid-stream.
+func (inj *Injector) CaptureState() *ckpt.FaultState {
+	if inj == nil {
+		return nil
+	}
+	st := &ckpt.FaultState{}
+	for _, name := range inj.Sites() {
+		s := inj.sites[name]
+		ss := ckpt.FaultSiteState{
+			Name:       name,
+			RNG:        s.rng.State(),
+			Hung:       s.hung,
+			StallUntil: uint64(s.stallUntil),
+		}
+		for i := range s.rules {
+			ss.Rules = append(ss.Rules, ckpt.FaultRuleState{Seen: s.rules[i].seen, Fired: s.rules[i].fired})
+		}
+		st.Sites = append(st.Sites, ss)
+	}
+	return st
+}
+
+// RestoreState overlays captured site progress. Every snapshot site must
+// resolve against this injector's plan with the same rule count — anything
+// else means the snapshot was taken under a different fault plan.
+func (inj *Injector) RestoreState(st *ckpt.FaultState) error {
+	if st == nil {
+		return nil
+	}
+	if inj == nil {
+		if len(st.Sites) == 0 {
+			return nil
+		}
+		return &ckpt.MismatchError{Field: "fault plan", Got: fmt.Sprintf("%d sites", len(st.Sites)), Want: "no injector"}
+	}
+	for _, ss := range st.Sites {
+		s := inj.Site(ss.Name)
+		if s == nil {
+			return &ckpt.MismatchError{Field: "fault site " + ss.Name, Got: "present", Want: "no matching rule"}
+		}
+		if len(ss.Rules) != len(s.rules) {
+			return &ckpt.MismatchError{Field: "fault site " + ss.Name + " rule count",
+				Got: fmt.Sprint(len(ss.Rules)), Want: fmt.Sprint(len(s.rules))}
+		}
+		s.rng.SetState(ss.RNG)
+		s.hung = ss.Hung
+		s.stallUntil = sim.Time(ss.StallUntil)
+		for i := range s.rules {
+			s.rules[i].seen = ss.Rules[i].Seen
+			s.rules[i].fired = ss.Rules[i].Fired
+		}
+	}
+	return nil
 }
 
 // String summarizes the active sites and their fired-fault counts.

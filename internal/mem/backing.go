@@ -11,7 +11,10 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+
+	"smappic/internal/ckpt"
 )
 
 // pageBits is the granularity of on-demand allocation in the backing store.
@@ -55,6 +58,41 @@ func (b *Backing) page(addr uint64) []byte {
 		b.pages[key] = p
 	}
 	return p
+}
+
+// CaptureState copies every materialized page into snapshot form, sorted by
+// page number so equal memory images serialize byte-identically.
+func (b *Backing) CaptureState() ckpt.MemState {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	st := ckpt.MemState{PageBytes: 1 << pageBits}
+	for key, p := range b.pages {
+		data := make([]byte, len(p))
+		copy(data, p)
+		st.Pages = append(st.Pages, ckpt.MemPage{Page: key, Data: data})
+	}
+	sort.Slice(st.Pages, func(i, j int) bool { return st.Pages[i].Page < st.Pages[j].Page })
+	return st
+}
+
+// RestoreState replaces the store's contents with a captured image.
+func (b *Backing) RestoreState(st ckpt.MemState) error {
+	if st.PageBytes != 1<<pageBits {
+		return &ckpt.MismatchError{Field: "backing page size",
+			Got: fmt.Sprint(st.PageBytes), Want: fmt.Sprint(1 << pageBits)}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pages = make(map[uint64][]byte, len(st.Pages))
+	for _, pg := range st.Pages {
+		if len(pg.Data) != 1<<pageBits {
+			return &ckpt.CorruptError{Reason: fmt.Sprintf("backing page %#x has %d bytes", pg.Page, len(pg.Data))}
+		}
+		data := make([]byte, len(pg.Data))
+		copy(data, pg.Data)
+		b.pages[pg.Page] = data
+	}
+	return nil
 }
 
 // Footprint returns the number of bytes currently allocated.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smappic/internal/axi"
+	"smappic/internal/ckpt"
 	"smappic/internal/noc"
 	"smappic/internal/sim"
 )
@@ -105,6 +106,21 @@ func NewController(eng *sim.Engine, mesh *noc.Mesh, name string, dram axi.Target
 	c.enqueueFn = func(req any) { c.enqueue(req.(*Req)) }
 	return c
 }
+
+// CaptureState records the controller's persistent state. Only the
+// monotonic AXI ID counter survives a quiescent safepoint: the engines and
+// management queue are empty by definition (checked, since a non-quiescent
+// capture would silently drop requests).
+func (c *Controller) CaptureState() (ckpt.MemCtlState, error) {
+	if c.inflight[readEngine] != 0 || c.inflight[writeEngine] != 0 ||
+		len(c.queue[readEngine]) != 0 || len(c.queue[writeEngine]) != 0 {
+		return ckpt.MemCtlState{}, fmt.Errorf("mem: %s has in-flight requests; not at a quiescent safepoint", c.name)
+	}
+	return ckpt.MemCtlState{NextID: uint64(c.nextID)}, nil
+}
+
+// RestoreState applies a captured state.
+func (c *Controller) RestoreState(st ckpt.MemCtlState) { c.nextID = axi.ID(st.NextID) }
 
 // Handle accepts a memory request delivered from the NoC. It is wired to
 // the chipset port demux by the platform core.

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"smappic/internal/axi"
+	"smappic/internal/ckpt"
 	"smappic/internal/fault"
 	"smappic/internal/sim"
 )
@@ -64,6 +65,13 @@ func NewDRAM(eng *sim.Engine, name string, latency sim.Time, bytesPerCycle int, 
 // code corrects; flip2 rules model double-bit upsets it can only detect,
 // failing the read with OK:false. Must be called before traffic; nil-safe.
 func (d *DRAM) SetInjector(inj *fault.Injector) { d.site = inj.SiteOn(d.name, d.eng) }
+
+// CaptureState records the channel's timing state (the bandwidth
+// serialization clock; everything else is configuration or statistics).
+func (d *DRAM) CaptureState() ckpt.DRAMState { return ckpt.DRAMState{Busy: uint64(d.busy)} }
+
+// RestoreState applies a captured timing state.
+func (d *DRAM) RestoreState(st ckpt.DRAMState) { d.busy = sim.Time(st.Busy) }
 
 func (d *DRAM) delay(n int) sim.Time {
 	beats := sim.Time(1)

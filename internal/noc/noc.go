@@ -18,6 +18,7 @@ package noc
 import (
 	"fmt"
 
+	"smappic/internal/ckpt"
 	"smappic/internal/sim"
 )
 
@@ -340,6 +341,50 @@ func (m *Mesh) FlushLinkStats() {
 			m.stats.Counter(prefix + ".busy_cycles").Value = uint64(busy)
 		}
 	}
+}
+
+// CaptureState records the mesh's timing state: per-link reservation clocks
+// and cumulative per-link traffic. No packet is in flight at a quiescent
+// safepoint, so the reservation arrays fully determine future link behavior.
+func (m *Mesh) CaptureState() ckpt.NoCState {
+	st := ckpt.NoCState{
+		NextFree:  make([][]uint64, numClasses),
+		LinkFlits: make([][]uint64, numClasses),
+		LinkBusy:  make([][]uint64, numClasses),
+	}
+	for c := 0; c < int(numClasses); c++ {
+		st.NextFree[c] = make([]uint64, len(m.nextFree[c]))
+		for l, t := range m.nextFree[c] {
+			st.NextFree[c][l] = uint64(t)
+		}
+		st.LinkFlits[c] = append([]uint64(nil), m.linkFlits[c]...)
+		st.LinkBusy[c] = make([]uint64, len(m.linkBusy[c]))
+		for l, t := range m.linkBusy[c] {
+			st.LinkBusy[c][l] = uint64(t)
+		}
+	}
+	return st
+}
+
+// RestoreState overlays a captured timing state onto a freshly built mesh.
+func (m *Mesh) RestoreState(st ckpt.NoCState) error {
+	if len(st.NextFree) != int(numClasses) || len(st.LinkFlits) != int(numClasses) || len(st.LinkBusy) != int(numClasses) {
+		return &ckpt.CorruptError{Reason: fmt.Sprintf("%s: snapshot has %d NoC classes, mesh has %d", m.name, len(st.NextFree), numClasses)}
+	}
+	for c := 0; c < int(numClasses); c++ {
+		if len(st.NextFree[c]) != len(m.nextFree[c]) {
+			return &ckpt.MismatchError{Field: m.name + " link count",
+				Got: fmt.Sprint(len(st.NextFree[c])), Want: fmt.Sprint(len(m.nextFree[c]))}
+		}
+		for l, t := range st.NextFree[c] {
+			m.nextFree[c][l] = sim.Time(t)
+		}
+		copy(m.linkFlits[c], st.LinkFlits[c])
+		for l, t := range st.LinkBusy[c] {
+			m.linkBusy[c][l] = sim.Time(t)
+		}
+	}
+	return nil
 }
 
 func (m *Mesh) deliver(pkt *Packet) {

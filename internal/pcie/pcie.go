@@ -19,8 +19,10 @@ package pcie
 
 import (
 	"fmt"
+	"sort"
 
 	"smappic/internal/axi"
+	"smappic/internal/ckpt"
 	"smappic/internal/fault"
 	"smappic/internal/sim"
 )
@@ -245,6 +247,55 @@ func (f *Fabric) LocalAddr(addr axi.Addr) axi.Addr {
 	}
 	base, _ := f.Window(f.RouteOf(addr))
 	return addr - base
+}
+
+// CaptureState records the fabric's persistent state: per-endpoint egress
+// reservation clocks and the reliable links' send sequence numbers. The
+// replay caches are reception history — at a quiescent safepoint every
+// sequence below nextSeq has been delivered and acknowledged, so nextSeq
+// alone carries the protocol forward. Pooled exchange records are free-list
+// bookkeeping and are not state.
+func (f *Fabric) CaptureState() ckpt.PCIeState {
+	var st ckpt.PCIeState
+	ids := make([]int, 0, len(f.eps))
+	for id := range f.eps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st.Endpoints = append(st.Endpoints, ckpt.PCIeEndpointState{
+			ID: id, Egress: uint64(f.eps[id].egress),
+		})
+	}
+	for i := range f.rel {
+		for j := range f.rel[i] {
+			if f.rel[i][j].nextSeq != 0 {
+				st.Seqs = append(st.Seqs, ckpt.PCIeSeqState{
+					Src: i, Dst: j, NextSeq: f.rel[i][j].nextSeq,
+				})
+			}
+		}
+	}
+	return st
+}
+
+// RestoreState overlays a captured fabric state, creating endpoint records
+// as needed (serial mode creates them lazily on first traffic, so a fresh
+// build may not hold every endpoint the snapshot does).
+func (f *Fabric) RestoreState(st ckpt.PCIeState) error {
+	for _, ep := range st.Endpoints {
+		if ep.ID != HostID && (ep.ID < 0 || ep.ID >= MaxFPGAs) {
+			return &ckpt.CorruptError{Reason: fmt.Sprintf("pcie endpoint id %d out of range", ep.ID)}
+		}
+		f.state(ep.ID).egress = sim.Time(ep.Egress)
+	}
+	for _, sq := range st.Seqs {
+		if sq.Src < 0 || sq.Src >= len(f.rel) || sq.Dst < 0 || sq.Dst >= len(f.rel) {
+			return &ckpt.CorruptError{Reason: fmt.Sprintf("pcie reliable-link pair (%d,%d) out of range", sq.Src, sq.Dst)}
+		}
+		f.rel[sq.Src][sq.Dst].nextSeq = sq.NextSeq
+	}
+	return nil
 }
 
 // delay reserves egress bandwidth at src and returns the total transfer

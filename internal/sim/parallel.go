@@ -169,6 +169,13 @@ func (g *Group) SyncSnapshot() (windows uint64, horizon Time, shards []ShardSync
 	return g.windows, g.horizon, shards
 }
 
+// Windows returns the number of completed synchronization windows. It is
+// the sharded engine's replay cursor: re-executing the same build for the
+// same number of windows reproduces the exact global state, so a replay
+// checkpoint of a sharded run records this count where a serial one records
+// the executed-event count.
+func (g *Group) Windows() uint64 { return g.windows }
+
 // Shards returns the number of shard engines.
 func (g *Group) Shards() int { return len(g.engines) }
 

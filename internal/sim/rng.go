@@ -16,6 +16,16 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State exposes the generator's internal state for checkpointing. Together
+// with SetState it round-trips the stream exactly: a generator restored to a
+// captured state produces the same tail of values the original would have.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured with State. Unlike NewRNG it performs
+// no zero remapping: a captured state is never zero (xorshift64* cannot
+// reach zero from a nonzero state, and NewRNG never starts at zero).
+func (r *RNG) SetState(state uint64) { r.state = state }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

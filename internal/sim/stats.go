@@ -385,6 +385,50 @@ func (s *Stats) Snapshot() *StatsSnapshot {
 	return snap
 }
 
+// CaptureState returns value copies of every instrument, sorted by name —
+// the full-fidelity form checkpointing needs. Unlike Snapshot it preserves
+// histogram bins and zero-sample histograms, so a registry restored with
+// RestoreState renders byte-identical reports and keeps observing into the
+// same distributions.
+func (s *Stats) CaptureState() (counters []Counter, gauges []Gauge, hists []Histogram) {
+	for _, c := range s.counters {
+		counters = append(counters, *c)
+	}
+	for _, g := range s.gauges {
+		gauges = append(gauges, *g)
+	}
+	for _, h := range s.hists {
+		hists = append(hists, *h)
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	return counters, gauges, hists
+}
+
+// RestoreState overwrites instruments from a CaptureState dump. Instruments
+// already registered keep their identity (live pointers held by models stay
+// valid and simply see the restored values); instruments only present in the
+// dump are created. Instruments present in the registry but absent from the
+// dump are left untouched — restore runs right after construction, when the
+// registry holds only freshly-registered zero-valued instruments.
+func (s *Stats) RestoreState(counters []Counter, gauges []Gauge, hists []Histogram) {
+	for i := range counters {
+		c := s.Counter(counters[i].Name)
+		c.Value = counters[i].Value
+	}
+	for i := range gauges {
+		g := s.Gauge(gauges[i].Name)
+		g.Value, g.High = gauges[i].Value, gauges[i].High
+	}
+	for i := range hists {
+		h := s.Histogram(hists[i].Name)
+		name := h.Name
+		*h = hists[i]
+		h.Name = name
+	}
+}
+
 // Get returns the value of a counter, or zero if it was never touched.
 func (s *Stats) Get(name string) uint64 {
 	if c, ok := s.counters[name]; ok {
