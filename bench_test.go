@@ -151,23 +151,26 @@ func BenchmarkFig14_CloudVsOnPrem(b *testing.B) {
 }
 
 // benchIS runs the NPB integer sort once on the given shape, serial
-// (parallel=0) or sharded (parallel=FPGAs), and returns the simulated
-// cycle count.
-func benchIS(b *testing.B, fpgas, nodesPerFPGA, tiles, parallel int) smappic.Time {
-	b.Helper()
+// (parallel=0) or sharded (parallel=FPGAs) under the given adaptive
+// lookahead cap (0 = default), and returns the simulated cycle count. It is
+// shared between the benchmarks and the CI scaling gate (see
+// scaling_gate_test.go), so both measure exactly the same run.
+func benchIS(tb testing.TB, fpgas, nodesPerFPGA, tiles, parallel, adaptive int) smappic.Time {
+	tb.Helper()
 	cfg := smappic.DefaultConfig(fpgas, nodesPerFPGA, tiles)
 	cfg.Core = core.CoreNone
 	cfg.Parallel = parallel
+	cfg.AdaptiveLookahead = adaptive
 	p, err := core.Build(cfg)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	k := kernel.New(p, kernel.DefaultConfig())
 	ip := workload.DefaultISParams(p.Cfg.TotalTiles())
 	ip.Keys = 1 << 13
 	r := workload.RunIS(k, ip)
 	if !r.Sorted {
-		b.Fatal("integer sort output not sorted")
+		tb.Fatal("integer sort output not sorted")
 	}
 	return r.Cycles
 }
@@ -190,14 +193,19 @@ func BenchmarkParallel_vs_Serial(b *testing.B) {
 		for _, mode := range []struct {
 			name     string
 			parallel func(fpgas int) int
+			adaptive int
 		}{
-			{"serial", func(int) int { return 0 }},
-			{"parallel", func(f int) int { return f }},
+			{"serial", func(int) int { return 0 }, 0},
+			// "parallel" is the shipping configuration (adaptive widening at
+			// the default cap); "parallel-fixed" pins the pre-adaptive
+			// one-crossing windows so the widening win stays measurable.
+			{"parallel", func(f int) int { return f }, 0},
+			{"parallel-fixed", func(f int) int { return f }, 1},
 		} {
 			b.Run(sh.name+"/"+mode.name, func(b *testing.B) {
 				var cycles smappic.Time
 				for i := 0; i < b.N; i++ {
-					cycles = benchIS(b, sh.fpgas, sh.nodes, sh.tiles, mode.parallel(sh.fpgas))
+					cycles = benchIS(b, sh.fpgas, sh.nodes, sh.tiles, mode.parallel(sh.fpgas), mode.adaptive)
 				}
 				b.ReportMetric(float64(cycles), "sim_cycles")
 				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")

@@ -19,9 +19,16 @@ import (
 // replayCfg is the configuration under test: multi-FPGA so the cut crosses
 // bridge and PCIe traffic.
 func replayCfg(t *testing.T, parallel int, faults string) smappic.Config {
+	return replayCfgAdaptive(t, parallel, faults, 0)
+}
+
+// replayCfgAdaptive additionally pins the adaptive-lookahead cap (0 keeps
+// the default widening cap).
+func replayCfgAdaptive(t *testing.T, parallel int, faults string, adaptive int) smappic.Config {
 	t.Helper()
 	cfg := smappic.DefaultConfig(4, 1, 2)
 	cfg.Parallel = parallel
+	cfg.AdaptiveLookahead = adaptive
 	cfg.Seed = 42
 	if faults != "" {
 		var err error
@@ -77,16 +84,24 @@ func TestReplayCheckpointRoundTrip(t *testing.T) {
 		name     string
 		parallel int
 		faults   string
+		adaptive int
 	}{
-		{"serial", 0, ""},
-		{"serial-faults", 0, pcieFaults},
-		{"sharded", 4, ""},
-		{"sharded-faults", 4, pcieFaults},
+		{"serial", 0, "", 0},
+		{"serial-faults", 0, pcieFaults, 0},
+		// Serial ignores the adaptive knob entirely; the row proves a config
+		// carrying it still round-trips (same ConfigHash, same replay).
+		{"serial-adaptive-cfg", 0, "", 16},
+		// The plain sharded rows run under the default widening cap, so the
+		// cut lands at adaptively-widened window boundaries; the fixed row
+		// pins the pre-adaptive discipline.
+		{"sharded", 4, "", 0},
+		{"sharded-fixed", 4, "", 1},
+		{"sharded-faults", 4, pcieFaults, 0},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			cfg := replayCfg(t, tc.parallel, tc.faults)
+			cfg := replayCfgAdaptive(t, tc.parallel, tc.faults, tc.adaptive)
 
 			cold := startReplayProto(t, cfg)
 			cold.RunUntilHalted(20_000_000)
@@ -177,5 +192,36 @@ func TestReplayRejectsModeMismatch(t *testing.T) {
 				t.Fatalf("replay across engine modes: error %T (%v), want MismatchError", err, err)
 			}
 		})
+	}
+}
+
+// TestReplayRejectsAdaptiveMismatch restores a sharded snapshot taken under
+// the default widening cap into a fixed-window build: the window cursor is
+// meaningless across caps, so replay must refuse with a typed error rather
+// than silently stepping a different window sequence.
+func TestReplayRejectsAdaptiveMismatch(t *testing.T) {
+	cfg := replayCfgAdaptive(t, 4, "", 0)
+	p := startReplayProto(t, cfg)
+	p.RunUntilHalted(5_000)
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fixed := replayCfgAdaptive(t, 4, "", 1)
+	r, snap, err := core.RestorePrototype(bytes.NewReader(buf.Bytes()), fixed)
+	if err != nil {
+		t.Fatalf("RestorePrototype: %v", err)
+	}
+	prog := rvasm.MustAssemble(smappic.ResetPC, diffProgram)
+	host := r.Host()
+	for n := 0; n < r.Cfg.TotalNodes(); n++ {
+		host.LoadProgram(n, prog)
+	}
+	r.Start()
+	err = r.Replay(snap)
+	var me *ckpt.MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("replay across adaptive caps: error %T (%v), want MismatchError", err, err)
 	}
 }

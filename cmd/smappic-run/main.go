@@ -6,7 +6,8 @@
 // Usage:
 //
 //	smappic-run -shape 1x1x2 [-prog program.s] [-max-cycles N]
-//	            [-parallel N] [-metrics-json out.json] [-trace-out trace.json]
+//	            [-parallel N] [-adaptive N] [-shard-affinity]
+//	            [-metrics-json out.json] [-trace-out trace.json]
 //	            [-sample-every N] [-sample-out samples.csv]
 //	            [-faults SPEC] [-fault-seed N] [-watchdog N]
 //	            [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
@@ -46,10 +47,17 @@
 //
 // -parallel N (N > 1) shards the simulation one-engine-per-FPGA under the
 // conservative lookahead synchronizer; results are bit-identical to the
-// default serial engine. The sharded engine does not support the
-// event-trace or sampler extras; -watchdog works in both modes (sharded
-// runs check forward progress at window barriers and name the wedged
-// shard).
+// default serial engine. Windows widen adaptively while cross-shard traffic
+// is absent (geometric doubling, collapsing back to the minimum crossing
+// when traffic returns); -adaptive N caps the widening at N minimum
+// crossings (0 = default cap, 1 = fixed pre-adaptive windows), and
+// -shard-affinity pins each shard worker to an OS thread during windows.
+// Both knobs are execution policy: they change wall-clock, never results.
+// The sharded engine does not support the event-trace or sampler extras;
+// -watchdog works in both modes (sharded runs check forward progress at
+// window barriers and name the wedged shard — with a watchdog armed the
+// adaptive cap is additionally clamped so a quiet wide window cannot
+// outlast the stall deadline).
 //
 // -checkpoint FILE -checkpoint-at N writes a replay snapshot of the run at
 // cycle N and then continues to completion. -restore FILE rebuilds the same
@@ -118,6 +126,8 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "default RNG seed for fault rules without an explicit seed=")
 	watchdog := flag.Uint64("watchdog", 0, "stall-detection window in cycles (0 = off)")
 	parallel := flag.Int("parallel", 0, "shard the simulation across goroutines, one per FPGA (>1 = on; results are identical to serial)")
+	adaptive := flag.Int("adaptive", 0, "adaptive lookahead cap in minimum-crossing multiples for -parallel runs (0 = default cap, 1 = fixed windows)")
+	affinity := flag.Bool("shard-affinity", false, "pin each shard worker to an OS thread during windows (-parallel runs; execution policy only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	serve := flag.String("serve", "", "serve the live dashboard on this address (e.g. 127.0.0.1:8080) for the duration of the run")
@@ -140,6 +150,8 @@ func main() {
 	}
 	cfg := smappic.DefaultConfig(a, b, c)
 	cfg.Parallel = *parallel
+	cfg.AdaptiveLookahead = *adaptive
+	cfg.ShardAffinity = *affinity
 	cfg.SyncMetrics = *syncMetrics
 	cfg.Faults, err = smappic.ParseFaults(*faults, *faultSeed)
 	if err != nil {

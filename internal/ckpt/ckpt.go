@@ -139,6 +139,18 @@ type Replay struct {
 	Windows uint64 `json:"windows,omitempty"`
 	// Parallel records the shard count the cursor was taken under.
 	Parallel int `json:"parallel,omitempty"`
+	// Adaptive records the effective adaptive-lookahead cap of a sharded
+	// run: window counts are only comparable between runs widening their
+	// windows under the same cap, so restore rejects a different one.
+	// Zero in serial cursors and in snapshots predating the field.
+	Adaptive int `json:"adaptive,omitempty"`
+	// WindowDigest fingerprints the sharded run's window sequence (each
+	// window's start time and realized width, FNV-1a folded). Replay
+	// verifies it after reaching the cursor, proving the restore re-ran the
+	// identical windows rather than merely the same number of them. Never
+	// zero when written (the digest starts at the FNV offset basis); zero
+	// means a serial cursor or an older snapshot, and is not checked.
+	WindowDigest uint64 `json:"window_digest,omitempty"`
 }
 
 // State is the full quiescent-state section of a KindState snapshot. Every

@@ -71,6 +71,8 @@ func (p *Prototype) Checkpoint(w io.Writer) error {
 	}
 	if p.Group != nil {
 		snap.Replay.Windows = p.Group.Windows()
+		snap.Replay.Adaptive = p.Group.WidthCap()
+		snap.Replay.WindowDigest = p.Group.WindowDigest()
 	} else {
 		snap.Replay.Executed = p.Eng.Executed()
 	}
@@ -116,6 +118,14 @@ func (p *Prototype) Replay(snap *ckpt.Snapshot) error {
 			Got: fmt.Sprint(rp.Parallel), Want: fmt.Sprint(normalizedParallel(p.Cfg.Parallel))}
 	}
 	if p.Group != nil {
+		// A window cursor only means "the same windows" if both runs widen
+		// them identically, so the adaptive cap is part of the cursor's
+		// identity — and the digest proves the replayed window sequence
+		// (starts and widths) matched, not just its length.
+		if rp.Adaptive != 0 && rp.Adaptive != p.Group.WidthCap() {
+			return &ckpt.MismatchError{Field: "adaptive lookahead cap",
+				Got: fmt.Sprint(rp.Adaptive), Want: fmt.Sprint(p.Group.WidthCap())}
+		}
 		for p.Group.Windows() < rp.Windows {
 			if !p.Group.StepWindow() {
 				return &ckpt.MismatchError{Field: "replay cursor",
@@ -126,6 +136,10 @@ func (p *Prototype) Replay(snap *ckpt.Snapshot) error {
 		if uint64(p.Group.Now()) != snap.Now {
 			return &ckpt.MismatchError{Field: "replay clock",
 				Got: fmt.Sprint(snap.Now), Want: fmt.Sprint(p.Group.Now())}
+		}
+		if rp.WindowDigest != 0 && rp.WindowDigest != p.Group.WindowDigest() {
+			return &ckpt.MismatchError{Field: "window sequence digest",
+				Got: fmt.Sprintf("%#x", rp.WindowDigest), Want: fmt.Sprintf("%#x", p.Group.WindowDigest())}
 		}
 		return nil
 	}

@@ -96,6 +96,29 @@ type Config struct {
 	// form. 0 or 1 (the default) runs serial.
 	Parallel int
 
+	// AdaptiveLookahead caps the sharded synchronizer's adaptive window
+	// widening, in multiples of the minimum PCIe crossing: windows double
+	// geometrically up to this cap while no cross-shard envelope appears and
+	// collapse back to one crossing the window traffic returns (see
+	// internal/sim/parallel.go). 0 (the default) uses sim.DefaultAdaptiveCap;
+	// 1 pins windows to the fixed minimum crossing; negative is invalid.
+	// When a watchdog is armed, Build additionally clamps the cap so the
+	// widest window never exceeds the watchdog interval — otherwise a quiet
+	// wide window would legitimately delay the barrier past the stall
+	// deadline. The effective cap is execution scheduling, not model
+	// behavior: it never changes simulation results, but it is part of the
+	// window-sequence identity replay checkpoints record, so a snapshot of a
+	// sharded run only restores under the same effective cap. Ignored when
+	// serial.
+	AdaptiveLookahead int
+
+	// ShardAffinity, with Parallel > 1, pins each shard's worker to an OS
+	// thread for the duration of a window (runtime.LockOSThread) so shard
+	// heaps and event pools stay cache-hot instead of migrating across
+	// threads. Pure execution policy with no effect on results or on the
+	// window sequence; snapshots restore across either setting.
+	ShardAffinity bool
+
 	// SyncMetrics, with Parallel > 1, records the window synchronizer's
 	// behavior (windows executed, envelopes merged, horizon and per-shard
 	// lag) as fpga<N>.sync.* instruments in the per-shard registries, so
@@ -183,5 +206,28 @@ func (c Config) Validate() error {
 	if c.Core != CoreAriane && c.Core != CorePicoRV32 && c.Core != CoreNone {
 		return fmt.Errorf("core: unknown core type %q", c.Core)
 	}
+	if c.AdaptiveLookahead < 0 {
+		return fmt.Errorf("core: AdaptiveLookahead %d; want 0 (default), 1 (fixed windows) or a positive cap", c.AdaptiveLookahead)
+	}
 	return nil
+}
+
+// AdaptiveCap resolves the effective adaptive-lookahead cap for a sharded
+// build: the configured cap (default sim.DefaultAdaptiveCap), clamped so a
+// full-width window cannot outlast an armed watchdog's interval. Derived
+// only from the configuration, so every run and replay of it agrees.
+func (c Config) AdaptiveCap() int {
+	cap := c.AdaptiveLookahead
+	if cap == 0 {
+		cap = sim.DefaultAdaptiveCap
+	}
+	if c.WatchdogInterval > 0 {
+		if byWD := int(c.WatchdogInterval / c.PCIe.MinCrossing()); byWD < cap {
+			cap = byWD
+		}
+		if cap < 1 {
+			cap = 1
+		}
+	}
+	return cap
 }

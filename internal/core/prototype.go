@@ -178,6 +178,8 @@ func Build(cfg Config) (*Prototype, error) {
 			p.shardStats[f] = &sim.Stats{}
 		}
 		p.Group = sim.NewGroup(cfg.PCIe.MinCrossing(), p.engs...)
+		p.Group.SetAdaptive(cfg.AdaptiveCap())
+		p.Group.SetAffinity(cfg.ShardAffinity)
 		p.net = p.Group
 		if cfg.SyncMetrics {
 			p.Group.EnableSyncStats(p.shardStats)
@@ -189,7 +191,12 @@ func Build(cfg Config) (*Prototype, error) {
 			p.engs[f] = p.Eng
 			p.shardStats[f] = p.Stats
 		}
-		p.net = sim.NewSerialNet(p.Eng)
+		// The serial reference enforces the same model-latency floor the
+		// sharded lookahead depends on, so an undercutting model is caught in
+		// whichever mode runs first.
+		net := sim.NewSerialNet(p.Eng)
+		net.SetMinLatency(cfg.PCIe.MinCrossing())
+		p.net = net
 	}
 	p.Injector = fault.NewInjector(p.engs[0], cfg.Faults)
 	p.Fabric = pcie.New(p.engs[0], cfg.PCIe, p.shardStats[0])

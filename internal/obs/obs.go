@@ -162,6 +162,7 @@ func tickEvent(sn *Snapshot) map[string]any {
 	if sn.Sync != nil {
 		ev["windows"] = sn.Sync.Windows
 		ev["horizon"] = sn.Sync.Horizon
+		ev["width"] = sn.Sync.Width
 		ev["shards"] = sn.Sync.Shards
 	}
 	if sn.Campaign != nil {

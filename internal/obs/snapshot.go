@@ -41,12 +41,11 @@ type MetaView struct {
 	Halted       bool   `json:"halted"` // every started core has halted
 }
 
-// SyncView is the window synchronizer's state at the last barrier.
+// SyncView is the window synchronizer's state at the last barrier,
+// including the adaptive-lookahead machinery (window width, cap, and the
+// widen/collapse history).
 type SyncView struct {
-	Windows   uint64          `json:"windows"`   // completed synchronization windows
-	Horizon   sim.Time        `json:"horizon"`   // last window's exclusive upper bound
-	Lookahead sim.Time        `json:"lookahead"` // window length in cycles
-	Shards    []sim.ShardSync `json:"shards"`
+	sim.GroupSync
 	// ShardStats carries each shard's own registry snapshot, so per-shard
 	// behavior is visible before the report-time merge.
 	ShardStats []*sim.StatsSnapshot `json:"shard_stats,omitempty"`
@@ -127,12 +126,8 @@ func buildPrototypeView(sn *Snapshot, p *core.Prototype) {
 		merged.CopyFrom(regs...)
 		sn.Stats = merged.Snapshot()
 
-		windows, horizon, shards := p.Group.SyncSnapshot()
 		sv := &SyncView{
-			Windows:    windows,
-			Horizon:    horizon,
-			Lookahead:  p.Group.Lookahead(),
-			Shards:     shards,
+			GroupSync:  p.Group.SyncSnapshot(),
 			ShardStats: make([]*sim.StatsSnapshot, cfg.FPGAs),
 		}
 		for f, reg := range regs {

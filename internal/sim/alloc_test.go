@@ -139,3 +139,59 @@ func TestAfterCancelZeroAlloc(t *testing.T) {
 		t.Fatalf("After+Cancel allocates %.2f/op at steady state, want 0", avg)
 	}
 }
+
+// TestGroupHandoffZeroAlloc pins the batched envelope hand-off: once the
+// per-(src,dst) outbox slices and the inject scratch are warm, parking an
+// envelope (Send), merging it at the barrier (inject) and delivering it
+// (AtFront + Step) must not allocate per envelope.
+func TestGroupHandoffZeroAlloc(t *testing.T) {
+	e0, e1 := NewEngine(), NewEngine()
+	g := NewGroup(61, e0, e1)
+	fn := func() {}
+	drain := func() {
+		for e0.Step() {
+		}
+		for e1.Step() {
+		}
+	}
+	// Warm the outboxes, the merge scratch and both engines' pools with a
+	// burst of envelopes each way.
+	for i := 0; i < 64; i++ {
+		g.Send(0, 1, e1.Now()+100, fn)
+		g.Send(1, 0, e0.Now()+100, fn)
+	}
+	g.inject()
+	drain()
+	if avg := testing.AllocsPerRun(1000, func() {
+		g.Send(0, 1, e1.Now()+100, fn)
+		g.Send(1, 0, e0.Now()+100, fn)
+		g.inject()
+		drain()
+	}); avg != 0 {
+		t.Fatalf("envelope hand-off allocates %.2f/op at steady state, want 0", avg)
+	}
+}
+
+// TestGroupHandoffBurstZeroAlloc is the same pin for a multi-envelope
+// window: a batch of colliding deliveries exercises the canonical sort and
+// must still amortize to zero allocations per window.
+func TestGroupHandoffBurstZeroAlloc(t *testing.T) {
+	e0, e1 := NewEngine(), NewEngine()
+	g := NewGroup(61, e0, e1)
+	fn := func() {}
+	window := func() {
+		at := e1.Now() + 100
+		for i := 0; i < 16; i++ {
+			g.Send(0, 1, at, fn)
+		}
+		g.inject()
+		for e1.Step() {
+		}
+	}
+	for i := 0; i < 8; i++ {
+		window()
+	}
+	if avg := testing.AllocsPerRun(1000, window); avg != 0 {
+		t.Fatalf("16-envelope window allocates %.2f/op at steady state, want 0", avg)
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "slices"
+import (
+	"fmt"
+	"slices"
+)
 
 // CrossNet carries events between shards — the PCIe crossings and thread
 // migrations that are the only coupling between FPGA chips. Both execution
@@ -79,6 +82,7 @@ type dstState struct {
 // Endpoint ids may include pcie.HostID (-1); state is indexed at id+1.
 type SerialNet struct {
 	eng     *Engine
+	minLat  Time // model-latency floor; 0 = unguarded
 	seqs    []uint64
 	dsts    []*dstState
 	flushFn func(any) // bound once; arg is the destination id
@@ -111,8 +115,20 @@ func (n *SerialNet) dstAt(dst int) *dstState {
 	return n.dsts[dst+1]
 }
 
+// SetMinLatency arms the model-latency guard the sharded Group always
+// enforces: a Send delivering closer than lat to the current cycle panics.
+// The serial engine does not need the bound for correctness — it has no
+// windows — but a model that undercuts it here would undercut the sharded
+// lookahead too, so guarding the serial reference catches the wiring bug in
+// whichever mode hits it first.
+func (n *SerialNet) SetMinLatency(lat Time) { n.minLat = lat }
+
 // Send implements CrossNet.
 func (n *SerialNet) Send(src, dst int, deliverAt Time, fn func()) {
+	if n.minLat > 0 && deliverAt < n.eng.Now()+n.minLat {
+		panic(fmt.Sprintf("sim: cross-shard send at %d delivers at %d; model latency undercuts minimum crossing %d",
+			n.eng.Now(), deliverAt, n.minLat))
+	}
 	seq := n.seqAt(src)
 	*seq++
 	d := n.dstAt(dst)

@@ -1,25 +1,54 @@
 // Sharded parallel execution: a Group runs several Engines on goroutines
 // under a conservative bounded-lag synchronizer. The PCIe fabric's one-way
-// latency is the lookahead window L: no shard can affect another sooner
-// than L cycles out, so between barriers every shard may safely execute all
-// of its events in the window [T, T+L) without seeing the others. At each
-// barrier the shards' outboxes are merged and injected in the canonical
-// CrossNet order (see crossnet.go), which makes a sharded run produce the
-// exact event order — and therefore byte-identical metrics — of the serial
+// latency is the lookahead L: no shard can affect another sooner than L
+// cycles out, so between barriers every shard may safely execute all of its
+// events in the window [T, T+L) without seeing the others. At each barrier
+// the shards' outboxes are merged and injected in the canonical CrossNet
+// order (see crossnet.go), which makes a sharded run produce the exact
+// event order — and therefore byte-identical metrics — of the serial
 // reference.
+//
+// # Adaptive lookahead
+//
+// A fixed window of L cycles pays a full barrier (goroutine fan-out,
+// coordinator merge, telemetry flush) every minimum-crossing interval even
+// when the shards are not talking to each other — which is most of a
+// bucket-sort run. The Group therefore widens windows adaptively: after a
+// window closes with no cross-shard envelopes, the next window doubles in
+// width (in units of L) up to a cap, and collapses back to L the moment
+// traffic reappears.
+//
+// Widening never reorders events, because a widened window is executed as
+// lockstep *chunks* of L cycles. The safety argument is the conservative
+// one, applied per chunk: every envelope emitted during chunk [c, c+L) is
+// sent at some s >= c (the previous chunk drained everything earlier) and
+// delivers at s + model latency >= c + L — i.e. never inside its own chunk.
+// Between chunks the shards meet at a lightweight in-window barrier; the
+// last arriver checks the outboxes and ends the window at the first chunk
+// boundary with traffic parked, so no shard ever crosses a chunk boundary
+// ahead of an undelivered envelope. A window of width W is therefore
+// event-for-event identical to W consecutive fixed windows whose barriers
+// all had nothing to inject — the chunks that were skipped are exactly the
+// barriers that would have been no-ops. The adaptive width sequence is a
+// pure function of the (deterministic) simulation, so replay reproduces it,
+// and WindowDigest fingerprints it so a checkpoint cursor can prove it did.
 package sim
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
 )
 
-// groupEnv is a timestamped cross-shard envelope parked in a shard outbox.
-type groupEnv struct {
-	netEntry
-	dst int
-}
+// DefaultAdaptiveCap is the default ceiling on adaptive window widening, in
+// units of the lookahead L: windows grow geometrically 1, 2, 4, ... up to
+// this multiplier while cross-shard traffic is absent. 64 puts the widest
+// window at a few thousand cycles with the PCIe-calibrated L — long enough
+// to amortize barriers across a local compute phase, short enough that the
+// group still reaches quiescent points (checkpoints, watchdog checks,
+// dashboard snapshots) at a useful cadence.
+const DefaultAdaptiveCap = 64
 
 // Group executes a set of Engines — one per shard — in bounded-lag windows.
 // Construct with NewGroup; it implements CrossNet for cross-shard sends.
@@ -34,10 +63,29 @@ type Group struct {
 	lookahead Time
 	engines   []*Engine
 	seqs      []uint64
-	outbox    [][]groupEnv
-	horizon   Time       // current window's exclusive upper bound
-	running   bool       // inside a window (workers active)
-	merged    []groupEnv // inject scratch, reused window to window
+	// outbox is the batched envelope hand-off: one preallocated slice per
+	// (src, dst) pair at index src*shards+dst. During a window row src is
+	// owned by shard src's goroutine (Send appends, nothing else touches
+	// it); at the barrier the coordinator drains every slice per
+	// destination and merges in canonical order. Slices are reused window
+	// to window, so a warmed-up group hands envelopes off without
+	// allocating.
+	outbox   [][]netEntry
+	horizon  Time       // current window's exclusive upper bound
+	running  bool       // inside a window (workers active)
+	merged   []netEntry // per-destination inject scratch, reused
+	active   []int      // participant scratch, reused window to window
+	affinity bool       // pin shard workers with runtime.LockOSThread
+
+	// Adaptive-lookahead state. width is the next window's width in units
+	// of lookahead; maxWidth caps the geometric widening (1 = fixed
+	// windows). chunksRan is the width the current window actually reached
+	// before traffic (or idleness) ended it — written by the last barrier
+	// arriver, read by the coordinator after the workers join.
+	width     int
+	maxWidth  int
+	chunksRan int
+	bar       winBarrier
 
 	// Synchronizer telemetry, maintained unconditionally (a few integer
 	// bumps per window). envOut[i] is written only by shard i's goroutine
@@ -45,6 +93,10 @@ type Group struct {
 	// while the group is quiescent — the window WaitGroup provides the
 	// happens-before edges in both directions.
 	windows    uint64   // completed synchronization windows
+	chunks     uint64   // completed window chunks (windows in units of L)
+	widenings  uint64   // windows after which the width grew
+	collapses  uint64   // windows after which the width snapped back to 1
+	digest     uint64   // FNV-1a over the (start, width) window sequence
 	ranWindows []uint64 // windows in which shard i actually executed work
 	envIn      []uint64 // envelopes injected into shard i (merged deliveries)
 	envOut     []uint64 // envelopes sent by shard i
@@ -64,16 +116,39 @@ type Group struct {
 // shardSyncStats is the per-shard registry binding of the synchronizer
 // telemetry (see EnableSyncStats).
 type shardSyncStats struct {
-	windows *Counter
-	envIn   *Counter
-	envOut  *Counter
-	horizon *Gauge
-	lag     *Gauge
+	windows   *Counter
+	chunks    *Counter
+	widenings *Counter
+	collapses *Counter
+	envIn     *Counter
+	envOut    *Counter
+	horizon   *Gauge
+	width     *Gauge
+	lag       *Gauge
+}
+
+// fnvOffset/fnvPrime are the FNV-1a constants for the window-sequence
+// digest. Starting from the offset basis keeps the digest of an empty
+// sequence nonzero, so a snapshot can always carry it.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// fnvFold mixes one word into the running window digest.
+func fnvFold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
 }
 
 // NewGroup builds a synchronizer over the given shard engines. lookahead is
 // the minimum cross-shard latency in cycles; it must be positive, and every
-// Send must honor it.
+// Send must honor it. Windows start fixed at the lookahead; call SetAdaptive
+// to let them widen when cross-shard traffic is sparse.
 func NewGroup(lookahead Time, engines ...*Engine) *Group {
 	if lookahead == 0 {
 		panic("sim: parallel group needs a positive lookahead")
@@ -85,20 +160,48 @@ func NewGroup(lookahead Time, engines ...*Engine) *Group {
 		lookahead:  lookahead,
 		engines:    engines,
 		seqs:       make([]uint64, len(engines)),
-		outbox:     make([][]groupEnv, len(engines)),
+		outbox:     make([][]netEntry, len(engines)*len(engines)),
+		width:      1,
+		maxWidth:   1,
+		digest:     fnvOffset,
 		ranWindows: make([]uint64, len(engines)),
 		envIn:      make([]uint64, len(engines)),
 		envOut:     make([]uint64, len(engines)),
 	}
 }
 
+// SetAdaptive sets the adaptive-lookahead cap: the maximum window width as a
+// multiple of the lookahead. 1 keeps fixed windows; larger caps let windows
+// double geometrically while no cross-shard envelope appears and collapse
+// back to 1 the window traffic returns. Must be called while the group is
+// quiescent. The cap is part of the window-sequence identity a replay
+// checkpoint records, so a restore must use the same value (core.Replay
+// verifies it).
+func (g *Group) SetAdaptive(cap int) {
+	if cap < 1 {
+		panic(fmt.Sprintf("sim: adaptive lookahead cap %d; need >= 1", cap))
+	}
+	g.maxWidth = cap
+	if g.width > cap {
+		g.width = cap
+	}
+}
+
+// SetAffinity, when on, makes every shard worker pin itself to an OS thread
+// (runtime.LockOSThread) for the duration of its window, so a shard's
+// event pool, heap and model state keep their cache affinity instead of
+// migrating across threads mid-window. Pure execution policy: it affects
+// neither the event stream nor the window sequence.
+func (g *Group) SetAffinity(on bool) { g.affinity = on }
+
 // EnableSyncStats registers the synchronizer's telemetry as instruments in
 // the given per-shard registries (regs[i] belongs to shard i) under the
-// "fpga<i>.sync." prefix: windows executed, envelopes merged in and sent
-// out, the current window horizon, and the shard's lag behind that horizon.
-// Values are refreshed at every window barrier. Note that a report folding
-// these registries will then differ from a serial run's (a serial engine has
-// no windows), so the feature is opt-in — see core.Config.SyncMetrics.
+// "fpga<i>.sync." prefix: windows and chunks executed, envelopes merged in
+// and sent out, widening/collapse counts, the current window horizon and
+// width, and the shard's lag behind that horizon. Values are refreshed at
+// every window barrier. Note that a report folding these registries will
+// then differ from a serial run's (a serial engine has no windows), so the
+// feature is opt-in — see core.Config.SyncMetrics.
 func (g *Group) EnableSyncStats(regs []*Stats) {
 	if len(regs) != len(g.engines) {
 		panic(fmt.Sprintf("sim: EnableSyncStats got %d registries for %d shards", len(regs), len(g.engines)))
@@ -107,11 +210,15 @@ func (g *Group) EnableSyncStats(regs []*Stats) {
 	for i, s := range regs {
 		prefix := fmt.Sprintf("fpga%d.sync.", i)
 		g.syncStats[i] = shardSyncStats{
-			windows: s.Counter(prefix + "windows"),
-			envIn:   s.Counter(prefix + "envelopes_in"),
-			envOut:  s.Counter(prefix + "envelopes_out"),
-			horizon: s.Gauge(prefix + "horizon"),
-			lag:     s.Gauge(prefix + "lag"),
+			windows:   s.Counter(prefix + "windows"),
+			chunks:    s.Counter(prefix + "chunks"),
+			widenings: s.Counter(prefix + "widenings"),
+			collapses: s.Counter(prefix + "collapses"),
+			envIn:     s.Counter(prefix + "envelopes_in"),
+			envOut:    s.Counter(prefix + "envelopes_out"),
+			horizon:   s.Gauge(prefix + "horizon"),
+			width:     s.Gauge(prefix + "width"),
+			lag:       s.Gauge(prefix + "lag"),
 		}
 	}
 }
@@ -123,9 +230,13 @@ func (g *Group) flushSyncStats() {
 	for i := range g.syncStats {
 		ss := &g.syncStats[i]
 		ss.windows.Value = g.ranWindows[i]
+		ss.chunks.Value = g.chunks
+		ss.widenings.Value = g.widenings
+		ss.collapses.Value = g.collapses
 		ss.envIn.Value = g.envIn[i]
 		ss.envOut.Value = g.envOut[i]
 		ss.horizon.Set(int64(g.horizon))
+		ss.width.Set(int64(g.width))
 		lag := int64(0)
 		if le := g.engines[i].LastEventTime(); g.horizon > 0 && g.horizon-1 > le {
 			lag = int64(g.horizon - 1 - le)
@@ -145,18 +256,43 @@ type ShardSync struct {
 	Lag       Time   `json:"lag"`     // cycles behind the window horizon
 }
 
-// SyncSnapshot captures the synchronizer's state: total windows, the current
-// horizon, and per-shard occupancy. It must only be called while the group
-// is quiescent (between windows — e.g. from OnBarrier — or before/after Run).
-func (g *Group) SyncSnapshot() (windows uint64, horizon Time, shards []ShardSync) {
-	shards = make([]ShardSync, len(g.engines))
+// GroupSync is the synchronizer's state, captured at a barrier: window and
+// chunk totals, the adaptive-width machinery, and per-shard occupancy.
+type GroupSync struct {
+	Windows   uint64      `json:"windows"`   // completed synchronization windows
+	Chunks    uint64      `json:"chunks"`    // completed chunks (windows in units of L)
+	Horizon   Time        `json:"horizon"`   // last window's exclusive upper bound
+	Lookahead Time        `json:"lookahead"` // minimum window width in cycles
+	Width     int         `json:"width"`     // next window's width, in units of L
+	WidthCap  int         `json:"width_cap"` // adaptive cap (1 = fixed windows)
+	Widenings uint64      `json:"widenings"` // windows after which the width grew
+	Collapses uint64      `json:"collapses"` // windows that snapped the width back
+	Shards    []ShardSync `json:"shards"`
+}
+
+// SyncSnapshot captures the synchronizer's state: window/chunk totals, the
+// current horizon, the adaptive window width, and per-shard occupancy. It
+// must only be called while the group is quiescent (between windows — e.g.
+// from OnBarrier — or before/after Run).
+func (g *Group) SyncSnapshot() GroupSync {
+	sn := GroupSync{
+		Windows:   g.windows,
+		Chunks:    g.chunks,
+		Horizon:   g.horizon,
+		Lookahead: g.lookahead,
+		Width:     g.width,
+		WidthCap:  g.maxWidth,
+		Widenings: g.widenings,
+		Collapses: g.collapses,
+		Shards:    make([]ShardSync, len(g.engines)),
+	}
 	for i, e := range g.engines {
 		le := e.LastEventTime()
 		var lag Time
 		if g.horizon > 0 && g.horizon-1 > le {
 			lag = g.horizon - 1 - le
 		}
-		shards[i] = ShardSync{
+		sn.Shards[i] = ShardSync{
 			Shard:     i,
 			Windows:   g.ranWindows[i],
 			EnvIn:     g.envIn[i],
@@ -166,15 +302,27 @@ func (g *Group) SyncSnapshot() (windows uint64, horizon Time, shards []ShardSync
 			Lag:       lag,
 		}
 	}
-	return g.windows, g.horizon, shards
+	return sn
 }
 
 // Windows returns the number of completed synchronization windows. It is
 // the sharded engine's replay cursor: re-executing the same build for the
 // same number of windows reproduces the exact global state, so a replay
 // checkpoint of a sharded run records this count where a serial one records
-// the executed-event count.
+// the executed-event count. Under adaptive lookahead the window widths are
+// themselves deterministic, so the cursor stays exact; WindowDigest lets a
+// restore verify it replayed the identical width sequence.
 func (g *Group) Windows() uint64 { return g.windows }
+
+// Chunks returns the number of completed window chunks — the window count
+// normalized to units of the lookahead, comparable across adaptive caps.
+func (g *Group) Chunks() uint64 { return g.chunks }
+
+// WindowDigest returns the running FNV-1a fingerprint of the window
+// sequence: every completed window folds in its start time and the width it
+// actually reached. Two runs that stepped the same windows at the same
+// widths — what a replay cursor promises — have equal digests.
+func (g *Group) WindowDigest() uint64 { return g.digest }
 
 // Shards returns the number of shard engines.
 func (g *Group) Shards() int { return len(g.engines) }
@@ -182,51 +330,76 @@ func (g *Group) Shards() int { return len(g.engines) }
 // Engine returns shard i's engine.
 func (g *Group) Engine(i int) *Engine { return g.engines[i] }
 
-// Lookahead returns the synchronization window length in cycles.
+// Lookahead returns the minimum synchronization window length in cycles.
 func (g *Group) Lookahead() Time { return g.lookahead }
 
-// Send implements CrossNet: it parks fn in shard src's outbox for delivery
-// on shard dst at deliverAt. Must be called from shard src's goroutine (or
-// from the coordinator while the group is quiescent). A delivery time inside
-// the current window would mean the model's cross-shard latency undercuts
-// the lookahead — a wiring bug — and panics.
+// WidthCap returns the adaptive widening cap (1 = fixed windows).
+func (g *Group) WidthCap() int { return g.maxWidth }
+
+// Send implements CrossNet: it parks fn in the (src, dst) outbox for
+// delivery on shard dst at deliverAt. Must be called from shard src's
+// goroutine (or from the coordinator while the group is quiescent). A
+// delivery closer than the lookahead to the sender's clock would mean the
+// model's cross-shard latency undercuts the lookahead — a wiring bug — and
+// panics. (Deliveries inside the current window's horizon are fine under
+// adaptive widening: the chunk discipline ends the window before any shard
+// crosses the boundary they land beyond.)
 func (g *Group) Send(src, dst int, deliverAt Time, fn func()) {
-	if src < 0 || src >= len(g.engines) || dst < 0 || dst >= len(g.engines) {
-		panic(fmt.Sprintf("sim: cross-shard send %d->%d outside group of %d shards", src, dst, len(g.engines)))
+	n := len(g.engines)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		panic(fmt.Sprintf("sim: cross-shard send %d->%d outside group of %d shards", src, dst, n))
 	}
-	if g.running && deliverAt < g.horizon {
-		panic(fmt.Sprintf("sim: cross-shard send delivers at %d inside window ending %d; model latency undercuts lookahead %d",
-			deliverAt, g.horizon, g.lookahead))
+	sent := g.engines[src].Now()
+	if g.running && deliverAt < sent+g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send at %d delivers at %d; model latency undercuts lookahead %d",
+			sent, deliverAt, g.lookahead))
 	}
 	g.seqs[src]++
 	g.envOut[src]++
-	g.outbox[src] = append(g.outbox[src], groupEnv{
-		netEntry: netEntry{at: deliverAt, sent: g.engines[src].Now(), src: src, seq: g.seqs[src], fn: fn},
-		dst:      dst,
-	})
+	box := &g.outbox[src*n+dst]
+	*box = append(*box, netEntry{at: deliverAt, sent: sent, src: src, seq: g.seqs[src], fn: fn})
 }
 
-// inject merges all outboxes in canonical order and pushes each envelope
-// onto its destination engine as a front-of-cycle delivery. Injection order
+// inject merges the parked envelopes per destination in canonical order and
+// pushes each onto its engine as a front-of-cycle delivery. Injection order
 // matters: AtFront assigns per-engine sequence numbers, so injecting in
 // canonical order reproduces the serial engine's tie-break for deliveries
-// that land on the same (destination, cycle).
+// that land on the same (destination, cycle). Consumed entries are zeroed
+// so delivered closures don't linger, and all buffers are reused.
 func (g *Group) inject() {
-	all := g.merged[:0]
-	for i := range g.outbox {
-		all = append(all, g.outbox[i]...)
-		for j := range g.outbox[i] {
-			g.outbox[i][j] = groupEnv{}
+	n := len(g.engines)
+	for dst := 0; dst < n; dst++ {
+		all := g.merged[:0]
+		for src := 0; src < n; src++ {
+			box := &g.outbox[src*n+dst]
+			all = append(all, *box...)
+			for j := range *box {
+				(*box)[j] = netEntry{}
+			}
+			*box = (*box)[:0]
 		}
-		g.outbox[i] = g.outbox[i][:0]
+		if len(all) == 0 {
+			continue
+		}
+		slices.SortFunc(all, netCmp)
+		eng := g.engines[dst]
+		for i := range all {
+			g.envIn[dst]++
+			eng.AtFront(all[i].at, all[i].fn)
+			all[i] = netEntry{}
+		}
+		g.merged = all[:0]
 	}
-	slices.SortFunc(all, func(a, b groupEnv) int { return netCmp(a.netEntry, b.netEntry) })
-	for i := range all {
-		g.envIn[all[i].dst]++
-		g.engines[all[i].dst].AtFront(all[i].at, all[i].fn)
-		all[i] = groupEnv{}
+}
+
+// pendingEnvelopes reports whether any outbox holds an undelivered envelope.
+func (g *Group) pendingEnvelopes() bool {
+	for i := range g.outbox {
+		if len(g.outbox[i]) > 0 {
+			return true
+		}
 	}
-	g.merged = all[:0]
+	return false
 }
 
 // minNext returns the earliest live event time across all shards.
@@ -241,31 +414,175 @@ func (g *Group) minNext() (Time, bool) {
 	return best, found
 }
 
+// winBarrier is the in-window chunk barrier: a reusable phase rendezvous
+// for the window's participant shards. The last arriver of each phase
+// evaluates the window-over decision while it holds the lock (so every
+// participant's work for the chunk happens-before the decision) and the
+// verdict is read by all under the same lock on the way out.
+type winBarrier struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	parties int
+	arrived int
+	phase   uint64
+	stop    bool
+}
+
+// reset prepares the barrier for a window with the given participant count.
+func (b *winBarrier) reset(parties int) {
+	b.parties = parties
+	b.arrived = 0
+	b.stop = false
+	if b.cond.L == nil {
+		b.cond.L = &b.mu
+	}
+}
+
+// arrive blocks until every participant has finished the chunk, then
+// reports whether the window continues. over runs exactly once per phase,
+// in the last arriver, under the barrier lock.
+func (b *winBarrier) arrive(over func() bool) (cont bool) {
+	b.mu.Lock()
+	b.arrived++
+	if b.arrived == b.parties {
+		b.stop = over()
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		phase := b.phase
+		for phase == b.phase {
+			b.cond.Wait()
+		}
+	}
+	stop := b.stop
+	b.mu.Unlock()
+	return !stop
+}
+
+// windowOver is the chunk-boundary decision, made by the last barrier
+// arriver after chunk k (1-based) of a window starting at start with the
+// given planned width. The window ends when it reaches its planned width,
+// when any outbox parked an envelope (its delivery lands at or beyond the
+// next chunk boundary, so stopping here is exactly a fixed-window barrier),
+// or when no shard has work left before the planned horizon (the remaining
+// chunks would all be empty). Reading other shards' engines and outboxes is
+// safe here: every participant is parked in the barrier and the barrier
+// lock orders the reads.
+func (g *Group) windowOver(start Time, k, planned int) bool {
+	g.chunksRan = k
+	if k >= planned {
+		return true
+	}
+	if g.pendingEnvelopes() {
+		return true
+	}
+	end := start + Time(planned)*g.lookahead
+	for _, e := range g.engines {
+		if t, ok := e.NextEventTime(); ok && t < end {
+			return false
+		}
+	}
+	return true
+}
+
+// runShardWindow is one participant's window: execute chunk after chunk of
+// L cycles, meeting the others at the chunk barrier, until the last arriver
+// calls the window over.
+func (g *Group) runShardWindow(e *Engine, start Time, planned int) {
+	if g.affinity {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for k := 1; ; k++ {
+		e.runTo(start + Time(k)*g.lookahead - 1)
+		if !g.bar.arrive(func() bool { return g.windowOver(start, k, planned) }) {
+			return
+		}
+	}
+}
+
 // StepWindow runs one synchronization window: injects pending envelopes,
 // finds the global next event time T, and lets every shard with work before
-// T+L execute it concurrently. Returns false when no work remains anywhere.
+// the horizon execute it concurrently, chunk by chunk under the adaptive
+// width. Returns false when no work remains anywhere.
 func (g *Group) StepWindow() bool {
 	g.inject()
 	t, ok := g.minNext()
 	if !ok {
 		return false
 	}
-	g.horizon = t + g.lookahead
-	g.running = true
-	var wg sync.WaitGroup
+	planned := g.width
+	g.horizon = t + Time(planned)*g.lookahead
+	g.active = g.active[:0]
 	for i, e := range g.engines {
 		if next, ok := e.NextEventTime(); ok && next < g.horizon {
 			g.ranWindows[i]++
+			g.active = append(g.active, i)
+		}
+	}
+	g.running = true
+	g.chunksRan = planned
+	switch {
+	case planned == 1 && len(g.active) == 1:
+		// Fixed-width window with a single busy shard: run inline, no
+		// goroutine, no barrier.
+		g.engines[g.active[0]].runTo(g.horizon - 1)
+	case planned == 1:
+		// Fixed-width window: the chunk loop degenerates to one runTo per
+		// shard, so skip the chunk barrier entirely.
+		var wg sync.WaitGroup
+		for _, i := range g.active {
 			wg.Add(1)
 			go func(e *Engine) {
 				defer wg.Done()
+				if g.affinity {
+					runtime.LockOSThread()
+					defer runtime.UnlockOSThread()
+				}
 				e.runTo(g.horizon - 1)
-			}(e)
+			}(g.engines[i])
 		}
+		wg.Wait()
+	case len(g.active) == 1:
+		// Widened window, one busy shard: run the chunk loop inline. The
+		// barrier with one party never blocks, but the chunk decisions
+		// still run — the shard's own sends must end the window at the
+		// correct boundary.
+		g.bar.reset(1)
+		g.runShardWindow(g.engines[g.active[0]], t, planned)
+	default:
+		g.bar.reset(len(g.active))
+		var wg sync.WaitGroup
+		for _, i := range g.active {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				g.runShardWindow(e, t, planned)
+			}(g.engines[i])
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	g.running = false
+	ran := g.chunksRan
+	g.horizon = t + Time(ran)*g.lookahead
 	g.windows++
+	g.chunks += uint64(ran)
+	g.digest = fnvFold(fnvFold(g.digest, uint64(t)), uint64(ran))
+	// Adapt: traffic parked at this barrier collapses the width back to the
+	// minimum crossing; a quiet window doubles it up to the cap.
+	if g.pendingEnvelopes() {
+		if g.width > 1 {
+			g.collapses++
+		}
+		g.width = 1
+	} else if g.width < g.maxWidth {
+		g.width *= 2
+		if g.width > g.maxWidth {
+			g.width = g.maxWidth
+		}
+		g.widenings++
+	}
 	if g.syncStats != nil {
 		g.flushSyncStats()
 	}

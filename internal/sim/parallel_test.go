@@ -236,34 +236,37 @@ func TestGroupSyncTelemetry(t *testing.T) {
 	var lastWindows uint64
 	g.OnBarrier = func() {
 		barriers++
-		w, horizon, shards := g.SyncSnapshot()
-		if w != uint64(barriers) {
-			t.Errorf("barrier %d: windows = %d", barriers, w)
+		sn := g.SyncSnapshot()
+		if sn.Windows != uint64(barriers) {
+			t.Errorf("barrier %d: windows = %d", barriers, sn.Windows)
 		}
-		if w < lastWindows {
-			t.Errorf("windows went backwards: %d after %d", w, lastWindows)
+		if sn.Windows < lastWindows {
+			t.Errorf("windows went backwards: %d after %d", sn.Windows, lastWindows)
 		}
-		lastWindows = w
-		if horizon == 0 {
+		lastWindows = sn.Windows
+		if sn.Horizon == 0 {
 			t.Error("horizon not set at barrier")
 		}
-		if len(shards) != 2 {
-			t.Fatalf("got %d shard views, want 2", len(shards))
+		if sn.Chunks < sn.Windows {
+			t.Errorf("barrier %d: %d chunks for %d windows", barriers, sn.Chunks, sn.Windows)
 		}
-		for _, s := range shards {
-			if s.LastEvent >= horizon {
-				t.Errorf("shard %d ran to %d, beyond horizon %d", s.Shard, s.LastEvent, horizon)
+		if len(sn.Shards) != 2 {
+			t.Fatalf("got %d shard views, want 2", len(sn.Shards))
+		}
+		for _, s := range sn.Shards {
+			if s.LastEvent >= sn.Horizon {
+				t.Errorf("shard %d ran to %d, beyond horizon %d", s.Shard, s.LastEvent, sn.Horizon)
 			}
 		}
 	}
 	g.Run()
 
-	windows, _, shards := g.SyncSnapshot()
-	if barriers == 0 || uint64(barriers) != windows {
-		t.Fatalf("OnBarrier fired %d times for %d windows", barriers, windows)
+	final := g.SyncSnapshot()
+	if barriers == 0 || uint64(barriers) != final.Windows {
+		t.Fatalf("OnBarrier fired %d times for %d windows", barriers, final.Windows)
 	}
 	var in, out uint64
-	for _, s := range shards {
+	for _, s := range final.Shards {
 		if s.Windows == 0 {
 			t.Errorf("shard %d never ran a window", s.Shard)
 		}
@@ -294,7 +297,7 @@ func TestGroupEnableSyncStats(t *testing.T) {
 	m.start(6)
 	g.Run()
 
-	_, _, shards := g.SyncSnapshot()
+	shards := g.SyncSnapshot().Shards
 	for i, reg := range regs {
 		prefix := fmt.Sprintf("fpga%d.sync.", i)
 		if got := reg.Get(prefix + "windows"); got != shards[i].Windows {
@@ -322,4 +325,181 @@ func TestGroupEnableSyncStats(t *testing.T) {
 		}()
 		NewGroup(la, NewEngine(), NewEngine()).EnableSyncStats([]*Stats{{}})
 	}()
+}
+
+// TestGroupAdaptiveMatchesSerialNet re-runs the cross-shard model under a
+// range of adaptive widening caps: whatever the window widths do, the logs
+// and final times must stay identical to the serial reference — widening is
+// execution scheduling, not model behavior.
+func TestGroupAdaptiveMatchesSerialNet(t *testing.T) {
+	const la = Time(61)
+	const rounds = 12
+
+	serial := &crossModel{la: la, log: make([][]string, 2)}
+	se := NewEngine()
+	serial.engs = []*Engine{se, se}
+	serial.net = NewSerialNet(se)
+	serial.start(rounds)
+	serialEnd := se.Run()
+
+	for _, cap := range []int{2, 8, DefaultAdaptiveCap} {
+		t.Run(fmt.Sprintf("cap%d", cap), func(t *testing.T) {
+			sharded := &crossModel{la: la, log: make([][]string, 2)}
+			e0, e1 := NewEngine(), NewEngine()
+			g := NewGroup(la, e0, e1)
+			g.SetAdaptive(cap)
+			sharded.engs = []*Engine{e0, e1}
+			sharded.net = g
+			sharded.start(rounds)
+			shardedEnd := g.Run()
+
+			for s := 0; s < 2; s++ {
+				if !reflect.DeepEqual(serial.log[s], sharded.log[s]) {
+					t.Fatalf("shard %d logs diverge under cap %d:\nserial:  %v\nsharded: %v",
+						s, cap, serial.log[s], sharded.log[s])
+				}
+			}
+			if serialEnd != shardedEnd {
+				t.Fatalf("final time diverges under cap %d: serial %d, sharded %d", cap, serialEnd, shardedEnd)
+			}
+		})
+	}
+}
+
+// TestAdaptiveCollapse pins the width policy: quiet windows double the width
+// geometrically up to the cap, and the width snaps back to the minimum
+// crossing within one window of cross-shard traffic reappearing.
+func TestAdaptiveCollapse(t *testing.T) {
+	const la = Time(10)
+	e0, e1 := NewEngine(), NewEngine()
+	g := NewGroup(la, e0, e1)
+	g.SetAdaptive(8)
+
+	// Both shards tick densely so every chunk has local work; one send from
+	// shard 0 fires mid-run.
+	delivered := false
+	for s, e := range []*Engine{e0, e1} {
+		e := e
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 800 {
+				e.Schedule(1, tick)
+			}
+		}
+		e.Schedule(Time(s+1), tick)
+	}
+	e0.Schedule(300, func() {
+		g.Send(0, 1, e0.Now()+la, func() { delivered = true })
+	})
+
+	var widths []int
+	collapsedAt := -1
+	sawCap := false
+	for g.StepWindow() {
+		sn := g.SyncSnapshot()
+		widths = append(widths, sn.Width)
+		if sn.Width == 8 {
+			sawCap = true
+		}
+		if sn.Collapses == 1 && collapsedAt < 0 {
+			collapsedAt = len(widths) - 1
+			if sn.Width != 1 {
+				t.Fatalf("width %d one window after traffic reappeared, want 1 (widths: %v)", sn.Width, widths)
+			}
+		}
+	}
+	if !delivered {
+		t.Fatal("cross-shard send never delivered")
+	}
+	if !sawCap {
+		t.Fatalf("width never reached the cap 8 during quiet phase (widths: %v)", widths)
+	}
+	if collapsedAt < 0 {
+		t.Fatalf("width never collapsed after traffic (widths: %v)", widths)
+	}
+	// Quiet prefix doubles geometrically: next-window widths 2, 4, 8, 8, ...
+	for i := 0; i < collapsedAt; i++ {
+		want := 2 << i
+		if want > 8 {
+			want = 8
+		}
+		if widths[i] != want {
+			t.Fatalf("quiet window %d: next width %d, want %d (widths: %v)", i, widths[i], want, widths)
+		}
+	}
+	sn := g.SyncSnapshot()
+	if sn.Widenings == 0 || sn.Collapses != 1 {
+		t.Fatalf("widenings %d, collapses %d; want >0, 1", sn.Widenings, sn.Collapses)
+	}
+	if sn.Chunks <= sn.Windows {
+		t.Fatalf("chunks %d not above windows %d; widening never took effect", sn.Chunks, sn.Windows)
+	}
+}
+
+// TestWindowDigestDeterminism runs the same model twice under the same cap
+// and requires identical window sequences (count, chunks, digest) — the
+// property the checkpoint replay cursor relies on — and different caps to
+// yield different digests for the same model.
+func TestWindowDigestDeterminism(t *testing.T) {
+	// A model with a long quiet phase, so adaptive widening actually differs
+	// from fixed windows: dense local ticks on both shards, one mid-run send.
+	run := func(cap int) (uint64, uint64, uint64) {
+		e0, e1 := NewEngine(), NewEngine()
+		g := NewGroup(10, e0, e1)
+		g.SetAdaptive(cap)
+		for s, e := range []*Engine{e0, e1} {
+			e := e
+			n := 0
+			var tick func()
+			tick = func() {
+				n++
+				if n < 600 {
+					e.Schedule(1, tick)
+				}
+			}
+			e.Schedule(Time(s+1), tick)
+		}
+		e0.Schedule(250, func() { g.Send(0, 1, e0.Now()+10, func() {}) })
+		g.Run()
+		return g.Windows(), g.Chunks(), g.WindowDigest()
+	}
+	w1, c1, d1 := run(8)
+	w2, c2, d2 := run(8)
+	if w1 != w2 || c1 != c2 || d1 != d2 {
+		t.Fatalf("same cap diverged: (%d,%d,%#x) vs (%d,%d,%#x)", w1, c1, d1, w2, c2, d2)
+	}
+	wf, cf, df := run(1)
+	if wf == w1 && df == d1 {
+		t.Fatalf("fixed and adaptive runs produced the same window sequence (%d windows, digest %#x)", wf, df)
+	}
+	if cf < c1 {
+		// Chunks normalize windows to lookahead units; the fixed run pays one
+		// window per chunk, so it can only have at least as many.
+		t.Fatalf("fixed run executed %d chunks, adaptive %d", cf, c1)
+	}
+}
+
+// TestSerialNetMinLatencyGuard checks the serial side of the lookahead
+// contract: once armed, a send undercutting the minimum crossing panics
+// instead of silently diverging from what a sharded run would do.
+func TestSerialNetMinLatencyGuard(t *testing.T) {
+	e := NewEngine()
+	n := NewSerialNet(e)
+	n.SetMinLatency(61)
+	ok := false
+	e.Schedule(5, func() {
+		n.Send(0, 1, e.Now()+61, func() { ok = true }) // exactly the bound: fine
+		defer func() {
+			if recover() == nil {
+				t.Error("undercutting serial send did not panic")
+			}
+		}()
+		n.Send(0, 1, e.Now()+60, func() {})
+	})
+	e.Run()
+	if !ok {
+		t.Fatal("legal send was not delivered")
+	}
 }

@@ -35,6 +35,7 @@ type diffCase struct {
 	numa     bool
 	faults   string
 	seed     uint64
+	adaptive int // AdaptiveLookahead for the sharded run (0 = default cap)
 }
 
 // buildProto builds one prototype for a case in the requested mode.
@@ -42,6 +43,7 @@ func buildProto(t *testing.T, dc diffCase, parallel int) *core.Prototype {
 	t.Helper()
 	cfg := smappic.DefaultConfig(dc.a, dc.b, dc.c)
 	cfg.Parallel = parallel
+	cfg.AdaptiveLookahead = dc.adaptive
 	cfg.Seed = dc.seed
 	if dc.workload != "riscv" {
 		cfg.Core = core.CoreNone
@@ -193,23 +195,34 @@ func diffCases() []diffCase {
 }
 
 // TestShardedMatchesSerial is the differential table: sharded == serial,
-// byte for byte, across node counts, workloads, fault plans and seeds.
+// byte for byte, across node counts, workloads, fault plans and seeds —
+// and for every row, both with fixed windows (AdaptiveLookahead 1) and
+// under the default adaptive widening cap. Adaptive widening is execution
+// scheduling only, so both sharded variants must reproduce the one serial
+// outcome.
 func TestShardedMatchesSerial(t *testing.T) {
 	for _, dc := range diffCases() {
 		dc := dc
 		t.Run(dc.name, func(t *testing.T) {
 			t.Parallel()
 			serial := runCase(t, dc, 0)
-			sharded := runCase(t, dc, dc.a)
-			if serial.cycles != sharded.cycles {
-				t.Errorf("final time: serial %d, sharded %d", serial.cycles, sharded.cycles)
-			}
-			if serial.checksum != sharded.checksum {
-				t.Errorf("checksum: serial %#x, sharded %#x", serial.checksum, sharded.checksum)
-			}
-			if !bytes.Equal(serial.metrics, sharded.metrics) {
-				t.Errorf("MetricsJSON diverges (%d vs %d bytes):\n%s",
-					len(serial.metrics), len(sharded.metrics), firstDiff(serial.metrics, sharded.metrics))
+			for _, mode := range []struct {
+				name     string
+				adaptive int
+			}{{"fixed", 1}, {"adaptive", 0}} {
+				dc := dc
+				dc.adaptive = mode.adaptive
+				sharded := runCase(t, dc, dc.a)
+				if serial.cycles != sharded.cycles {
+					t.Errorf("%s: final time: serial %d, sharded %d", mode.name, serial.cycles, sharded.cycles)
+				}
+				if serial.checksum != sharded.checksum {
+					t.Errorf("%s: checksum: serial %#x, sharded %#x", mode.name, serial.checksum, sharded.checksum)
+				}
+				if !bytes.Equal(serial.metrics, sharded.metrics) {
+					t.Errorf("%s: MetricsJSON diverges (%d vs %d bytes):\n%s",
+						mode.name, len(serial.metrics), len(sharded.metrics), firstDiff(serial.metrics, sharded.metrics))
+				}
 			}
 		})
 	}
