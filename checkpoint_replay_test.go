@@ -25,10 +25,19 @@ func replayCfg(t *testing.T, parallel int, faults string) smappic.Config {
 // replayCfgAdaptive additionally pins the adaptive-lookahead cap (0 keeps
 // the default widening cap).
 func replayCfgAdaptive(t *testing.T, parallel int, faults string, adaptive int) smappic.Config {
+	return replayCfgShaped(t, 4, 1, parallel, faults, adaptive, "")
+}
+
+// replayCfgShaped is the fully-parameterized builder: shape (a FPGAs of b
+// nodes), engine mode, fault plan, widening cap and shard granularity. The
+// per-node rows use 2x2x2 — multi-node FPGAs, so node granularity actually
+// nests inner windows.
+func replayCfgShaped(t *testing.T, a, b, parallel int, faults string, adaptive int, granularity string) smappic.Config {
 	t.Helper()
-	cfg := smappic.DefaultConfig(4, 1, 2)
+	cfg := smappic.DefaultConfig(a, b, 2)
 	cfg.Parallel = parallel
 	cfg.AdaptiveLookahead = adaptive
+	cfg.ShardGranularity = granularity
 	cfg.Seed = 42
 	if faults != "" {
 		var err error
@@ -81,27 +90,35 @@ func startReplayProto(t *testing.T, cfg smappic.Config) *core.Prototype {
 // continued run to match the uninterrupted reference byte for byte.
 func TestReplayCheckpointRoundTrip(t *testing.T) {
 	for _, tc := range []struct {
-		name     string
-		parallel int
-		faults   string
-		adaptive int
+		name        string
+		a, b        int
+		parallel    int
+		faults      string
+		adaptive    int
+		granularity string
 	}{
-		{"serial", 0, "", 0},
-		{"serial-faults", 0, pcieFaults, 0},
+		{"serial", 4, 1, 0, "", 0, ""},
+		{"serial-faults", 4, 1, 0, pcieFaults, 0, ""},
 		// Serial ignores the adaptive knob entirely; the row proves a config
 		// carrying it still round-trips (same ConfigHash, same replay).
-		{"serial-adaptive-cfg", 0, "", 16},
+		{"serial-adaptive-cfg", 4, 1, 0, "", 16, ""},
 		// The plain sharded rows run under the default widening cap, so the
 		// cut lands at adaptively-widened window boundaries; the fixed row
 		// pins the pre-adaptive discipline.
-		{"sharded", 4, "", 0},
-		{"sharded-fixed", 4, "", 1},
-		{"sharded-faults", 4, pcieFaults, 0},
+		{"sharded", 4, 1, 4, "", 0, ""},
+		{"sharded-fixed", 4, 1, 4, "", 1, ""},
+		{"sharded-faults", 4, 1, 4, pcieFaults, 0, ""},
+		// Per-node granularity on multi-node FPGAs: the replay cursor counts
+		// hierarchical windows (outer digest folds the inner clusters'), so
+		// the cut lands at nested-window boundaries.
+		{"sharded-node", 2, 2, 2, "", 0, "node"},
+		{"sharded-node-fixed", 2, 2, 2, "", 1, "node"},
+		{"sharded-node-faults", 2, 2, 2, pcieFaults, 0, "node"},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			cfg := replayCfgAdaptive(t, tc.parallel, tc.faults, tc.adaptive)
+			cfg := replayCfgShaped(t, tc.a, tc.b, tc.parallel, tc.faults, tc.adaptive, tc.granularity)
 
 			cold := startReplayProto(t, cfg)
 			cold.RunUntilHalted(20_000_000)
@@ -223,5 +240,59 @@ func TestReplayRejectsAdaptiveMismatch(t *testing.T) {
 	var me *ckpt.MismatchError
 	if !errors.As(err, &me) {
 		t.Fatalf("replay across adaptive caps: error %T (%v), want MismatchError", err, err)
+	}
+}
+
+// TestReplayRejectsGranularityMismatch restores a per-FPGA snapshot into a
+// per-node build (and vice versa) of the same shape: the window cursor
+// counts different synchronizer steps at each granularity, so replay must
+// refuse with a typed error naming the shard granularity.
+func TestReplayRejectsGranularityMismatch(t *testing.T) {
+	snapFor := func(granularity string) []byte {
+		cfg := replayCfgShaped(t, 2, 2, 2, "", 0, granularity)
+		p := startReplayProto(t, cfg)
+		p.RunUntilHalted(5_000)
+		var buf bytes.Buffer
+		if err := p.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, tc := range []struct {
+		name     string
+		snapGran string
+		restGran string
+	}{
+		{"fpga-into-node", "fpga", "node"},
+		{"node-into-fpga", "node", "fpga"},
+		// The zero value means per-FPGA: a legacy snapshot without the field
+		// must restore into an explicit per-FPGA build, not be rejected.
+		{"default-into-fpga-ok", "", "fpga"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := snapFor(tc.snapGran)
+			cfg := replayCfgShaped(t, 2, 2, 2, "", 0, tc.restGran)
+			p, snap, err := core.RestorePrototype(bytes.NewReader(raw), cfg)
+			if err != nil {
+				t.Fatalf("RestorePrototype: %v", err)
+			}
+			prog := rvasm.MustAssemble(smappic.ResetPC, diffProgram)
+			host := p.Host()
+			for n := 0; n < p.Cfg.TotalNodes(); n++ {
+				host.LoadProgram(n, prog)
+			}
+			p.Start()
+			err = p.Replay(snap)
+			if tc.snapGran == "" || tc.snapGran == tc.restGran {
+				if err != nil {
+					t.Fatalf("same-granularity replay failed: %v", err)
+				}
+				return
+			}
+			var me *ckpt.MismatchError
+			if !errors.As(err, &me) {
+				t.Fatalf("replay across shard granularities: error %T (%v), want MismatchError", err, err)
+			}
+		})
 	}
 }

@@ -145,12 +145,19 @@ type Replay struct {
 	// Zero in serial cursors and in snapshots predating the field.
 	Adaptive int `json:"adaptive,omitempty"`
 	// WindowDigest fingerprints the sharded run's window sequence (each
-	// window's start time and realized width, FNV-1a folded). Replay
+	// window's start time and realized width, FNV-1a folded; hierarchical
+	// runs fold every cluster's inner-window sequence in too). Replay
 	// verifies it after reaching the cursor, proving the restore re-ran the
 	// identical windows rather than merely the same number of them. Never
 	// zero when written (the digest starts at the FNV offset basis); zero
 	// means a serial cursor or an older snapshot, and is not checked.
 	WindowDigest uint64 `json:"window_digest,omitempty"`
+	// Granularity records the shard granularity ("fpga" or "node") of a
+	// sharded cursor: window counts and digests are granularity-specific,
+	// so restore refuses a cursor taken at the other granularity. Empty in
+	// serial cursors and in snapshots predating the field (which are all
+	// per-FPGA).
+	Granularity string `json:"granularity,omitempty"`
 }
 
 // State is the full quiescent-state section of a KindState snapshot. Every

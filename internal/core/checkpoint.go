@@ -73,6 +73,7 @@ func (p *Prototype) Checkpoint(w io.Writer) error {
 		snap.Replay.Windows = p.Group.Windows()
 		snap.Replay.Adaptive = p.Group.WidthCap()
 		snap.Replay.WindowDigest = p.Group.WindowDigest()
+		snap.Replay.Granularity = p.Cfg.Granularity()
 	} else {
 		snap.Replay.Executed = p.Eng.Executed()
 	}
@@ -118,6 +119,18 @@ func (p *Prototype) Replay(snap *ckpt.Snapshot) error {
 			Got: fmt.Sprint(rp.Parallel), Want: fmt.Sprint(normalizedParallel(p.Cfg.Parallel))}
 	}
 	if p.Group != nil {
+		// A window cursor is granularity-specific: per-FPGA and per-node
+		// runs of one configuration execute different window sequences, so
+		// a cursor only replays at the granularity it was taken under.
+		// Cursors predating the field are all per-FPGA.
+		cursorGran := rp.Granularity
+		if cursorGran == "" {
+			cursorGran = "fpga"
+		}
+		if cursorGran != p.Cfg.Granularity() {
+			return &ckpt.MismatchError{Field: "shard granularity",
+				Got: cursorGran, Want: p.Cfg.Granularity()}
+		}
 		// A window cursor only means "the same windows" if both runs widen
 		// them identically, so the adaptive cap is part of the cursor's
 		// identity — and the digest proves the replayed window sequence

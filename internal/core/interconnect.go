@@ -1,0 +1,212 @@
+package core
+
+import (
+	"smappic/internal/axi"
+	"smappic/internal/pcie"
+	"smappic/internal/sim"
+)
+
+// icLatency is the intra-FPGA interconnect traversal latency in cycles: the
+// crossing every hop inside the custom logic pays (bridge slot to bridge
+// slot, shell to bridge slot). It replaces the old per-FPGA crossbar's
+// traversal latency — but as a CrossNet send instead of a same-engine
+// forward, so co-located nodes become shard boundaries and the per-node
+// sharded engine can use it as its inner lookahead. Every mode routes these
+// hops the same way (the serial reference and per-FPGA shards included),
+// which is what keeps results granularity-invariant.
+const icLatency sim.Time = 2
+
+// icBeats converts a transfer size to target-port beats (one beat per cycle
+// on the 512-bit port), minimum one.
+func icBeats(n int) sim.Time {
+	beats := sim.Time((n + axi.BeatBytes - 1) / axi.BeatBytes)
+	if beats == 0 {
+		beats = 1
+	}
+	return beats
+}
+
+// icPort is the destination side of one interconnect window: the
+// arbitration point serializing beats onto one bridge's inbound port. It is
+// owned by the destination node's engine — arbitration state is only
+// touched from delivered events, so per-node shards need no locking.
+type icPort struct {
+	node   int // the node whose bridge sits behind this port
+	eng    *sim.Engine
+	target axi.Target
+	busy   sim.Time
+	writes sim.LazyCounter
+	reads  sim.LazyCounter
+}
+
+// arbitrate reserves beats on the port and runs invoke when the transfer
+// wins the port, exactly like the old crossbar's per-target serialization
+// (start = max(arrival, busy); busy = start + beats).
+func (pt *icPort) arbitrate(beats sim.Time, invoke func()) {
+	now := pt.eng.Now()
+	start := now
+	if pt.busy > start {
+		start = pt.busy
+	}
+	pt.busy = start + beats
+	if start > now {
+		pt.eng.Schedule(start-now, invoke)
+		return
+	}
+	invoke()
+}
+
+// dropWriteResp discards the bridge's inbound write acknowledgement: the
+// source was answered at issue time (posted write), so the destination-side
+// response has no consumer.
+func dropWriteResp(*axi.WriteResp) {}
+
+// icMaster is one node's master port onto its FPGA's interconnect. It
+// replaces the per-FPGA crossbar plus the old clOut router: addresses below
+// the PCIe aperture decode to a co-located bridge window and cross the
+// interconnect (a CrossNet send at icLatency); addresses inside the
+// aperture leave through the FPGA's shell, hopping to the shell-owning
+// slot-0 node first when the master lives elsewhere. The shell's inbound
+// custom-logic port is the slot-0 node's icMaster, so PCIe-delivered
+// transactions join the same arbitration as local ones.
+type icMaster struct {
+	p    *Prototype
+	node int // source endpoint
+	eng  *sim.Engine
+}
+
+// decode resolves a CL-local address to the co-located bridge port behind
+// it, or nil when unmapped.
+func (m *icMaster) decode(addr axi.Addr) *icPort {
+	base := bridgeWindow(0)
+	if addr < base {
+		return nil
+	}
+	b := m.p.Cfg.NodesPerFPGA
+	slot := int(uint64(addr-base) / bridgeWindowSize)
+	if slot >= b {
+		return nil
+	}
+	return m.p.icPorts[m.node/b*b+slot]
+}
+
+// outNode returns the slot-0 node of the master's FPGA — the node whose
+// engine owns the FPGA's shell.
+func (m *icMaster) outNode() int {
+	b := m.p.Cfg.NodesPerFPGA
+	return m.node / b * b
+}
+
+func (m *icMaster) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
+	if req.Addr >= pcie.WindowBase {
+		m.shellWrite(req, done)
+		return
+	}
+	pt := m.decode(req.Addr)
+	if pt == nil {
+		done(&axi.WriteResp{ID: req.ID, OK: false})
+		return
+	}
+	beats := icBeats(len(req.Data))
+	// The crossing owns a copy of the request: req may point into a pooled
+	// record (a PCIe exchange's rewritten request) that its owner recycles at
+	// a later cycle of the same window — which another engine may execute
+	// concurrently. Within one engine sim order protects the pointer; across
+	// engines only a value handed off at the Send boundary is safe.
+	cp := *req
+	m.p.net.Send(m.node, pt.node, m.eng.Now()+icLatency, func() {
+		pt.writes.Inc()
+		pt.arbitrate(beats, func() { pt.target.Write(&cp, dropWriteResp) })
+	})
+	// Posted write: the decode succeeded, so the source is answered
+	// immediately. The bridge's inbound port unconditionally acknowledges
+	// writes (loss shows up as a missing envelope, reconciled by credits),
+	// so no information is lost by acknowledging at the source.
+	done(&axi.WriteResp{ID: req.ID, OK: true})
+}
+
+func (m *icMaster) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
+	if req.Addr >= pcie.WindowBase {
+		m.shellRead(req, done)
+		return
+	}
+	pt := m.decode(req.Addr)
+	if pt == nil {
+		done(&axi.ReadResp{ID: req.ID, OK: false})
+		return
+	}
+	beats := icBeats(req.Len)
+	src := m.node
+	cp := *req // see Write: the crossing owns a copy
+	m.p.net.Send(src, pt.node, m.eng.Now()+icLatency, func() {
+		pt.reads.Inc()
+		pt.arbitrate(beats, func() {
+			pt.target.Read(&cp, func(r *axi.ReadResp) {
+				// Full round trip: the response pays the return crossing
+				// too, delivered back on the source node's engine.
+				m.p.net.Send(pt.node, src, pt.eng.Now()+icLatency, func() { done(r) })
+			})
+		})
+	})
+}
+
+// shellWrite routes a PCIe-aperture write out through the FPGA's shell. The
+// shell is owned by the slot-0 node's engine; masters on other nodes cross
+// the interconnect to reach it, and the response crosses back (the bridge
+// reclaims credits on a failed write, so the completion must arrive in the
+// source's own execution context).
+func (m *icMaster) shellWrite(req *axi.WriteReq, done func(*axi.WriteResp)) {
+	sh := m.p.Shells[m.node/m.p.Cfg.NodesPerFPGA]
+	out := m.outNode()
+	if m.node == out {
+		sh.Outbound().Write(req, done)
+		return
+	}
+	src := m.node
+	shEng := m.p.EngineForNode(out)
+	cp := *req // see Write: the crossing owns a copy
+	m.p.net.Send(src, out, m.eng.Now()+icLatency, func() {
+		sh.Outbound().Write(&cp, func(r *axi.WriteResp) {
+			m.p.net.Send(out, src, shEng.Now()+icLatency, func() { done(r) })
+		})
+	})
+}
+
+// shellRead is shellWrite for reads (credit fetches crossing PCIe).
+func (m *icMaster) shellRead(req *axi.ReadReq, done func(*axi.ReadResp)) {
+	sh := m.p.Shells[m.node/m.p.Cfg.NodesPerFPGA]
+	out := m.outNode()
+	if m.node == out {
+		sh.Outbound().Read(req, done)
+		return
+	}
+	src := m.node
+	shEng := m.p.EngineForNode(out)
+	cp := *req // see Write: the crossing owns a copy
+	m.p.net.Send(src, out, m.eng.Now()+icLatency, func() {
+		sh.Outbound().Read(&cp, func(r *axi.ReadResp) {
+			m.p.net.Send(out, src, shEng.Now()+icLatency, func() { done(r) })
+		})
+	})
+}
+
+var _ axi.Target = (*icMaster)(nil)
+
+// pcieView adapts the node-endpoint CrossNet to the PCIe fabric's endpoint
+// language: fabric endpoint f is FPGA f, carried by its slot-0 node (whose
+// engine owns the shell and the fabric port). The host endpoint
+// (pcie.HostID, negative) passes through untranslated.
+type pcieView struct {
+	net   sim.CrossNet
+	nodes int // nodes per FPGA
+}
+
+func (v pcieView) Send(src, dst int, deliverAt sim.Time, fn func()) {
+	if src >= 0 {
+		src *= v.nodes
+	}
+	if dst >= 0 {
+		dst *= v.nodes
+	}
+	v.net.Send(src, dst, deliverAt, fn)
+}

@@ -111,8 +111,10 @@ type Prototype struct {
 	Nodes   []*Node
 	RNG     *sim.RNG
 
-	engs       []*sim.Engine // per FPGA; all the same engine when serial
-	shardStats []*sim.Stats  // per FPGA; all Stats when serial
+	engs       []*sim.Engine // per shard; the one global engine when serial
+	shardStats []*sim.Stats  // per shard; all Stats when serial
+	nodeShard  []int         // node id -> shard index (all 0 when serial)
+	icPorts    []*icPort     // node id -> its bridge's interconnect port
 	net        sim.CrossNet  // cross-shard delivery (SerialNet when serial)
 	// Tracer, when installed with EnableTrace, records protocol and MMIO
 	// events (nil-safe: tracing is free when disabled).
@@ -160,26 +162,58 @@ func Build(cfg Config) (*Prototype, error) {
 		return nil, err
 	}
 	parallel := cfg.Parallel > 1
+	perNode := parallel && cfg.Granularity() == "node"
+	shards := 1
+	if parallel {
+		shards = cfg.FPGAs
+		if perNode {
+			shards = cfg.TotalNodes()
+		}
+	}
 	p := &Prototype{
 		Cfg:        cfg,
 		Backing:    mem.NewBacking(),
 		Map:        NewAddrMap(cfg.TotalNodes(), cfg.TilesPerNode, cfg.UnifiedMemory),
 		RNG:        sim.NewRNG(cfg.Seed),
-		engs:       make([]*sim.Engine, cfg.FPGAs),
-		shardStats: make([]*sim.Stats, cfg.FPGAs),
+		engs:       make([]*sim.Engine, shards),
+		shardStats: make([]*sim.Stats, shards),
+		nodeShard:  make([]int, cfg.TotalNodes()),
+		icPorts:    make([]*icPort, cfg.TotalNodes()),
+	}
+	for n := range p.nodeShard {
+		switch {
+		case perNode:
+			p.nodeShard[n] = n
+		case parallel:
+			p.nodeShard[n] = n / cfg.NodesPerFPGA
+		}
 	}
 	if parallel {
-		// One engine and registry per FPGA; shards never touch each other's.
-		// p.Stats stays empty until report time, when the shard registries
-		// are folded into it.
+		// One engine and registry per shard (an FPGA, or a node under
+		// per-node granularity); shards never touch each other's. p.Stats
+		// stays empty until report time, when the shard registries are
+		// folded into it.
 		p.Stats = &sim.Stats{}
-		for f := range p.engs {
-			p.engs[f] = sim.NewEngine()
-			p.shardStats[f] = &sim.Stats{}
+		for i := range p.engs {
+			p.engs[i] = sim.NewEngine()
+			p.shardStats[i] = &sim.Stats{}
 		}
-		p.Group = sim.NewGroup(cfg.PCIe.MinCrossing(), p.engs...)
+		// Clusters group one FPGA's shard engines under the inner (intra-
+		// FPGA interconnect) lookahead; the outer level synchronizes FPGAs
+		// at the PCIe lookahead. Per-FPGA granularity degenerates to
+		// singleton clusters — the flat, one-level behavior.
+		clusters := make([][]*sim.Engine, cfg.FPGAs)
+		for f := range clusters {
+			if perNode {
+				clusters[f] = p.engs[f*cfg.NodesPerFPGA : (f+1)*cfg.NodesPerFPGA]
+			} else {
+				clusters[f] = p.engs[f : f+1]
+			}
+		}
+		p.Group = sim.NewHierGroup(cfg.PCIe.MinCrossing(), icLatency, clusters, p.nodeShard)
 		p.Group.SetAdaptive(cfg.AdaptiveCap())
 		p.Group.SetAffinity(cfg.ShardAffinity)
+		p.Group.SetMinLatencyFunc(p.minCrossingOf)
 		p.net = p.Group
 		if cfg.SyncMetrics {
 			p.Group.EnableSyncStats(p.shardStats)
@@ -187,24 +221,27 @@ func Build(cfg Config) (*Prototype, error) {
 	} else {
 		p.Eng = sim.NewEngine()
 		p.Stats = &sim.Stats{}
-		for f := range p.engs {
-			p.engs[f] = p.Eng
-			p.shardStats[f] = p.Stats
-		}
-		// The serial reference enforces the same model-latency floor the
-		// sharded lookahead depends on, so an undercutting model is caught in
-		// whichever mode runs first.
+		p.engs[0] = p.Eng
+		p.shardStats[0] = p.Stats
+		// The serial reference enforces the same per-edge model-latency
+		// floors the sharded lookaheads depend on (PCIe crossing between
+		// FPGAs, interconnect crossing inside one), so an undercutting model
+		// is caught in whichever mode runs first.
 		net := sim.NewSerialNet(p.Eng)
-		net.SetMinLatency(cfg.PCIe.MinCrossing())
+		net.SetMinLatencyFunc(p.minCrossingOf)
 		p.net = net
 	}
 	p.Injector = fault.NewInjector(p.engs[0], cfg.Faults)
 	p.Fabric = pcie.New(p.engs[0], cfg.PCIe, p.shardStats[0])
 	p.Fabric.SetInjector(p.Injector)
-	p.Fabric.SetCrossNet(p.net)
+	// The fabric addresses endpoints by FPGA id; the CrossNet underneath
+	// speaks node ids (so intra-FPGA hops can cross shards too). pcieView
+	// translates: FPGA f rides its slot-0 node's endpoint.
+	p.Fabric.SetCrossNet(pcieView{net: p.net, nodes: cfg.NodesPerFPGA})
 	if parallel {
 		for f := 0; f < cfg.FPGAs; f++ {
-			p.Fabric.ShardEndpoint(f, p.engs[f], p.shardStats[f])
+			s := p.nodeShard[f*cfg.NodesPerFPGA]
+			p.Fabric.ShardEndpoint(f, p.engs[s], p.shardStats[s])
 		}
 	}
 	if cfg.WatchdogInterval > 0 {
@@ -217,23 +254,22 @@ func Build(cfg Config) (*Prototype, error) {
 
 	w, h := cfg.MeshDims()
 
-	// Per-FPGA: shell + inbound crossbar decoding bridge windows and the
-	// host DMA window.
-	type fpgaCL struct {
-		xbar *axi.Crossbar
-	}
-	cls := make([]fpgaCL, cfg.FPGAs)
+	// Per-FPGA: shell on the slot-0 node's engine, with that node's
+	// interconnect master as the inbound custom logic — PCIe-delivered
+	// transactions cross the intra-FPGA interconnect to their slot like
+	// locally issued ones.
 	for f := 0; f < cfg.FPGAs; f++ {
-		sh := shell.New(p.engs[f], p.Fabric, f, p.shardStats[f])
+		out := f * cfg.NodesPerFPGA
+		s := p.nodeShard[out]
+		sh := shell.New(p.engs[s], p.Fabric, f, p.shardStats[s])
 		p.Shells = append(p.Shells, sh)
-		cls[f].xbar = axi.NewCrossbar(p.engs[f], fmt.Sprintf("fpga%d.inxbar", f), 2, p.shardStats[f])
-		sh.SetCustomLogic(cls[f].xbar)
+		sh.SetCustomLogic(&icMaster{p: p, node: out, eng: p.engs[s]})
 	}
 
 	// Nodes.
 	for nID := 0; nID < cfg.TotalNodes(); nID++ {
 		f := nID / cfg.NodesPerFPGA
-		eng, stats := p.engs[f], p.shardStats[f]
+		eng, stats := p.engs[p.nodeShard[nID]], p.shardStats[p.nodeShard[nID]]
 		name := fmt.Sprintf("node%d", nID)
 		n := &Node{ID: nID, FPGA: f, proto: p, eng: eng, stats: stats, name: name}
 		// Router/link delays calibrated so a 12-tile node reproduces the
@@ -297,30 +333,46 @@ func Build(cfg Config) (*Prototype, error) {
 		}
 		n.Mesh.AttachChipset(p.chipsetHandler(n))
 
-		// Inter-node bridge.
+		// Inter-node bridge, behind its interconnect window's arbitration
+		// port.
 		n.Bridge = bridge.New(eng, n.Mesh, nID, cfg.Bridge, stats, name+".bridge")
 		n.Bridge.SetInjector(p.Injector)
-		cls[f].xbar.Map(axi.Region{
-			Base:   bridgeWindow(nID % cfg.NodesPerFPGA),
-			Size:   bridgeWindowSize,
-			Target: n.Bridge.Inbound(),
-			Name:   name + ".bridge",
-		})
+		p.icPorts[nID] = &icPort{
+			node:   nID,
+			eng:    eng,
+			target: n.Bridge.Inbound(),
+			writes: stats.LazyCounter(name + ".ic.writes"),
+			reads:  stats.LazyCounter(name + ".ic.reads"),
+		}
 
 		p.Nodes = append(p.Nodes, n)
 	}
 
-	// Wire bridge outbound paths: same-FPGA destinations go through the
-	// local crossbar; remote destinations through the shell to PCIe.
+	// Wire bridge outbound paths: same-FPGA destinations cross the intra-
+	// FPGA interconnect; remote destinations leave through the shell to
+	// PCIe (hopping to the shell-owning slot-0 node first).
 	for _, n := range p.Nodes {
-		n.Bridge.ConnectOut(&clOut{
-			local:   cls[n.FPGA].xbar,
-			shell:   p.Shells[n.FPGA],
-			cfg:     cfg,
-			srcFPGA: n.FPGA,
-		}, func(dst int) axi.Addr { return p.bridgeAddr(n.FPGA, dst) })
+		n.Bridge.ConnectOut(&icMaster{p: p, node: n.ID, eng: n.eng},
+			func(dst int) axi.Addr { return p.bridgeAddr(n.FPGA, dst) })
 	}
 	return p, nil
+}
+
+// minCrossingOf is the per-edge model-latency floor between two CrossNet
+// endpoints (node ids): zero for an endpoint's own engine-local sends, the
+// interconnect crossing between co-located nodes, the PCIe crossing across
+// FPGAs (and for anything involving the host endpoint).
+func (p *Prototype) minCrossingOf(src, dst int) sim.Time {
+	if src < 0 || dst < 0 {
+		return p.Cfg.PCIe.MinCrossing()
+	}
+	if src == dst {
+		return 0
+	}
+	if src/p.Cfg.NodesPerFPGA == dst/p.Cfg.NodesPerFPGA {
+		return icLatency
+	}
+	return p.Cfg.PCIe.MinCrossing()
 }
 
 // bridgeWindow returns the CL-inbound window of a node's bridge within its
@@ -341,31 +393,6 @@ func (p *Prototype) bridgeAddr(srcFPGA, dstNode int) axi.Addr {
 	}
 	base, _ := p.Fabric.Window(dstFPGA)
 	return base + bridgeWindow(slot)
-}
-
-// clOut routes bridge output either to the local crossbar (addresses below
-// the PCIe aperture) or out through the shell.
-type clOut struct {
-	local   *axi.Crossbar
-	shell   *shell.Shell
-	cfg     Config
-	srcFPGA int
-}
-
-func (o *clOut) Write(req *axi.WriteReq, done func(*axi.WriteResp)) {
-	if req.Addr < pcie.WindowBase {
-		o.local.Write(req, done)
-		return
-	}
-	o.shell.Outbound().Write(req, done)
-}
-
-func (o *clOut) Read(req *axi.ReadReq, done func(*axi.ReadResp)) {
-	if req.Addr < pcie.WindowBase {
-		o.local.Read(req, done)
-		return
-	}
-	o.shell.Outbound().Read(req, done)
 }
 
 // hartID returns the global hart number of a tile.
@@ -422,13 +449,16 @@ func (p *Prototype) Now() sim.Time {
 	return p.Eng.Now()
 }
 
-// ShardOfNode returns the shard (FPGA) that simulates a node.
-func (p *Prototype) ShardOfNode(node int) int { return node / p.Cfg.NodesPerFPGA }
+// ShardOfNode returns the shard index that simulates a node: 0 when
+// serial, the node's FPGA under per-FPGA granularity, the node itself
+// under per-node granularity.
+func (p *Prototype) ShardOfNode(node int) int { return p.nodeShard[node] }
 
-// EngineForNode returns the engine that simulates a node: its FPGA's shard
-// engine, or the global engine when serial.
+// EngineForNode returns the engine that simulates a node: its shard's
+// engine, or the global engine when serial. Under per-node granularity
+// distinct co-located nodes get distinct engines.
 func (p *Prototype) EngineForNode(node int) *sim.Engine {
-	return p.engs[p.ShardOfNode(node)]
+	return p.engs[p.nodeShard[node]]
 }
 
 // Net returns the cross-shard delivery network. Serial and sharded builds
@@ -442,13 +472,24 @@ func (p *Prototype) Net() sim.CrossNet { return p.net }
 // registered on Stats directly would be dropped by a sharded build's
 // report-time merge.
 func (p *Prototype) StatsForNode(node int) *sim.Stats {
-	return p.shardStats[p.ShardOfNode(node)]
+	return p.shardStats[p.nodeShard[node]]
 }
 
-// Lookahead returns the minimum cross-shard latency in cycles — the bound
-// every CrossNet send must respect, in either mode (serial runs must obey
-// it too or they would diverge from sharded ones).
+// ShardRegistries returns the per-shard stats registries in shard order
+// (one registry, the global one, when serial). Observers that rebuild the
+// merged report must fold all of them, whatever the granularity.
+func (p *Prototype) ShardRegistries() []*sim.Stats { return p.shardStats }
+
+// Lookahead returns the minimum cross-FPGA latency in cycles — the outer
+// bound every PCIe-class CrossNet send must respect, in either mode
+// (serial runs must obey it too or they would diverge from sharded ones).
 func (p *Prototype) Lookahead() sim.Time { return p.Cfg.PCIe.MinCrossing() }
+
+// InnerLookahead returns the minimum intra-FPGA cross-shard latency in
+// cycles: the interconnect crossing between co-located nodes, and the
+// inner window bound of per-node sharded runs. Like Lookahead it is a
+// property of the model, not the execution mode.
+func (p *Prototype) InnerLookahead() sim.Time { return icLatency }
 
 // MustSerial panics when a serial-only feature is used on a sharded build;
 // exported for the software layers (kernel, workload) that add their own

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"smappic/internal/core"
+	"smappic/internal/kernel"
+	"smappic/internal/sim"
+	"smappic/internal/workload"
+)
+
+// ShardingResult compares the sharded engine's granularities on a 48-core
+// NUMA configuration (2 FPGAs x 2 nodes x 12 tiles): the serial reference,
+// per-FPGA shards, and per-node shards under the hierarchical synchronizer.
+// The three runs must be byte-identical — the wall-clock columns are the
+// only thing granularity is allowed to change.
+type ShardingResult struct {
+	Shape       string
+	GOMAXPROCS  int
+	SerialMS    float64
+	FPGAMS      float64
+	NodeMS      float64
+	Cycles      sim.Time
+	Identical   bool
+	FPGASpeedup float64 // serial / per-FPGA
+	NodeSpeedup float64 // serial / per-node
+	NodeVsFPGA  float64 // per-FPGA / per-node
+}
+
+// shardingRun executes the NPB-IS fixture once in one engine mode and
+// returns wall-clock, simulated cycles and the metrics document.
+func shardingRun(parallel int, granularity string, keys int) (time.Duration, sim.Time, []byte) {
+	cfg := core.DefaultConfig(2, 2, 12)
+	cfg.Core = core.CoreNone
+	cfg.Parallel = parallel
+	cfg.ShardGranularity = granularity
+	p, err := core.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	k := kernel.New(p, kernel.DefaultConfig())
+	ip := workload.DefaultISParams(p.Cfg.TotalTiles())
+	ip.Keys = keys
+	start := time.Now()
+	r := workload.RunIS(k, ip)
+	wall := time.Since(start)
+	if !r.Sorted {
+		panic("sharding: integer sort output not sorted")
+	}
+	m, err := p.MetricsJSON()
+	if err != nil {
+		panic(err)
+	}
+	return wall, r.Cycles, m
+}
+
+// Sharding runs the granularity comparison, best of two runs per mode to
+// cut scheduler noise. Per-node sharding exposes four engines on this
+// shape where per-FPGA exposes two, so on a >=4-core host the node column
+// should win; on fewer cores the extra barriers are overhead and the
+// comparison records that honestly (see GOMAXPROCS in the result).
+func Sharding(quick bool) ShardingResult {
+	keys := 1 << 13
+	if quick {
+		keys = 1 << 11
+	}
+	measure := func(parallel int, granularity string) (time.Duration, sim.Time, []byte) {
+		best, cycles, m := shardingRun(parallel, granularity, keys)
+		if again, _, _ := shardingRun(parallel, granularity, keys); again < best {
+			best = again
+		}
+		return best, cycles, m
+	}
+	serial, cycles, mSerial := measure(0, "")
+	fpga, cFPGA, mFPGA := measure(2, "fpga")
+	node, cNode, mNode := measure(2, "node")
+
+	res := ShardingResult{
+		Shape:      "2x2x12",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SerialMS:   serial.Seconds() * 1e3,
+		FPGAMS:     fpga.Seconds() * 1e3,
+		NodeMS:     node.Seconds() * 1e3,
+		Cycles:     cycles,
+		Identical: cycles == cFPGA && cycles == cNode &&
+			bytes.Equal(mSerial, mFPGA) && bytes.Equal(mSerial, mNode),
+		FPGASpeedup: serial.Seconds() / fpga.Seconds(),
+		NodeSpeedup: serial.Seconds() / node.Seconds(),
+		NodeVsFPGA:  fpga.Seconds() / node.Seconds(),
+	}
+	snapshotMetrics("sharding/serial", mSerial)
+	snapshotMetrics("sharding/per-fpga", mFPGA)
+	snapshotMetrics("sharding/per-node", mNode)
+	return res
+}
+
+// String renders the granularity comparison.
+func (r ShardingResult) String() string {
+	id := "byte-identical"
+	if !r.Identical {
+		id = "DIVERGED (bug)"
+	}
+	return fmt.Sprintf(
+		"Sharding granularity (%s NPB-IS, %d cycles, GOMAXPROCS=%d): serial %.1f ms, per-FPGA %.1f ms (%.2fx), per-node %.1f ms (%.2fx serial, %.2fx per-FPGA); outputs %s",
+		r.Shape, r.Cycles, r.GOMAXPROCS, r.SerialMS, r.FPGAMS, r.FPGASpeedup,
+		r.NodeMS, r.NodeSpeedup, r.NodeVsFPGA, id)
+}

@@ -38,9 +38,10 @@
 //     that generates the coherence traffic also serializes the arrivals,
 //     so the release (futex-style wakeups sent through the cross-shard
 //     network, one lookahead-bounded latency each) is deterministic;
-//   - a migration that crosses FPGAs hops the thread's process between
-//     shard engines through the cross-shard network, paying MigrateCost,
-//     which must be at least the synchronizer's lookahead.
+//   - a migration that crosses nodes hops the thread's process between
+//     engines through the cross-shard network, paying MigrateCost, which
+//     must be at least the governing lookahead (PCIe across FPGAs, the
+//     intra-FPGA interconnect between co-located nodes).
 package kernel
 
 import (
@@ -86,7 +87,10 @@ type Config struct {
 	Quantum sim.Time
 	// MigrateCost is the context-switch penalty charged per migration. On
 	// a multi-FPGA prototype it must be at least the PCIe lookahead so a
-	// cross-shard hop is representable under the conservative synchronizer.
+	// cross-FPGA hop is representable under the conservative synchronizer;
+	// on any multi-node prototype it must be at least the intra-FPGA
+	// interconnect lookahead for the same reason (a hop between co-located
+	// nodes crosses shards under per-node granularity).
 	MigrateCost sim.Time
 	// Seed drives the topology-blind allocator and migration choices.
 	Seed uint64
@@ -122,6 +126,10 @@ func New(pr *core.Prototype, cfg Config) *Kernel {
 	if !cfg.NUMA && pr.Cfg.FPGAs > 1 && cfg.MigrateCost < pr.Lookahead() {
 		panic(fmt.Sprintf("kernel: MigrateCost %d below the PCIe lookahead %d; a cross-FPGA migration cannot be scheduled",
 			cfg.MigrateCost, pr.Lookahead()))
+	}
+	if !cfg.NUMA && pr.Cfg.TotalNodes() > 1 && cfg.MigrateCost < pr.InnerLookahead() {
+		panic(fmt.Sprintf("kernel: MigrateCost %d below the intra-FPGA lookahead %d; a cross-node migration cannot be scheduled",
+			cfg.MigrateCost, pr.InnerLookahead()))
 	}
 	return &Kernel{
 		pr:        pr,
@@ -350,10 +358,12 @@ func (t *Thread) node() int { return t.hart / t.kern.pr.Cfg.TilesPerNode }
 func (t *Thread) Hart() int { return t.hart }
 
 // maybeMigrate implements the non-NUMA scheduler: at each expired quantum
-// the thread may hop to another allowed hart. A hop that crosses FPGAs
-// moves the thread's process to the destination shard's engine through the
-// cross-shard network (MigrateCost covers the PCIe lookahead, checked at
-// boot); a local hop just charges the context-switch cost.
+// the thread may hop to another allowed hart. A hop that changes nodes
+// moves the thread's process through the cross-shard network to the
+// destination node's engine — the same route in every mode and at every
+// granularity, so results are mode-invariant (MigrateCost covers the
+// governing lookahead, PCIe or intra-FPGA, checked at boot); a same-node
+// hop just charges the context-switch cost.
 func (t *Thread) maybeMigrate(p *sim.Process) {
 	if t.kern.cfg.NUMA || len(t.affinity) == 1 || p.Now() < t.nextMigr {
 		return
@@ -364,16 +374,16 @@ func (t *Thread) maybeMigrate(p *sim.Process) {
 		return
 	}
 	pr := t.kern.pr
-	oldShard := pr.ShardOfNode(t.node())
+	oldNode := t.node()
 	t.hart = next
 	t.port = pr.PortAt(t.kern.locOf(next))
 	t.Migrations++
-	newShard := pr.ShardOfNode(t.node())
-	if newShard == oldShard {
+	newNode := t.node()
+	if newNode == oldNode {
 		p.Wait(t.kern.cfg.MigrateCost)
 		return
 	}
-	p.Hop(pr.Net(), oldShard, newShard, pr.EngineForNode(t.node()), t.kern.cfg.MigrateCost)
+	p.Hop(pr.Net(), oldNode, newNode, pr.EngineForNode(newNode), t.kern.cfg.MigrateCost)
 }
 
 // translate maps a virtual address with timing: a TLB hit is free, a miss
@@ -457,44 +467,45 @@ func (c *Ctx) MMIOStore(addr uint64, size int, v uint64) {
 // Barrier synchronizes n threads. Arrival is a real fetch-add on a shared
 // count line, generating the coherence traffic of a pthread barrier's fast
 // path. The slow path is futex-style with the wait queue owned by a home
-// shard, the way a real futex's wait queue lives in the kernel of one node:
+// node, the way a real futex's wait queue lives in the kernel of one node:
 // waiters register with the home and the last arriver posts a release
 // there, both as cross-shard messages, so every queue mutation executes on
-// the home shard's engine in the network's canonical delivery order. That
-// makes the queue deterministic and shard-safe by construction — no shard
-// ever touches it from its own execution context. A register that reaches
-// the home after its round's release (possible when fault-injected link
-// delays reorder arrivals) is woken immediately via the released-round
-// watermark.
+// the home node's engine in the network's canonical delivery order. That
+// makes the queue deterministic and shard-safe by construction — whatever
+// the granularity, no other shard ever touches it from its own execution
+// context. A register that reaches the home after its round's release
+// (possible when fault-injected link delays reorder arrivals) is woken
+// immediately via the released-round watermark.
 type Barrier struct {
 	k         *Kernel
 	n         int
 	countAddr uint64
 
-	// Home-shard-owned state: touched only inside CrossNet deliveries on
-	// shard homeShard, never from a waiter's own execution context.
-	homeShard int
-	waiting   []barWaiter
-	released  uint64 // highest round already released
+	// Home-node-owned state: touched only inside CrossNet deliveries on
+	// node homeNode's engine, never from a waiter's own execution context.
+	homeNode int
+	waiting  []barWaiter
+	released uint64 // highest round already released
 }
 
-// barWaiter is a parked thread awaiting release: its round, the shard it
+// barWaiter is a parked thread awaiting release: its round, the node it
 // parked on and the callback that resumes it there.
 type barWaiter struct {
-	ep    uint64
-	shard int
-	wake  func()
+	ep   uint64
+	node int
+	wake func()
 }
 
 // NewBarrier creates a barrier for n threads. The wait queue lives on
-// shard 0, alongside the kernel's other bookkeeping.
+// node 0, alongside the kernel's other bookkeeping.
 func (k *Kernel) NewBarrier(n int) *Barrier {
-	return &Barrier{k: k, n: n, countAddr: k.Alloc(PageBytes), homeShard: 0}
+	return &Barrier{k: k, n: n, countAddr: k.Alloc(PageBytes), homeNode: 0}
 }
 
 // hopLatency is the cost of one barrier slow-path message (register,
 // release or wake); it must cover the PCIe lookahead so the messages are
-// schedulable from any shard.
+// schedulable from any shard (and with it the smaller intra-FPGA
+// lookahead too).
 func (b *Barrier) hopLatency() sim.Time {
 	if l := b.k.pr.Lookahead(); l > barrierWakeFloor {
 		return l
@@ -502,18 +513,18 @@ func (b *Barrier) hopLatency() sim.Time {
 	return barrierWakeFloor
 }
 
-// release runs on the home shard: it marks the round released and wakes
+// release runs on the home node: it marks the round released and wakes
 // every registered waiter of that round.
 func (b *Barrier) release(ep uint64) {
 	if ep > b.released {
 		b.released = ep
 	}
-	home := b.k.pr.EngineForNode(b.homeShard * b.k.pr.Cfg.NodesPerFPGA)
+	home := b.k.pr.EngineForNode(b.homeNode)
 	at := home.Now() + b.hopLatency()
 	var keep []barWaiter
 	for _, w := range b.waiting {
 		if w.ep <= b.released {
-			b.k.pr.Net().Send(b.homeShard, w.shard, at, w.wake)
+			b.k.pr.Net().Send(b.homeNode, w.node, at, w.wake)
 		} else {
 			keep = append(keep, w)
 		}
@@ -521,12 +532,12 @@ func (b *Barrier) release(ep uint64) {
 	b.waiting = keep
 }
 
-// register runs on the home shard: it queues the waiter, or wakes it on the
+// register runs on the home node: it queues the waiter, or wakes it on the
 // spot when its round was already released.
 func (b *Barrier) register(w barWaiter) {
 	if w.ep <= b.released {
-		home := b.k.pr.EngineForNode(b.homeShard * b.k.pr.Cfg.NodesPerFPGA)
-		b.k.pr.Net().Send(b.homeShard, w.shard, home.Now()+b.hopLatency(), w.wake)
+		home := b.k.pr.EngineForNode(b.homeNode)
+		b.k.pr.Net().Send(b.homeNode, w.node, home.Now()+b.hopLatency(), w.wake)
 		return
 	}
 	b.waiting = append(b.waiting, w)
@@ -540,15 +551,15 @@ func (b *Barrier) Wait(c *Ctx) {
 	c.T.barEpoch[b] = ep
 	old := c.Amo(b.countAddr, 8, func(o uint64) uint64 { return o + 1 })
 	pr := b.k.pr
-	src := pr.ShardOfNode(c.T.node())
+	src := c.T.node()
 	if old+1 == uint64(b.n)*ep {
-		// Last arriver of this round: post the release to the home shard
+		// Last arriver of this round: post the release to the home node
 		// and continue without blocking.
-		pr.Net().Send(src, b.homeShard, c.P.Now()+b.hopLatency(), func() { b.release(ep) })
+		pr.Net().Send(src, b.homeNode, c.P.Now()+b.hopLatency(), func() { b.release(ep) })
 		return
 	}
-	w := barWaiter{ep: ep, shard: src, wake: c.P.Suspend()}
-	pr.Net().Send(src, b.homeShard, c.P.Now()+b.hopLatency(), func() { b.register(w) })
+	w := barWaiter{ep: ep, node: src, wake: c.P.Suspend()}
+	pr.Net().Send(src, b.homeNode, c.P.Now()+b.hopLatency(), func() { b.register(w) })
 	c.P.Park()
 }
 

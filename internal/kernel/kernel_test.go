@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -127,6 +128,72 @@ func TestPinnedThreadStaysPut(t *testing.T) {
 	if th.Migrations != 0 || th.Hart() != 3 {
 		t.Fatalf("pinned thread moved: hart=%d migrations=%d", th.Hart(), th.Migrations)
 	}
+}
+
+// TestBootChecksMigrateCostAgainstLookaheads pins the New-time guards: in
+// non-NUMA mode a migration must be schedulable on the sharded engine, so a
+// MigrateCost below the PCIe lookahead (cross-FPGA moves) or below the
+// intra-FPGA interconnect lookahead (cross-node moves on one FPGA, the
+// per-node engine's inner window) panics at boot — naming both the cost and
+// the violated bound — instead of failing deep inside a migration.
+func TestBootChecksMigrateCostAgainstLookaheads(t *testing.T) {
+	mustPanic := func(t *testing.T, wantSubstrs []string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("New did not panic")
+			}
+			msg := fmt.Sprint(r)
+			for _, want := range wantSubstrs {
+				if !strings.Contains(msg, want) {
+					t.Errorf("panic %q does not name %q", msg, want)
+				}
+			}
+		}()
+		fn()
+	}
+
+	t.Run("cross-fpga-below-pcie-lookahead", func(t *testing.T) {
+		p := proto(t, 2, 1, 2)
+		cfg := DefaultConfig()
+		cfg.NUMA = false
+		cfg.MigrateCost = p.Lookahead() - 1
+		mustPanic(t, []string{
+			fmt.Sprintf("MigrateCost %d", cfg.MigrateCost),
+			fmt.Sprintf("PCIe lookahead %d", p.Lookahead()),
+		}, func() { New(p, cfg) })
+	})
+
+	t.Run("cross-node-below-inner-lookahead", func(t *testing.T) {
+		// Single FPGA, two nodes: the PCIe check does not apply (FPGAs == 1),
+		// so this row isolates the inner-window bound.
+		p := proto(t, 1, 2, 2)
+		cfg := DefaultConfig()
+		cfg.NUMA = false
+		cfg.MigrateCost = p.InnerLookahead() - 1
+		mustPanic(t, []string{
+			fmt.Sprintf("MigrateCost %d", cfg.MigrateCost),
+			fmt.Sprintf("intra-FPGA lookahead %d", p.InnerLookahead()),
+		}, func() { New(p, cfg) })
+	})
+
+	t.Run("bounds-are-inclusive", func(t *testing.T) {
+		// Exactly the lookahead is schedulable: no panic at either level.
+		p := proto(t, 2, 2, 2)
+		cfg := DefaultConfig()
+		cfg.NUMA = false
+		cfg.MigrateCost = p.Lookahead()
+		New(p, cfg)
+	})
+
+	t.Run("numa-mode-skips-the-checks", func(t *testing.T) {
+		// NUMA mode never migrates, so a tiny MigrateCost is fine.
+		p := proto(t, 2, 2, 2)
+		cfg := DefaultConfig()
+		cfg.MigrateCost = 1
+		New(p, cfg)
+	})
 }
 
 func TestBarrierSynchronizes(t *testing.T) {

@@ -117,21 +117,20 @@ func buildPrototypeView(sn *Snapshot, p *core.Prototype) {
 
 	if p.Group != nil {
 		// Merge the shard registries into a scratch registry (CopyFrom only
-		// reads its sources) and snapshot per-shard views alongside.
-		regs := make([]*sim.Stats, cfg.FPGAs)
-		for f := 0; f < cfg.FPGAs; f++ {
-			regs[f] = p.StatsForNode(f * cfg.NodesPerFPGA)
-		}
+		// reads its sources) and snapshot per-shard views alongside. The
+		// registries come in shard order, whatever the granularity — one
+		// per FPGA, or one per node under per-node sharding.
+		regs := p.ShardRegistries()
 		var merged sim.Stats
 		merged.CopyFrom(regs...)
 		sn.Stats = merged.Snapshot()
 
 		sv := &SyncView{
 			GroupSync:  p.Group.SyncSnapshot(),
-			ShardStats: make([]*sim.StatsSnapshot, cfg.FPGAs),
+			ShardStats: make([]*sim.StatsSnapshot, len(regs)),
 		}
-		for f, reg := range regs {
-			sv.ShardStats[f] = reg.Snapshot()
+		for i, reg := range regs {
+			sv.ShardStats[i] = reg.Snapshot()
 		}
 		sn.Sync = sv
 	} else {

@@ -5,27 +5,35 @@ import (
 	"slices"
 )
 
-// CrossNet carries events between shards — the PCIe crossings and thread
-// migrations that are the only coupling between FPGA chips. Both execution
-// modes implement it: SerialNet for the single-engine reference and Group
-// for the sharded engine. The two apply the *same* canonical delivery
-// discipline, which is what makes them produce identical event orders:
+// CrossNet carries events between shards — the PCIe crossings, the
+// intra-FPGA interconnect hops and thread migrations that are the only
+// coupling between shard engines. Both execution modes implement it:
+// SerialNet for the single-engine reference and Group for the sharded
+// engine. The two apply the *same* canonical delivery discipline, which is
+// what makes them produce identical event orders:
 //
-//   - all deliveries landing on one destination in one cycle are applied in
-//     ascending (send time, source shard, per-source sequence) order;
+//   - all deliveries landing on one destination endpoint in one cycle are
+//     applied in ascending (send time, source endpoint, per-source
+//     sequence) order;
 //   - deliveries run at the front of their cycle (Engine.AtFront), before
 //     any ordinarily scheduled local event of the same cycle.
 //
 // The per-source sequence reproduces serial scheduling order: within one
-// shard sends are numbered in execution order, and in the serial engine
+// endpoint sends are numbered in execution order, and in the serial engine
 // execution order at a given time *is* scheduling order, so sorting by
 // (send time, source, sequence) reconstructs exactly the global sequence
 // numbers the serial engine would have assigned.
+//
+// Deliveries to *different* endpoints in the same cycle carry no ordering
+// contract: endpoint state is disjoint by construction (each delivery
+// mutates only its destination's models and registry), so the two modes are
+// free to interleave them differently without observable divergence.
 type CrossNet interface {
-	// Send delivers fn on shard dst at absolute time deliverAt. src is the
-	// calling shard; the call must be made from src's execution context.
-	// In sharded mode deliverAt must be at least the group lookahead past
-	// the current window start — the caller's model latency guarantees it.
+	// Send delivers fn on endpoint dst at absolute time deliverAt. src is
+	// the calling endpoint; the call must be made from the execution context
+	// of the engine that owns src. In sharded mode deliverAt must be at
+	// least the governing lookahead past the current window start — the
+	// caller's model latency guarantees it.
 	Send(src, dst int, deliverAt Time, fn func())
 }
 
@@ -33,13 +41,15 @@ type CrossNet interface {
 type netEntry struct {
 	at   Time // delivery time
 	sent Time // send time
-	src  int
+	src  int  // source endpoint
+	dst  int  // destination endpoint
 	seq  uint64
 	fn   func()
 }
 
 // netOrder sorts deliveries into the canonical application order. Entries
-// are compared by (delivery time, send time, source shard, per-source seq).
+// are compared by (delivery time, send time, source endpoint, per-source
+// seq).
 func netOrder(a, b netEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -65,8 +75,8 @@ func netCmp(a, b netEntry) int {
 	return 0
 }
 
-// dstState is a SerialNet's per-destination delivery state. Buffers are
-// reused flush to flush, so a warmed-up net sends and flushes without
+// dstState is one destination endpoint's delivery state. Buffers are
+// reused flush to flush, so a warmed-up spool parks and flushes without
 // allocating.
 type dstState struct {
 	pending []netEntry // not yet delivered
@@ -74,85 +84,58 @@ type dstState struct {
 	sched   []Time     // cycles with a flush event already queued
 }
 
-// SerialNet is the single-engine CrossNet: everything runs on one Engine,
-// so "crossing" is just a scheduled event — but routed through the same
-// canonical ordering the sharded Group uses, so the serial reference and a
-// sharded run order cross-shard traffic identically.
+// spool is one engine's delivery side of a CrossNet: per destination
+// endpoint it parks pending envelopes and applies all of a cycle's
+// deliveries in canonical order at the front of that cycle, with exactly
+// one flush event per (destination, cycle). SerialNet is a spool over the
+// single engine; the sharded Group keeps one spool per shard engine, fed
+// from barrier merges and from same-engine sends.
 //
 // Endpoint ids may include pcie.HostID (-1); state is indexed at id+1.
-type SerialNet struct {
+type spool struct {
 	eng     *Engine
-	minLat  Time // model-latency floor; 0 = unguarded
-	seqs    []uint64
 	dsts    []*dstState
-	flushFn func(any) // bound once; arg is the destination id
+	flushFn func(any) // bound once; arg is the destination endpoint id
 }
 
-// NewSerialNet returns a CrossNet that delivers on eng.
-func NewSerialNet(eng *Engine) *SerialNet {
-	n := &SerialNet{eng: eng}
-	n.flushFn = func(dst any) { n.flush(dst.(int)) }
-	return n
-}
-
-// seqAt returns a pointer to src's sequence counter, growing the table on
-// first use of a source.
-func (n *SerialNet) seqAt(src int) *uint64 {
-	for src+1 >= len(n.seqs) {
-		n.seqs = append(n.seqs, 0)
-	}
-	return &n.seqs[src+1]
+func newSpool(eng *Engine) *spool {
+	s := &spool{eng: eng}
+	s.flushFn = func(dst any) { s.flush(dst.(int)) }
+	return s
 }
 
 // dstAt returns dst's delivery state, growing the table on first use.
-func (n *SerialNet) dstAt(dst int) *dstState {
-	for dst+1 >= len(n.dsts) {
-		n.dsts = append(n.dsts, nil)
+func (s *spool) dstAt(dst int) *dstState {
+	for dst+1 >= len(s.dsts) {
+		s.dsts = append(s.dsts, nil)
 	}
-	if n.dsts[dst+1] == nil {
-		n.dsts[dst+1] = &dstState{}
+	if s.dsts[dst+1] == nil {
+		s.dsts[dst+1] = &dstState{}
 	}
-	return n.dsts[dst+1]
+	return s.dsts[dst+1]
 }
 
-// SetMinLatency arms the model-latency guard the sharded Group always
-// enforces: a Send delivering closer than lat to the current cycle panics.
-// The serial engine does not need the bound for correctness — it has no
-// windows — but a model that undercuts it here would undercut the sharded
-// lookahead too, so guarding the serial reference catches the wiring bug in
-// whichever mode hits it first.
-func (n *SerialNet) SetMinLatency(lat Time) { n.minLat = lat }
-
-// Send implements CrossNet.
-func (n *SerialNet) Send(src, dst int, deliverAt Time, fn func()) {
-	if n.minLat > 0 && deliverAt < n.eng.Now()+n.minLat {
-		panic(fmt.Sprintf("sim: cross-shard send at %d delivers at %d; model latency undercuts minimum crossing %d",
-			n.eng.Now(), deliverAt, n.minLat))
-	}
-	seq := n.seqAt(src)
-	*seq++
-	d := n.dstAt(dst)
-	d.pending = append(d.pending, netEntry{
-		at:   deliverAt,
-		sent: n.eng.Now(),
-		src:  src,
-		seq:  *seq,
-		fn:   fn,
-	})
+// insert parks one envelope and guarantees a flush event for its
+// (destination, cycle). It must run either in the owning engine's own
+// execution context or while that engine is provably parked (a window
+// barrier provides the happens-before edge).
+func (s *spool) insert(e netEntry) {
+	d := s.dstAt(e.dst)
+	d.pending = append(d.pending, e)
 	// One flush event per (dst, cycle): the scheduled set is a small slice
 	// (only cycles within the fabric's latency spread are outstanding), so
 	// a linear scan beats a map here.
-	if !slices.Contains(d.sched, deliverAt) {
-		d.sched = append(d.sched, deliverAt)
-		n.eng.AtFrontArg(deliverAt, n.flushFn, dst)
+	if !slices.Contains(d.sched, e.at) {
+		d.sched = append(d.sched, e.at)
+		s.eng.AtFrontArg(e.at, s.flushFn, e.dst)
 	}
 }
 
 // flush applies every delivery due on dst at the current cycle, in canonical
 // order. It runs as a prioDeliver event, ahead of the cycle's local work.
-func (n *SerialNet) flush(dst int) {
-	d := n.dstAt(dst)
-	now := n.eng.Now()
+func (s *spool) flush(dst int) {
+	d := s.dstAt(dst)
+	now := s.eng.Now()
 	if i := slices.Index(d.sched, now); i >= 0 {
 		d.sched = slices.Delete(d.sched, i, i+1)
 	}
@@ -178,4 +161,67 @@ func (n *SerialNet) flush(dst int) {
 		due[i].fn = nil
 	}
 	d.due = due[:0]
+}
+
+// SerialNet is the single-engine CrossNet: everything runs on one Engine,
+// so "crossing" is just a scheduled event — but routed through the same
+// canonical ordering the sharded Group uses, so the serial reference and a
+// sharded run order cross-shard traffic identically.
+type SerialNet struct {
+	sp     *spool
+	minLat func(src, dst int) Time // per-edge model-latency floor; nil = unguarded
+	seqs   []uint64
+}
+
+// NewSerialNet returns a CrossNet that delivers on eng.
+func NewSerialNet(eng *Engine) *SerialNet {
+	return &SerialNet{sp: newSpool(eng)}
+}
+
+// seqAt returns a pointer to src's sequence counter, growing the table on
+// first use of a source.
+func (n *SerialNet) seqAt(src int) *uint64 {
+	for src+1 >= len(n.seqs) {
+		n.seqs = append(n.seqs, 0)
+	}
+	return &n.seqs[src+1]
+}
+
+// SetMinLatency arms a uniform model-latency floor, the guard the sharded
+// Group always enforces: a Send delivering closer than lat to the current
+// cycle panics. The serial engine does not need the bound for correctness —
+// it has no windows — but a model that undercuts it here would undercut the
+// sharded lookahead too, so guarding the serial reference catches the
+// wiring bug in whichever mode hits it first. 0 disarms the guard.
+func (n *SerialNet) SetMinLatency(lat Time) {
+	if lat == 0 {
+		n.minLat = nil
+		return
+	}
+	n.minLat = func(int, int) Time { return lat }
+}
+
+// SetMinLatencyFunc arms a per-edge-class model-latency floor: class
+// returns the minimum latency a send on the (src, dst) edge must respect —
+// e.g. the intra-FPGA interconnect crossing for co-located nodes and the
+// (much larger) PCIe crossing for nodes on different FPGAs. With
+// granularity-aware floors the serial reference panics on an undercutting
+// intra-FPGA send exactly like a per-node sharded run would, not only on
+// PCIe-class sends. A nil or zero class result leaves that edge unguarded.
+func (n *SerialNet) SetMinLatencyFunc(class func(src, dst int) Time) {
+	n.minLat = class
+}
+
+// Send implements CrossNet.
+func (n *SerialNet) Send(src, dst int, deliverAt Time, fn func()) {
+	now := n.sp.eng.Now()
+	if n.minLat != nil {
+		if min := n.minLat(src, dst); min > 0 && deliverAt < now+min {
+			panic(fmt.Sprintf("sim: cross-shard send %d->%d at %d delivers at %d; model latency undercuts minimum crossing %d",
+				src, dst, now, deliverAt, min))
+		}
+	}
+	seq := n.seqAt(src)
+	*seq++
+	n.sp.insert(netEntry{at: deliverAt, sent: now, src: src, dst: dst, seq: *seq, fn: fn})
 }

@@ -107,6 +107,11 @@ func FuzzEnvelopeMergeOrder(f *testing.F) {
 	f.Add([]byte("\x02\x03" + "AB\x00\x07" + "BA\x00\x07" + "CA\x00\x07" + "AC\x01\x07"))
 	f.Add([]byte("\x02\x04ABxyBCloCDhiDAjkACmnBDqr"))
 	f.Add([]byte("\x01\x02" + "AB\x3c\x00" + "BA\x01\x3c" + "AB\x02\x3c" + "BA\x3c\x01" + "AB\x10\x10" + "BA\x20\x20"))
+	// Four shards, cluster-local ping-pong in both adjacent pairs plus
+	// cross-pair traffic: under the hierarchical leg the pairs become
+	// multi-engine clusters, so this drives the inner-window merge and the
+	// inner/outer boundary at once.
+	f.Add([]byte("\x02\x01" + "\x00\x01\x05\x00" + "\x01\x00\x05\x00" + "\x02\x03\x05\x00" + "\x03\x02\x05\x00" + "\x00\x02\x00\x07" + "\x02\x00\x00\x07"))
 
 	const la = Time(61)
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -143,6 +148,40 @@ func FuzzEnvelopeMergeOrder(f *testing.F) {
 				if len(sc.ops) > 0 && e.Now() != gotEnd {
 					t.Fatalf("cap %d: shard %d clock %d not aligned to %d", cap, i, e.Now(), gotEnd)
 				}
+			}
+		}
+
+		// Hierarchical group over the same endpoints: adjacent shards pair
+		// into clusters synchronized at a short inner crossing nested inside
+		// the outer windows. Every op's latency clears the outer lookahead,
+		// so the same scenario is legal at both levels — and the nested
+		// merge (inner flushes tiling outer chunks) must reproduce the
+		// serial delivery stream exactly, fixed and adaptive.
+		for _, cap := range []int{1, sc.cap} {
+			engs := make([]*Engine, sc.shards)
+			for i := range engs {
+				engs[i] = NewEngine()
+			}
+			clusters := make([][]*Engine, 0, (sc.shards+1)/2)
+			epEngine := make([]int, sc.shards)
+			for i := 0; i < sc.shards; i += 2 {
+				hi := i + 2
+				if hi > sc.shards {
+					hi = sc.shards
+				}
+				clusters = append(clusters, engs[i:hi])
+				for j := i; j < hi; j++ {
+					epEngine[j] = j
+				}
+			}
+			g := NewHierGroup(la, 7, clusters, epEngine)
+			g.SetAdaptive(cap)
+			gotLogs, gotEnd := runFuzzScenario(sc, la, engs, g, g.Run)
+			if gotEnd != wantEnd {
+				t.Fatalf("hier cap %d: final time %d, serial %d", cap, gotEnd, wantEnd)
+			}
+			if !reflect.DeepEqual(gotLogs, wantLogs) {
+				t.Fatalf("hier cap %d: delivery streams diverge from serial:\nserial:  %v\nsharded: %v", cap, wantLogs, gotLogs)
 			}
 		}
 
