@@ -31,6 +31,12 @@
 // they happen. -serve ADDR additionally starts the live dashboard
 // (internal/obs): the fleet job queue at http://ADDR/, the same events over
 // SSE at /api/events.
+//
+// -server URL submits the campaign to a resident smappic-fleetd instead of
+// running it in-process: the spec is posted with the tenant identity
+// (-tenant) and priority (-priority), progress streams back over SSE, and
+// the reports fetched on completion are byte-identical to what the
+// in-process run of the same spec would have written.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 
 	"smappic/internal/campaign"
 	"smappic/internal/experiments"
+	"smappic/internal/fleetsrv"
 	"smappic/internal/obs"
 )
 
@@ -63,6 +70,9 @@ func main() {
 	resume := flag.Bool("resume", false, "checkpoint in-flight IS jobs into the cache and resume interrupted ones mid-run (needs -cache)")
 	ckptEvery := flag.Uint64("checkpoint-every", 250_000, "checkpoint cadence in simulated cycles (with -resume; spec checkpoint_every wins if set)")
 	warmStart := flag.Bool("warm-start", false, "fork IS sweep points from a shared boot+keygen prefix snapshot (changes job cache identity)")
+	server := flag.String("server", "", "submit to a resident smappic-fleetd at this base URL instead of running in-process")
+	tenant := flag.String("tenant", "", "tenant identity for -server submissions (default: the fleet's default tenant)")
+	priority := flag.Int("priority", 0, "priority within the tenant's own backlog for -server submissions (higher first)")
 	flag.Parse()
 
 	if *list {
@@ -108,6 +118,11 @@ func main() {
 	}
 	if *warmStart {
 		spec.WarmStart = true
+	}
+
+	if *server != "" {
+		runRemote(*server, *tenant, *priority, spec, *out, *verbose)
+		return
 	}
 
 	runner := &campaign.Runner{
@@ -195,6 +210,53 @@ func main() {
 		fmt.Print(agg.MergedReport())
 	}
 	if res.Failed > 0 || res.Skipped > 0 {
+		os.Exit(1)
+	}
+}
+
+// runRemote submits the campaign to a resident fleetd, streams progress,
+// and writes the served reports — byte-identical to the in-process run's.
+func runRemote(server, tenant string, priority int, spec campaign.Spec, out string, verbose bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cl := &fleetsrv.Client{Server: server}
+	sub, err := cl.Submit(ctx, tenant, priority, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s: campaign %s, %d jobs (%d cached)\n",
+		spec.Name, sub.CampaignID, sub.Jobs, sub.Cached)
+
+	if verbose {
+		go cl.Events(ctx, sub.CampaignID, func(event string, data []byte) {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", event, data)
+		})
+	}
+	st, err := cl.Wait(ctx, sub.CampaignID, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign %q on %s: %d points, %d done, %d failed\n",
+		spec.Name, sub.CampaignID, st.Total, st.Done, st.Failed)
+
+	if out != "" {
+		doc, err := cl.Report(ctx, sub.CampaignID)
+		if err != nil {
+			fatal(err)
+		}
+		csv, err := cl.ReportCSV(ctx, sub.CampaignID)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(out+".json", doc, 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(out+".csv", csv, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  reports: %s.json, %s.csv\n", out, out)
+	}
+	if st.Failed > 0 {
 		os.Exit(1)
 	}
 }

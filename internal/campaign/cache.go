@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Cache is the content-addressed result store: one JSON file per job, named
@@ -12,16 +13,46 @@ import (
 // jobs are deterministic, a hit is exactly equivalent to re-running the
 // simulation — re-running a campaign skips every point it has already won,
 // and a campaign interrupted mid-flight resumes from what completed.
+//
+// The same directory is safely shared by concurrent writers — in-process
+// worker goroutines, or many worker processes against one fleetd cache:
+// entries are published by atomic rename, so readers only ever see complete
+// documents, and duplicate Puts of the same key are idempotent (deterministic
+// jobs produce byte-identical results).
 type Cache struct {
 	dir string
 }
 
-// OpenCache creates (if needed) and opens a cache directory.
+// orphanAge is how stale a temp file must be before OpenCache collects it.
+// A writer SIGKILLed between CreateTemp and rename leaks its temp file
+// forever; sweeping only old ones keeps the collection from racing a live
+// writer in another process that is mid-Put right now.
+const orphanAge = time.Hour
+
+// OpenCache creates (if needed) and opens a cache directory, collecting any
+// orphaned temp files a killed writer left behind.
 func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir}
+	c.sweepOrphans()
+	return c, nil
+}
+
+// sweepOrphans removes stale temp files (see orphanAge). Best-effort: a
+// failure to sweep never fails the open.
+func (c *Cache) sweepOrphans() {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.tmp-*"))
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-orphanAge)
+	for _, m := range matches {
+		if info, err := os.Stat(m); err == nil && info.ModTime().Before(cutoff) {
+			os.Remove(m)
+		}
+	}
 }
 
 // Dir returns the cache directory path.
@@ -30,8 +61,9 @@ func (c *Cache) Dir() string { return c.dir }
 // path returns the entry file for a key.
 func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
 
-// Get returns the cached result for a key. Unreadable or corrupt entries
-// are treated as misses (the job simply re-runs and overwrites them).
+// Get returns the cached result for a key. Unreadable, empty, truncated or
+// corrupt entries are treated as misses (the job simply re-runs and
+// overwrites them).
 func (c *Cache) Get(key string) (*Result, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
@@ -44,9 +76,11 @@ func (c *Cache) Get(key string) (*Result, bool) {
 	return &r, true
 }
 
-// Put stores a result under its own key, atomically (write to a temp file
-// in the same directory, then rename), so concurrent workers and abrupt
-// interruptions can never leave a half-written entry behind.
+// Put stores a result under its own key, atomically and durably: the entry
+// is written to a temp file in the same directory, fsynced, renamed over the
+// entry path, and the directory is fsynced — so a crash at any point leaves
+// either the old entry or the complete new one, never a zero-length or
+// truncated file that a later run would have to detect.
 func (c *Cache) Put(r *Result) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -57,6 +91,11 @@ func (c *Cache) Put(r *Result) error {
 		return fmt.Errorf("campaign: cache: %w", err)
 	}
 	_, werr := tmp.Write(append(data, '\n'))
+	if werr == nil {
+		// The rename below publishes the entry name; without this fsync a
+		// power cut can publish a name whose blocks never hit the disk.
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
@@ -68,6 +107,23 @@ func (c *Cache) Put(r *Result) error {
 	if err := os.Rename(tmp.Name(), c.path(r.Key)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	return c.syncDir()
+}
+
+// syncDir fsyncs the cache directory, making the most recent rename durable.
+func (c *Cache) syncDir() error {
+	d, err := os.Open(c.dir)
+	if err != nil {
+		return fmt.Errorf("campaign: cache: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("campaign: cache: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("campaign: cache: %w", cerr)
 	}
 	return nil
 }

@@ -1,0 +1,160 @@
+package campaign
+
+import "testing"
+
+// qjob builds a TenantJob with just enough identity for scheduling tests.
+func qjob(tenant string, index int, seq uint64, prio int) *TenantJob {
+	return &TenantJob{
+		Tenant:     tenant,
+		CampaignID: tenant + "-c1",
+		Priority:   prio,
+		Seq:        seq,
+		Job:        Job{Index: index},
+	}
+}
+
+// drain pulls up to n jobs, releasing each slot immediately (no quota
+// pressure), and returns the served tenant sequence.
+func drain(t *testing.T, q *Queue, n int) []string {
+	t.Helper()
+	var served []string
+	for i := 0; i < n; i++ {
+		tj := q.Next()
+		if tj == nil {
+			t.Fatalf("Next returned nil after %d of %d", i, n)
+		}
+		served = append(served, tj.Tenant)
+		q.Release(tj.Tenant)
+	}
+	return served
+}
+
+func TestQueueDRRAlternatesEqualTenants(t *testing.T) {
+	q := NewQueue(0)
+	for i := 0; i < 3; i++ {
+		q.Push(qjob("alice", i, uint64(1+i), 0))
+	}
+	for i := 0; i < 3; i++ {
+		q.Push(qjob("bob", i, uint64(4+i), 0))
+	}
+	got := drain(t, q, 6)
+	want := []string{"alice", "bob", "alice", "bob", "alice", "bob"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DRR order %v, want %v", got, want)
+		}
+	}
+	if q.Next() != nil {
+		t.Fatal("Next on an empty queue must return nil")
+	}
+}
+
+// TestQueueQuotaAndDeficitCatchUp: a tenant pinned at quota must not be
+// served, the other tenant keeps the fleet busy, and once a slot frees the
+// starved tenant's accumulated deficit puts it first in line.
+func TestQueueQuotaAndDeficitCatchUp(t *testing.T) {
+	q := NewQueue(0)
+	q.SetQuota("alice", 1)
+	for i := 0; i < 4; i++ {
+		q.Push(qjob("alice", i, uint64(1+i), 0))
+	}
+	for i := 0; i < 4; i++ {
+		q.Push(qjob("bob", i, uint64(5+i), 0))
+	}
+
+	// Leases are held (no Release): alice caps at one in-flight job, bob's
+	// unlimited quota absorbs the rest of the fleet.
+	var served []string
+	for {
+		tj := q.Next()
+		if tj == nil {
+			break
+		}
+		served = append(served, tj.Tenant)
+	}
+	want := []string{"alice", "bob", "bob", "bob", "bob"}
+	if len(served) != len(want) {
+		t.Fatalf("served %v, want %v", served, want)
+	}
+	for i := range want {
+		if served[i] != want[i] {
+			t.Fatalf("served %v, want %v", served, want)
+		}
+	}
+	if q.InFlight("alice") != 1 {
+		t.Fatalf("alice in-flight %d, want 1 (quota)", q.InFlight("alice"))
+	}
+
+	// A slot frees: the starved tenant is served next despite bob having
+	// drained his whole backlog in the meantime.
+	q.Release("alice")
+	tj := q.Next()
+	if tj == nil || tj.Tenant != "alice" {
+		t.Fatalf("after release got %+v, want alice", tj)
+	}
+	// Still at quota again: nothing else is eligible.
+	if q.Next() != nil {
+		t.Fatal("alice at quota with empty bob backlog: Next must return nil")
+	}
+}
+
+// TestQueuePriorityAndRequeueOrder: within a tenant, higher priority wins;
+// within a priority band, a requeued job (original, lower Seq) schedules
+// ahead of newer submissions.
+func TestQueuePriorityAndRequeueOrder(t *testing.T) {
+	q := NewQueue(0)
+	q.Push(qjob("alice", 0, 1, 0))
+	q.Push(qjob("alice", 1, 2, 5)) // higher priority, later admission
+	q.Push(qjob("alice", 2, 3, 0))
+
+	first := q.Next()
+	if first == nil || first.Job.Index != 1 {
+		t.Fatalf("got %+v, want the priority-5 job (index 1)", first)
+	}
+
+	// The job's worker dies; it bounces back with its original Seq and must
+	// beat both same-priority jobs still waiting... there are none at prio 5,
+	// so check the band-ordering case at prio 0 instead: dispatch index 0,
+	// requeue it, and it must come back before index 2 (seq 1 < seq 3).
+	q.Release("alice")
+	second := q.Next()
+	if second == nil || second.Job.Index != 0 {
+		t.Fatalf("got %+v, want index 0", second)
+	}
+	q.Requeue(second)
+	again := q.Next()
+	if again == nil || again.Job.Index != 0 {
+		t.Fatalf("requeued job lost its place: got %+v, want index 0", again)
+	}
+	q.Release("alice")
+	if q.Len() != 1 {
+		t.Fatalf("Len %d, want 1", q.Len())
+	}
+	last := q.Next()
+	if last == nil || last.Job.Index != 2 {
+		t.Fatalf("got %+v, want index 2", last)
+	}
+}
+
+// TestQueueTenantsView: the status view reflects backlog, in-flight, and
+// quota per tenant in admission order.
+func TestQueueTenantsView(t *testing.T) {
+	q := NewQueue(2)
+	q.SetQuota("bob", 0) // explicit unlimited
+	q.Push(qjob("alice", 0, 1, 0))
+	q.Push(qjob("alice", 1, 2, 0))
+	q.Push(qjob("bob", 0, 3, 0))
+	if tj := q.Next(); tj == nil {
+		t.Fatal("Next returned nil")
+	}
+	views := q.Tenants()
+	if len(views) != 2 || views[0].Tenant != "alice" || views[1].Tenant != "bob" {
+		t.Fatalf("views %+v, want alice then bob", views)
+	}
+	if views[0].Pending != 1 || views[0].InFlight != 1 || views[0].Quota != 2 {
+		t.Fatalf("alice view %+v, want pending 1, in-flight 1, quota 2", views[0])
+	}
+	if views[1].Quota != 0 {
+		t.Fatalf("bob view %+v, want unlimited quota", views[1])
+	}
+}

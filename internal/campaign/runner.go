@@ -2,13 +2,8 @@ package campaign
 
 import (
 	"context"
-	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"time"
-
-	"smappic/internal/ckpt"
 )
 
 // Status classifies how a job's slot in the campaign was filled.
@@ -52,6 +47,10 @@ const (
 	EventFailed EventType = "failed"
 	// EventSkipped: the job was never executed (campaign cancelled).
 	EventSkipped EventType = "skipped"
+	// EventRequeued: fleet only — the job's lease expired (its worker died
+	// or lost its heartbeat) and the job went back on the queue for another
+	// worker to pick up.
+	EventRequeued EventType = "requeued"
 )
 
 // Event is one structured job lifecycle notification. The zero Total means
@@ -88,7 +87,14 @@ type CampaignResult struct {
 	Elapsed time.Duration
 }
 
-// Runner executes campaigns.
+// Runner executes campaigns in-process: it is the single-tenant composition
+// of the campaign engine's three layers — the job list is the queue (cache
+// hits resolved up front), the bounded goroutine pool is the scheduler, and
+// Executor runs each job. The fleet server (internal/fleetsrv) recomposes
+// the same layers across a network: a tenant-aware Queue, lease-based
+// scheduling over worker processes, and the same Executor inside each
+// worker — which is why a campaign's aggregate is byte-identical whichever
+// composition ran it.
 type Runner struct {
 	// Workers bounds concurrent jobs; <= 0 means 1. Worker count affects
 	// only wall-clock time: the aggregate output is byte-identical for
@@ -108,6 +114,9 @@ type Runner struct {
 	// safe for concurrent use; the fleet CLI's -v flag and the live
 	// dashboard both hang off this hook.
 	OnEvent func(Event)
+
+	// execOpts forwards the Executor's test seam (see Executor.execOpts).
+	execOpts func(ctx context.Context, p Params, opts ExecuteOpts) (*Result, error)
 }
 
 // emit delivers an event to the OnEvent hook, if any.
@@ -161,8 +170,12 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*CampaignResult, error) {
 				continue
 			}
 			built[key] = true
-			path := r.warmPath(job.Params)
-			if _, err := os.Stat(path); err == nil {
+			path := warmPathIn(r.Cache.Dir(), job.Params)
+			ok, serr := statExists(path)
+			if serr != nil && r.Log != nil {
+				r.Log("warm prefix %s: stat %s: %v (rebuilding)", key[:12], path, serr)
+			}
+			if ok {
 				continue
 			}
 			if ctx.Err() != nil {
@@ -231,117 +244,19 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*CampaignResult, error) {
 	return res, nil
 }
 
-// warmPath is where the shared warm-start prefix snapshot for p's prefix
-// identity lives in the cache directory.
-func (r *Runner) warmPath(p Params) string {
-	return filepath.Join(r.Cache.Dir(), "warm-"+p.PrefixKey()+".ckpt")
-}
-
-// ckptPath is where a job's in-flight periodic checkpoint lives. It is keyed
-// by the job's full identity, written during execution, and deleted on
-// success — so its existence means "this exact job was interrupted mid-run".
-func (r *Runner) ckptPath(p Params) string {
-	return filepath.Join(r.Cache.Dir(), p.Key()+".ckpt")
-}
-
-// runJob executes one job with the spec's timeout, retry, and
-// checkpoint/resume policy. Stalls and recovered panics are retryable; a
-// corrupt or version-skewed resume snapshot is discarded and the job
-// restarts cold without burning a retry attempt.
+// runJob executes one job through the Executor layer with the spec's
+// timeout, retry, and checkpoint/resume policy, then records the winning
+// result in the cache.
 func (r *Runner) runJob(ctx context.Context, job Job, spec Spec, total int) JobOutcome {
-	label := job.Params.Label()
-	if ctx.Err() != nil {
-		r.emit(Event{Type: EventSkipped, Index: job.Index, Label: label, Total: total, Err: ctx.Err().Error()})
-		return JobOutcome{Job: job, Status: StatusSkipped, Err: ctx.Err().Error()}
+	ex := &Executor{Exec: r.Exec, Log: r.Log, OnEvent: r.OnEvent, execOpts: r.execOpts}
+	if r.Cache != nil {
+		ex.Dir = r.Cache.Dir()
 	}
-	exec := r.Exec
-	var opts ExecuteOpts
-	ckptFile := ""
-	if exec == nil {
-		if r.Cache != nil {
-			if job.Params.WarmStart {
-				if wp := r.warmPath(job.Params); fileExists(wp) {
-					opts.WarmStartPath = wp
-				}
-			}
-			if spec.CheckpointEvery > 0 && job.Params.Workload == WorkloadIS {
-				ckptFile = r.ckptPath(job.Params)
-				opts.CheckpointPath = ckptFile
-				opts.CheckpointEvery = spec.CheckpointEvery
-				if fileExists(ckptFile) {
-					opts.ResumeFrom = ckptFile
-					r.emit(Event{Type: EventResumed, Index: job.Index, Label: label, Total: total})
-				}
-			}
+	out := ex.RunJob(ctx, job, spec.Policy(), total)
+	if out.Status == StatusRun && r.Cache != nil {
+		if cerr := r.Cache.Put(out.Result); cerr != nil && r.Log != nil {
+			r.Log("job %d: cache write failed: %v", job.Index, cerr)
 		}
-		exec = func(c context.Context, p Params) (*Result, error) { return ExecuteWithOpts(c, p, opts) }
 	}
-	r.emit(Event{Type: EventStarted, Index: job.Index, Label: label, Total: total, Attempt: 1})
-	var lastErr error
-	for attempt := 1; attempt <= spec.Retries+1; {
-		jctx := ctx
-		cancel := context.CancelFunc(func() {})
-		if spec.TimeoutSec > 0 {
-			jctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutSec*float64(time.Second)))
-		}
-		result, err := exec(jctx, job.Params)
-		cancel()
-		if err == nil {
-			result.Attempts = attempt
-			if ckptFile != "" {
-				os.Remove(ckptFile)
-			}
-			if r.Cache != nil {
-				if cerr := r.Cache.Put(result); cerr != nil && r.Log != nil {
-					r.Log("job %d: cache write failed: %v", job.Index, cerr)
-				}
-			}
-			r.emit(Event{Type: EventDone, Index: job.Index, Label: label, Total: total,
-				Attempt: attempt, Cycles: result.Cycles})
-			return JobOutcome{Job: job, Status: StatusRun, Result: result}
-		}
-		lastErr = err
-		if opts.ResumeFrom != "" && ckpt.IsSnapshotError(err) {
-			// The resume snapshot is corrupt, truncated, or from another
-			// format version — a bad file, not a bad job. Discard it and
-			// restart cold; this costs no retry attempt.
-			os.Remove(ckptFile)
-			opts.ResumeFrom = ""
-			if r.Log != nil {
-				r.Log("job %d %s: discarding unusable checkpoint: %v", job.Index, label, err)
-			}
-			continue
-		}
-		// Retry watchdog stalls and recovered panics: the failure modes
-		// where another attempt is meaningful policy (and what the retry
-		// budget exists for). Cancellations and timeouts burn no further
-		// attempts.
-		if (!IsStall(err) && !IsPanic(err)) || ctx.Err() != nil {
-			break
-		}
-		if attempt <= spec.Retries {
-			typ := EventStallRetry
-			if IsPanic(err) {
-				typ = EventPanicRetry
-			}
-			r.emit(Event{Type: typ, Index: job.Index, Label: label, Total: total,
-				Attempt: attempt, Err: err.Error()})
-		}
-		attempt++
-	}
-	if ctx.Err() != nil && !IsStall(lastErr) && !IsPanic(lastErr) {
-		// The campaign was cancelled out from under the job; it never
-		// completed, so it stays resumable rather than failed. Any periodic
-		// checkpoint it wrote stays on disk for the resumed campaign.
-		r.emit(Event{Type: EventSkipped, Index: job.Index, Label: label, Total: total, Err: lastErr.Error()})
-		return JobOutcome{Job: job, Status: StatusSkipped, Err: lastErr.Error()}
-	}
-	r.emit(Event{Type: EventFailed, Index: job.Index, Label: label, Total: total, Err: fmt.Sprintf("%v", lastErr)})
-	return JobOutcome{Job: job, Status: StatusFailed, Err: fmt.Sprintf("%v", lastErr)}
-}
-
-// fileExists reports whether path names an existing file.
-func fileExists(path string) bool {
-	_, err := os.Stat(path)
-	return err == nil
+	return out
 }

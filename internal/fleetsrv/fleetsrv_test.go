@@ -1,0 +1,499 @@
+package fleetsrv
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smappic/internal/campaign"
+)
+
+// fakeExec is the deterministic executor stub shared by every protocol
+// test and by the in-process reference runs — identical inputs, identical
+// Result, wherever it executes.
+func fakeExec(_ context.Context, p campaign.Params) (*campaign.Result, error) {
+	return &campaign.Result{
+		Label:  p.Label(),
+		Key:    p.Key(),
+		Params: p,
+		Cycles: 1000 + p.Seed,
+		Stats:  map[string]uint64{"fake.cycles": 1000 + p.Seed},
+	}, nil
+}
+
+func testSpec(name string, seeds ...uint64) campaign.Spec {
+	if len(seeds) == 0 {
+		seeds = []uint64{1, 2, 3, 4}
+	}
+	return campaign.Spec{
+		Name:      name,
+		Shapes:    []string{"1x1x2"},
+		Workloads: []string{campaign.WorkloadIS},
+		Seeds:     seeds,
+		Keys:      1 << 8,
+	}
+}
+
+// referenceReport runs the spec through the in-process Runner (own cache
+// dir, same fakeExec) and returns the canonical aggregate JSON and CSV —
+// the bytes every fleet execution must reproduce exactly.
+func referenceReport(t *testing.T, spec campaign.Spec) ([]byte, string) {
+	t.Helper()
+	cache, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &campaign.Runner{Workers: 2, Cache: cache, Exec: fakeExec}
+	res, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Aggregate()
+	doc, err := agg.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, agg.CSV()
+}
+
+// testServer builds a server over a fresh cache with a stepped fake clock.
+func testServer(t *testing.T) (*Server, *time.Time) {
+	t.Helper()
+	cache, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cache)
+	s.LeaseTTL = 10 * time.Second
+	clock := time.Unix(1_700_000_000, 0)
+	s.now = func() time.Time { return clock }
+	return s, &clock
+}
+
+// completeAll drains the queue through the protocol as the given worker,
+// executing with fakeExec, until no work remains.
+func completeAll(t *testing.T, s *Server, workerID string) {
+	t.Helper()
+	for {
+		resp, err := s.leaseNext(LeaseRequest{WorkerID: workerID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Job == nil {
+			return
+		}
+		lj := resp.Job
+		res, _ := fakeExec(context.Background(), lj.Params)
+		res.Attempts = 1
+		if err := s.result(ResultRequest{
+			WorkerID: workerID, LeaseID: lj.LeaseID, CampaignID: lj.CampaignID,
+			Index: lj.Index, Status: campaign.StatusRun, Result: res,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// reportOf fetches a completed campaign's aggregate JSON straight from the
+// server's assembly path (the same code the HTTP handler runs).
+func reportOf(t *testing.T, s *Server, id string) []byte {
+	t.Helper()
+	cr, err := s.campaignResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := cr.Aggregate().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestWorkerKilledMidLease: a worker leases a job and dies (never
+// heartbeats). After the TTL the lease expires, the job re-queues keeping
+// its place, a second worker completes the campaign, and the aggregate is
+// byte-identical to the in-process run.
+func TestWorkerKilledMidLease(t *testing.T) {
+	spec := testSpec("killed")
+	want, _ := referenceReport(t, spec)
+
+	s, clock := testServer(t)
+	sub, err := s.submit(SubmitRequest{Tenant: "alice", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := s.register(RegisterRequest{Name: "doomed"})
+	resp, err := s.leaseNext(LeaseRequest{WorkerID: w1.WorkerID})
+	if err != nil || resp.Job == nil {
+		t.Fatalf("lease: %v %+v", err, resp)
+	}
+	victim := resp.Job
+
+	// The worker is SIGKILLed: no heartbeat, no result. Time passes.
+	*clock = clock.Add(s.LeaseTTL + time.Second)
+
+	w2 := s.register(RegisterRequest{Name: "survivor"})
+	seen := map[int]bool{}
+	for {
+		r2, err := s.leaseNext(LeaseRequest{WorkerID: w2.WorkerID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Job == nil {
+			break
+		}
+		seen[r2.Job.Index] = true
+		res, _ := fakeExec(context.Background(), r2.Job.Params)
+		res.Attempts = 1
+		if err := s.result(ResultRequest{
+			WorkerID: w2.WorkerID, LeaseID: r2.Job.LeaseID, CampaignID: r2.Job.CampaignID,
+			Index: r2.Job.Index, Status: campaign.StatusRun, Result: res,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !seen[victim.Index] {
+		t.Fatalf("the dead worker's job %d was never re-leased", victim.Index)
+	}
+	st, err := s.campaignStatus(sub.CampaignID)
+	if err != nil || !st.Complete {
+		t.Fatalf("campaign not complete: %+v (%v)", st, err)
+	}
+	if got := reportOf(t, s, sub.CampaignID); !bytes.Equal(got, want) {
+		t.Fatalf("fleet report differs from in-process run\nfleet:\n%s\nin-process:\n%s", got, want)
+	}
+}
+
+// TestHeartbeatLostStaleLeaseRejected: a worker loses connectivity, its
+// lease expires, and when it comes back both its heartbeat and its result
+// for the still-incomplete job are rejected as stale.
+func TestHeartbeatLostStaleLeaseRejected(t *testing.T) {
+	spec := testSpec("stale", 1)
+	s, clock := testServer(t)
+	if _, err := s.submit(SubmitRequest{Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	w1 := s.register(RegisterRequest{})
+	resp, err := s.leaseNext(LeaseRequest{WorkerID: w1.WorkerID})
+	if err != nil || resp.Job == nil {
+		t.Fatalf("lease: %v %+v", err, resp)
+	}
+	lj := resp.Job
+
+	// Heartbeats extend the deadline while they flow...
+	*clock = clock.Add(s.LeaseTTL / 2)
+	if err := s.heartbeat(HeartbeatRequest{WorkerID: w1.WorkerID, LeaseID: lj.LeaseID}); err != nil {
+		t.Fatalf("live heartbeat rejected: %v", err)
+	}
+	// ...then the network partitions and the TTL lapses.
+	*clock = clock.Add(s.LeaseTTL + time.Second)
+	if err := s.heartbeat(HeartbeatRequest{WorkerID: w1.WorkerID, LeaseID: lj.LeaseID}); err != errStaleLease {
+		t.Fatalf("stale heartbeat: got %v, want errStaleLease", err)
+	}
+	res, _ := fakeExec(context.Background(), lj.Params)
+	res.Attempts = 1
+	err = s.result(ResultRequest{
+		WorkerID: w1.WorkerID, LeaseID: lj.LeaseID, CampaignID: lj.CampaignID,
+		Index: lj.Index, Status: campaign.StatusRun, Result: res,
+	})
+	if err != errStaleLease {
+		t.Fatalf("stale result for incomplete job: got %v, want errStaleLease", err)
+	}
+}
+
+// TestDuplicateResultIdempotent: the slow first worker's result arrives
+// after a second worker already completed the job. The duplicate carries
+// the same content key (deterministic jobs), so it is absorbed with an
+// idempotent cache put rather than rejected — and the report is unaffected.
+func TestDuplicateResultIdempotent(t *testing.T) {
+	spec := testSpec("dup", 1)
+	want, _ := referenceReport(t, spec)
+
+	s, clock := testServer(t)
+	sub, err := s.submit(SubmitRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := s.register(RegisterRequest{Name: "slow"})
+	resp, err := s.leaseNext(LeaseRequest{WorkerID: w1.WorkerID})
+	if err != nil || resp.Job == nil {
+		t.Fatalf("lease: %v %+v", err, resp)
+	}
+	lj := resp.Job
+	*clock = clock.Add(s.LeaseTTL + time.Second)
+
+	w2 := s.register(RegisterRequest{Name: "fast"})
+	completeAll(t, s, w2.WorkerID)
+
+	// The slow worker finally finishes and delivers. Same job, same bytes.
+	res, _ := fakeExec(context.Background(), lj.Params)
+	res.Attempts = 1
+	if err := s.result(ResultRequest{
+		WorkerID: w1.WorkerID, LeaseID: lj.LeaseID, CampaignID: lj.CampaignID,
+		Index: lj.Index, Status: campaign.StatusRun, Result: res,
+	}); err != nil {
+		t.Fatalf("duplicate delivery of a completed job: got %v, want idempotent accept", err)
+	}
+	if got := reportOf(t, s, sub.CampaignID); !bytes.Equal(got, want) {
+		t.Fatalf("report changed after duplicate delivery\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTenantQuotasFairness: two tenants saturate the fleet; quotas cap each
+// tenant's concurrent leases, DRR keeps grants fair, and both campaigns'
+// reports are byte-identical to their in-process runs.
+func TestTenantQuotasFairness(t *testing.T) {
+	specA := testSpec("tenant-a", 1, 2, 3, 4)
+	specB := testSpec("tenant-b", 5, 6, 7, 8)
+	wantA, _ := referenceReport(t, specA)
+	wantB, _ := referenceReport(t, specB)
+
+	s, _ := testServer(t)
+	s.SetQuota("alice", 2)
+	s.SetQuota("bob", 2)
+	subA, err := s.submit(SubmitRequest{Tenant: "alice", Spec: specA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subB, err := s.submit(SubmitRequest{Tenant: "bob", Spec: specB})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := s.register(RegisterRequest{Name: "pool"})
+	type granted struct {
+		lj *LeasedJob
+	}
+	var held []granted
+	inflight := map[string]int{}
+	grants := map[string]int{}
+	// Greedy lease-everything: the quota must stop each tenant at 2.
+	for {
+		resp, err := s.leaseNext(LeaseRequest{WorkerID: w.WorkerID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Job == nil {
+			break
+		}
+		held = append(held, granted{resp.Job})
+		inflight[resp.Job.Tenant]++
+		grants[resp.Job.Tenant]++
+		if inflight[resp.Job.Tenant] > 2 {
+			t.Fatalf("tenant %s exceeded its quota: %d in flight", resp.Job.Tenant, inflight[resp.Job.Tenant])
+		}
+	}
+	if inflight["alice"] != 2 || inflight["bob"] != 2 {
+		t.Fatalf("saturated fleet in-flight %v, want 2 per tenant", inflight)
+	}
+	// Complete held leases, re-leasing greedily after each, until done.
+	for len(held) > 0 {
+		g := held[0]
+		held = held[1:]
+		inflight[g.lj.Tenant]--
+		res, _ := fakeExec(context.Background(), g.lj.Params)
+		res.Attempts = 1
+		if err := s.result(ResultRequest{
+			WorkerID: w.WorkerID, LeaseID: g.lj.LeaseID, CampaignID: g.lj.CampaignID,
+			Index: g.lj.Index, Status: campaign.StatusRun, Result: res,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			resp, err := s.leaseNext(LeaseRequest{WorkerID: w.WorkerID})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Job == nil {
+				break
+			}
+			held = append(held, granted{resp.Job})
+			inflight[resp.Job.Tenant]++
+			grants[resp.Job.Tenant]++
+			if inflight[resp.Job.Tenant] > 2 {
+				t.Fatalf("tenant %s exceeded its quota mid-drain: %d", resp.Job.Tenant, inflight[resp.Job.Tenant])
+			}
+		}
+	}
+	if grants["alice"] != 4 || grants["bob"] != 4 {
+		t.Fatalf("grants %v, want 4 per tenant", grants)
+	}
+	for id, want := range map[string][]byte{subA.CampaignID: wantA, subB.CampaignID: wantB} {
+		if got := reportOf(t, s, id); !bytes.Equal(got, want) {
+			t.Fatalf("campaign %s report differs from in-process run", id)
+		}
+	}
+}
+
+// TestCrossTenantCacheSharing: tenant B submits the same sweep tenant A
+// already completed; every point answers from the shared cache at submit
+// time and B's report is byte-identical to A's.
+func TestCrossTenantCacheSharing(t *testing.T) {
+	spec := testSpec("shared")
+	s, _ := testServer(t)
+	subA, err := s.submit(SubmitRequest{Tenant: "alice", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.register(RegisterRequest{})
+	completeAll(t, s, w.WorkerID)
+
+	subB, err := s.submit(SubmitRequest{Tenant: "bob", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subB.Cached != subB.Jobs {
+		t.Fatalf("tenant B: %d of %d cached, want all", subB.Cached, subB.Jobs)
+	}
+	a, b := reportOf(t, s, subA.CampaignID), reportOf(t, s, subB.CampaignID)
+	if !bytes.Equal(a, b) {
+		t.Fatal("cache-served campaign report differs from the executed one")
+	}
+}
+
+// TestServerRestartPersistence: the server dies mid-campaign; a new one
+// over the same StateDir and cache resumes — completed jobs stay completed,
+// the rest re-queue — and the final report matches the in-process run.
+func TestServerRestartPersistence(t *testing.T) {
+	spec := testSpec("restart")
+	want, _ := referenceReport(t, spec)
+
+	cacheDir, stateDir := t.TempDir(), t.TempDir()
+	cache, err := campaign.OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(cache)
+	s1.StateDir = stateDir
+	if err := s1.Load(); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s1.submit(SubmitRequest{Tenant: "alice", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete two jobs, leave one leased (in flight at crash time), one queued.
+	w := s1.register(RegisterRequest{})
+	for i := 0; i < 2; i++ {
+		resp, err := s1.leaseNext(LeaseRequest{WorkerID: w.WorkerID})
+		if err != nil || resp.Job == nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		res, _ := fakeExec(context.Background(), resp.Job.Params)
+		res.Attempts = 1
+		if err := s1.result(ResultRequest{
+			WorkerID: w.WorkerID, LeaseID: resp.Job.LeaseID, CampaignID: resp.Job.CampaignID,
+			Index: resp.Job.Index, Status: campaign.StatusRun, Result: res,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s1.leaseNext(LeaseRequest{WorkerID: w.WorkerID}); err != nil {
+		t.Fatal(err)
+	}
+	// Server crashes here: s1 is abandoned, leases and queue state lost.
+
+	cache2, err := campaign.OpenCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(cache2)
+	s2.StateDir = stateDir
+	if err := s2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s2.campaignStatus(sub.CampaignID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 2 || st.Pending != 2 || st.Complete {
+		t.Fatalf("restored status %+v, want 2 done, 2 re-queued", st)
+	}
+	w2 := s2.register(RegisterRequest{})
+	completeAll(t, s2, w2.WorkerID)
+	if got := reportOf(t, s2, sub.CampaignID); !bytes.Equal(got, want) {
+		t.Fatalf("post-restart report differs from in-process run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEndToEndWorkersOverHTTP is the full transport path: a real HTTP
+// server, two real Worker loops, one killed mid-job (context cancel, no
+// goodbye), short TTL so its lease expires and the survivor picks the job
+// up — final report byte-identical to the in-process run.
+func TestEndToEndWorkersOverHTTP(t *testing.T) {
+	spec := testSpec("e2e")
+	want, wantCSV := referenceReport(t, spec)
+
+	cache, err := campaign.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cache)
+	s.LeaseTTL = 500 * time.Millisecond
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cl := &Client{Server: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sub, err := cl.Submit(ctx, "alice", 0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker 1 hangs on its first job until killed: its exec blocks, its
+	// heartbeats keep the lease alive, then the kill (context cancel)
+	// silences it and the lease expires.
+	w1ctx, killW1 := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	var w1got atomic.Bool
+	w1 := &Worker{
+		Server: ts.URL,
+		Name:   "doomed",
+		Poll:   20 * time.Millisecond,
+		Exec: func(jctx context.Context, p campaign.Params) (*campaign.Result, error) {
+			w1got.Store(true)
+			<-jctx.Done() // hang until killed
+			return nil, jctx.Err()
+		},
+	}
+	wg.Add(1)
+	go func() { defer wg.Done(); w1.Run(w1ctx) }()
+	// Wait until worker 1 holds a job, then kill it mid-lease.
+	for !w1got.Load() && ctx.Err() == nil {
+		time.Sleep(5 * time.Millisecond)
+	}
+	killW1()
+
+	w2 := &Worker{Server: ts.URL, Name: "survivor", Poll: 20 * time.Millisecond, Exec: fakeExec}
+	wg.Add(1)
+	go func() { defer wg.Done(); w2.Run(ctx) }()
+
+	st, err := cl.Wait(ctx, sub.CampaignID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete || st.Failed != 0 {
+		t.Fatalf("final status %+v", st)
+	}
+	got, err := cl.Report(ctx, sub.CampaignID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet report differs from in-process run\nfleet:\n%s\nin-process:\n%s", got, want)
+	}
+	gotCSV, err := cl.ReportCSV(ctx, sub.CampaignID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotCSV) != wantCSV {
+		t.Fatal("fleet CSV differs from in-process run")
+	}
+	cancel()
+	wg.Wait()
+}

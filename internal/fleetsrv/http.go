@@ -1,0 +1,250 @@
+package fleetsrv
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"smappic/internal/obs"
+)
+
+// Protocol errors, mapped to HTTP statuses by the handlers.
+var (
+	errUnknownWorker   = errors.New("fleetsrv: unknown worker")
+	errUnknownCampaign = errors.New("fleetsrv: unknown campaign")
+	errStaleLease      = errors.New("fleetsrv: stale lease")
+	errIncomplete      = errors.New("fleetsrv: campaign incomplete")
+)
+
+// httpStatus maps a protocol error to its wire status. Stale leases are 409
+// (the worker must abandon the job), incomplete reports too (retry later),
+// unknown IDs are 404.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, errStaleLease), errors.Is(err, errIncomplete):
+		return http.StatusConflict
+	case errors.Is(err, errUnknownWorker), errors.Is(err, errUnknownCampaign):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeJSON writes one JSON response document.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// readJSON decodes a request body, rejecting unknown fields.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// Handler returns the fleet API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /api/campaigns/{id}", s.handleCampaign)
+	mux.HandleFunc("GET /api/campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /api/campaigns/{id}/report.csv", s.handleReportCSV)
+	mux.HandleFunc("GET /api/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /api/workers/register", s.handleRegister)
+	mux.HandleFunc("POST /api/workers/lease", s.handleLease)
+	mux.HandleFunc("POST /api/workers/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /api/workers/result", s.handleResult)
+	mux.HandleFunc("GET /api/status", s.handleStatus)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.submit(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	st, err := s.campaignStatus(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	cr, err := s.campaignResult(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	out, err := cr.Aggregate().JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
+	cr, err := s.campaignResult(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Write([]byte(cr.Aggregate().CSV()))
+}
+
+// handleEvents streams a campaign's job lifecycle over SSE, reusing the obs
+// hub discipline: non-blocking broadcasts, slow clients drop frames, and a
+// greeting with the current status so late joiners have a starting point.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run, ok := s.campaigns[id]
+	var hello CampaignStatus
+	if ok {
+		hello = s.statusLocked(run)
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, errUnknownCampaign.Error(), http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := run.hub.Subscribe()
+	defer run.hub.Unsubscribe(ch)
+	w.Write(obs.FormatSSE("hello", hello))
+	fl.Flush()
+	for {
+		select {
+		case frame := <-ch:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.register(req))
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := s.leaseNext(req)
+	if err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.heartbeat(req); err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if err := readJSON(r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.result(req); err != nil {
+		http.Error(w, err.Error(), httpStatus(err))
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.fleetStatus())
+}
+
+// Start listens on addr and serves in a background goroutine, with a janitor
+// tick expiring leases even when no traffic arrives. It returns the bound
+// address, so ":0" works in tests and scripts.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln)
+	go s.janitor()
+	return ln.Addr().String(), nil
+}
+
+// janitor expires leases on a timer until the server closes.
+func (s *Server) janitor() {
+	tick := time.NewTicker(s.leaseTTL() / 2)
+	defer tick.Stop()
+	for range tick.C {
+		s.mu.Lock()
+		closed := s.httpSrv == nil
+		if !closed {
+			s.expireLocked()
+		}
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// Close shuts the listener down; in-flight SSE streams are cut.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

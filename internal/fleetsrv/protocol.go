@@ -1,0 +1,137 @@
+// Package fleetsrv is the fleet-as-a-service layer: a resident campaign
+// server (smappic-fleetd) that accepts campaign specs from many tenants,
+// expands them onto a persistent tenant-aware queue, and schedules the jobs
+// across remote worker processes (smappic-worker) over a lease/heartbeat
+// protocol — the network recomposition of the campaign engine's three layers
+// (queue, scheduler, executor).
+//
+// Protocol invariants:
+//
+//   - Jobs are deterministic, so a campaign's aggregate report is
+//     byte-identical whether it ran in-process, on one worker, or on many
+//     with some killed mid-job — scheduling is pure wall-clock policy.
+//   - The content-addressed result cache answers before any lease is
+//     granted: identical sweep points across tenants simulate once
+//     fleet-wide.
+//   - A lease not heartbeated within its TTL expires; the job is re-queued
+//     (keeping its admission seq) and the late worker's eventual result is
+//     rejected as stale — unless the job has meanwhile completed with the
+//     same content key, in which case the duplicate is absorbed
+//     idempotently.
+//   - Per-tenant concurrency quotas bound in-flight leases; deficit
+//     round-robin keeps starved tenants fair (see campaign.Queue).
+package fleetsrv
+
+import "smappic/internal/campaign"
+
+// SubmitRequest asks the server to run a campaign on behalf of a tenant.
+type SubmitRequest struct {
+	// Tenant is the submitting principal; empty means "default". Quotas and
+	// fair scheduling apply per tenant, while the result cache is
+	// deliberately shared across all of them.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders this campaign's jobs within the tenant's own backlog
+	// (higher first); it never overrides cross-tenant fairness.
+	Priority int           `json:"priority,omitempty"`
+	Spec     campaign.Spec `json:"spec"`
+}
+
+// SubmitResponse acknowledges an accepted campaign.
+type SubmitResponse struct {
+	CampaignID string `json:"campaign_id"`
+	// Jobs is the expanded point count; Cached of those were answered from
+	// the result cache at submit time and never touched the queue.
+	Jobs   int `json:"jobs"`
+	Cached int `json:"cached"`
+}
+
+// RegisterRequest announces a worker process to the server.
+type RegisterRequest struct {
+	// Name is a human-readable worker label for status output (hostname,
+	// container name); it need not be unique.
+	Name string `json:"name,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity and the lease TTL it
+// must heartbeat within.
+type RegisterResponse struct {
+	WorkerID    string  `json:"worker_id"`
+	LeaseTTLSec float64 `json:"lease_ttl_sec"`
+}
+
+// LeaseRequest asks for one job to execute.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseResponse carries the granted job, or nothing when the queue has no
+// eligible work (everything pending belongs to tenants at quota, or the
+// queue is empty) — the worker polls again after its poll interval.
+type LeaseResponse struct {
+	Job *LeasedJob `json:"job,omitempty"`
+}
+
+// LeasedJob is one granted lease: the job's full identity plus the
+// execution policy of its campaign.
+type LeasedJob struct {
+	LeaseID    string              `json:"lease_id"`
+	CampaignID string              `json:"campaign_id"`
+	Tenant     string              `json:"tenant"`
+	Index      int                 `json:"index"`
+	Total      int                 `json:"total"`
+	Params     campaign.Params     `json:"params"`
+	Policy     campaign.ExecPolicy `json:"policy"`
+}
+
+// HeartbeatRequest extends a lease's deadline. A worker that misses the TTL
+// loses the lease; its next heartbeat (and its eventual result) is rejected
+// with 409, telling it to abandon the job.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	LeaseID  string `json:"lease_id"`
+}
+
+// ResultRequest delivers a finished job. Status is StatusRun or
+// StatusFailed; Result is set for StatusRun.
+type ResultRequest struct {
+	WorkerID   string           `json:"worker_id"`
+	LeaseID    string           `json:"lease_id"`
+	CampaignID string           `json:"campaign_id"`
+	Index      int              `json:"index"`
+	Status     campaign.Status  `json:"status"`
+	Result     *campaign.Result `json:"result,omitempty"`
+	Err        string           `json:"err,omitempty"`
+}
+
+// CampaignStatus is one campaign's progress.
+type CampaignStatus struct {
+	CampaignID string `json:"campaign_id"`
+	Tenant     string `json:"tenant"`
+	Name       string `json:"name"`
+	Total      int    `json:"total"`
+	// Done counts completed jobs (executed or cache-served); Failed counts
+	// terminal failures. Complete means Done+Failed == Total.
+	Done     int  `json:"done"`
+	Failed   int  `json:"failed"`
+	Pending  int  `json:"pending"`
+	InFlight int  `json:"in_flight"`
+	Complete bool `json:"complete"`
+}
+
+// WorkerView is one worker's liveness row for status output.
+type WorkerView struct {
+	WorkerID string `json:"worker_id"`
+	Name     string `json:"name,omitempty"`
+	Leases   int    `json:"leases"`
+	// IdleSec is how long since the worker last called in.
+	IdleSec float64 `json:"idle_sec"`
+}
+
+// StatusView is the whole-fleet status document: the tenant queue view
+// (backlog, in-flight, quota, DRR deficit per tenant), registered workers,
+// and every campaign in admission order.
+type StatusView struct {
+	Queue     []campaign.TenantView `json:"queue"`
+	Workers   []WorkerView          `json:"workers"`
+	Campaigns []CampaignStatus      `json:"campaigns"`
+}

@@ -1,0 +1,683 @@
+package fleetsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"smappic/internal/campaign"
+	"smappic/internal/obs"
+)
+
+// DefaultLeaseTTL is the lease deadline when the operator sets none: long
+// enough to ride out GC pauses and load spikes on a healthy worker, short
+// enough that a dead worker's jobs re-queue promptly.
+const DefaultLeaseTTL = 30 * time.Second
+
+// Server is the resident fleet campaign server. Construct with New, then
+// mount Handler (or Start). All mutable state sits behind one mutex — the
+// protocol is low-rate control traffic (leases, heartbeats, results), never
+// simulation data, so a single lock is simplicity, not a bottleneck.
+type Server struct {
+	// Cache is the shared content-addressed result store; required. It
+	// answers jobs before any lease is granted and absorbs every completed
+	// result, so identical sweep points across tenants simulate once.
+	Cache *campaign.Cache
+	// StateDir, when non-empty, persists campaigns and their outcomes so a
+	// restarted server resumes where it stopped (completed jobs stay
+	// completed, incomplete ones re-queue). Empty keeps everything
+	// in-memory.
+	StateDir string
+	// LeaseTTL is the heartbeat deadline for granted leases; 0 means
+	// DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// DefaultQuota bounds each tenant's concurrent leases unless overridden
+	// by SetQuota; <= 0 means unlimited.
+	DefaultQuota int
+	// Log, when non-nil, receives one line per protocol event of note.
+	Log func(format string, args ...any)
+
+	// now is the injectable clock; tests freeze and step it to drive lease
+	// expiry deterministically.
+	now func() time.Time
+
+	mu        sync.Mutex
+	queue     *campaign.Queue
+	campaigns map[string]*campaignRun
+	order     []string // campaign admission order, for status output
+	workers   map[string]*workerState
+	leases    map[string]*lease
+	nextSeq   uint64
+	nextCamp  int
+	nextLease int
+	nextWkr   int
+
+	httpSrv *http.Server
+}
+
+// campaignRun is one submitted campaign's server-side state.
+type campaignRun struct {
+	id       string
+	tenant   string
+	priority int
+	spec     campaign.Spec
+	jobs     []campaign.Job
+	outcomes []campaign.JobOutcome
+	filled   []bool
+	// remaining counts unfilled slots; pending counts jobs sitting on the
+	// queue (remaining minus in-flight leases).
+	remaining int
+	pending   int
+	inflight  int
+	failed    int
+	done      int
+	hub       *obs.Hub // per-campaign progress stream (SSE)
+	finished  chan struct{}
+}
+
+// workerState tracks one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	lastSeen time.Time
+	leases   map[string]struct{}
+}
+
+// lease is one granted job with its heartbeat deadline.
+type lease struct {
+	id         string
+	workerID   string
+	campaignID string
+	tj         *campaign.TenantJob
+	deadline   time.Time
+}
+
+// New returns a server over a result cache. Call Load afterwards when
+// StateDir is set, then Handler/Start.
+func New(cache *campaign.Cache) *Server {
+	return &Server{
+		Cache:     cache,
+		now:       time.Now,
+		queue:     campaign.NewQueue(0),
+		campaigns: map[string]*campaignRun{},
+		workers:   map[string]*workerState{},
+		leases:    map[string]*lease{},
+	}
+}
+
+// SetQuota overrides one tenant's concurrency quota (<= 0 = unlimited).
+func (s *Server) SetQuota(tenant string, quota int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue.SetQuota(tenant, quota)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+func (s *Server) leaseTTL() time.Duration {
+	if s.LeaseTTL > 0 {
+		return s.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+// ---- submission ----------------------------------------------------------
+
+// submit expands a spec and enqueues its uncached jobs. It is the
+// server-side twin of Runner.Run's setup phase: cache hits resolve up front,
+// everything else goes to the scheduler.
+func (s *Server) submit(req SubmitRequest) (*SubmitResponse, error) {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	jobs, err := req.Spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	if s.DefaultQuota > 0 && s.queue.Quota(tenant) == 0 {
+		// First sight of this tenant: apply the server default unless the
+		// operator pinned an explicit quota.
+		s.queue.SetQuota(tenant, s.DefaultQuota)
+	}
+	s.nextCamp++
+	run := &campaignRun{
+		id:       fmt.Sprintf("c%04d", s.nextCamp),
+		tenant:   tenant,
+		priority: req.Priority,
+		spec:     req.Spec,
+		jobs:     jobs,
+		outcomes: make([]campaign.JobOutcome, len(jobs)),
+		filled:   make([]bool, len(jobs)),
+		hub:      obs.NewHub(),
+		finished: make(chan struct{}),
+	}
+	run.remaining = len(jobs)
+	s.campaigns[run.id] = run
+	s.order = append(s.order, run.id)
+	s.persistCampaign(run)
+
+	cached := 0
+	for _, job := range jobs {
+		if res, ok := s.Cache.Get(job.Params.Key()); ok {
+			s.fillLocked(run, campaign.JobOutcome{Job: job, Status: campaign.StatusCached, Result: res},
+				campaign.Event{Type: campaign.EventCacheHit, Index: job.Index,
+					Label: job.Params.Label(), Total: len(jobs), Cycles: res.Cycles})
+			cached++
+			continue
+		}
+		s.nextSeq++
+		s.queue.Push(&campaign.TenantJob{
+			Tenant: tenant, CampaignID: run.id, Priority: req.Priority,
+			Seq: s.nextSeq, Job: job,
+		})
+		run.pending++
+	}
+	s.logf("campaign %s (%s): %d jobs, %d cached, tenant %s", run.id, req.Spec.Name, len(jobs), cached, tenant)
+	return &SubmitResponse{CampaignID: run.id, Jobs: len(jobs), Cached: cached}, nil
+}
+
+// fillLocked records a terminal outcome for one job slot and streams its
+// event. Caller holds s.mu.
+func (s *Server) fillLocked(run *campaignRun, out campaign.JobOutcome, ev campaign.Event) {
+	if run.filled[out.Job.Index] {
+		return
+	}
+	run.filled[out.Job.Index] = true
+	run.outcomes[out.Job.Index] = out
+	run.remaining--
+	switch out.Status {
+	case campaign.StatusRun, campaign.StatusCached:
+		run.done++
+	case campaign.StatusFailed:
+		run.failed++
+	}
+	s.persistOutcome(run, out)
+	run.hub.Broadcast("job", ev)
+	if run.remaining == 0 {
+		run.hub.Broadcast("complete", s.statusLocked(run))
+		close(run.finished)
+		s.logf("campaign %s complete: %d done, %d failed", run.id, run.done, run.failed)
+	}
+}
+
+// ---- lease lifecycle -----------------------------------------------------
+
+// expireLocked re-queues every lease whose heartbeat deadline has passed —
+// the lazy half of expiry; Start also runs a janitor tick so expiry does not
+// depend on traffic. Caller holds s.mu.
+func (s *Server) expireLocked() {
+	now := s.now()
+	for id, l := range s.leases {
+		if !l.deadline.Before(now) {
+			continue
+		}
+		delete(s.leases, id)
+		if w, ok := s.workers[l.workerID]; ok {
+			delete(w.leases, id)
+		}
+		run := s.campaigns[l.campaignID]
+		s.queue.Requeue(l.tj)
+		if run != nil {
+			run.inflight--
+			run.pending++
+			run.hub.Broadcast("job", campaign.Event{
+				Type: campaign.EventRequeued, Index: l.tj.Job.Index,
+				Label: l.tj.Job.Params.Label(), Total: len(run.jobs),
+				Err: "lease expired: worker " + l.workerID + " lost",
+			})
+		}
+		s.logf("lease %s (job %d of %s) expired on worker %s: re-queued", id, l.tj.Job.Index, l.campaignID, l.workerID)
+	}
+}
+
+// register admits a worker and assigns its identity.
+func (s *Server) register(req RegisterRequest) *RegisterResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextWkr++
+	w := &workerState{
+		id:       fmt.Sprintf("w%03d", s.nextWkr),
+		name:     req.Name,
+		lastSeen: s.now(),
+		leases:   map[string]struct{}{},
+	}
+	s.workers[w.id] = w
+	s.logf("worker %s (%q) registered", w.id, w.name)
+	return &RegisterResponse{WorkerID: w.id, LeaseTTLSec: s.leaseTTL().Seconds()}
+}
+
+// leaseNext grants the scheduler's next job to a worker. Jobs that became
+// cache hits while queued (another tenant's identical point completed) are
+// answered from disk without a lease — the "ask the server before
+// executing" half of the cache protocol.
+func (s *Server) leaseNext(req LeaseRequest) (*LeaseResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	w, ok := s.workers[req.WorkerID]
+	if !ok {
+		return nil, errUnknownWorker
+	}
+	w.lastSeen = s.now()
+	for {
+		tj := s.queue.Next()
+		if tj == nil {
+			return &LeaseResponse{}, nil
+		}
+		run := s.campaigns[tj.CampaignID]
+		if run == nil || run.filled[tj.Job.Index] {
+			// The campaign vanished (bad persistence edit) or the slot was
+			// filled by an idempotent duplicate; drop the queue entry.
+			s.queue.Release(tj.Tenant)
+			continue
+		}
+		if res, ok := s.Cache.Get(tj.Job.Params.Key()); ok {
+			s.queue.Release(tj.Tenant)
+			run.pending--
+			s.fillLocked(run, campaign.JobOutcome{Job: tj.Job, Status: campaign.StatusCached, Result: res},
+				campaign.Event{Type: campaign.EventCacheHit, Index: tj.Job.Index,
+					Label: tj.Job.Params.Label(), Total: len(run.jobs), Cycles: res.Cycles})
+			continue
+		}
+		s.nextLease++
+		l := &lease{
+			id:         fmt.Sprintf("l%06d", s.nextLease),
+			workerID:   w.id,
+			campaignID: tj.CampaignID,
+			tj:         tj,
+			deadline:   s.now().Add(s.leaseTTL()),
+		}
+		s.leases[l.id] = l
+		w.leases[l.id] = struct{}{}
+		run.pending--
+		run.inflight++
+		run.hub.Broadcast("job", campaign.Event{
+			Type: campaign.EventStarted, Index: tj.Job.Index,
+			Label: tj.Job.Params.Label(), Total: len(run.jobs), Attempt: 1,
+		})
+		return &LeaseResponse{Job: &LeasedJob{
+			LeaseID:    l.id,
+			CampaignID: tj.CampaignID,
+			Tenant:     tj.Tenant,
+			Index:      tj.Job.Index,
+			Total:      len(run.jobs),
+			Params:     tj.Job.Params,
+			Policy:     run.spec.Policy(),
+		}}, nil
+	}
+}
+
+// heartbeat extends a live lease. A stale lease (expired, or re-queued to
+// another worker) answers errStaleLease, telling the worker to abandon the
+// job — the server has already re-queued it.
+func (s *Server) heartbeat(req HeartbeatRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	if w, ok := s.workers[req.WorkerID]; ok {
+		w.lastSeen = s.now()
+	}
+	l, ok := s.leases[req.LeaseID]
+	if !ok || l.workerID != req.WorkerID {
+		return errStaleLease
+	}
+	l.deadline = s.now().Add(s.leaseTTL())
+	return nil
+}
+
+// result lands a finished job. Three paths:
+//
+//   - live lease: record the outcome, publish to the cache, free the slot;
+//   - stale lease but the slot already completed with the same content key:
+//     an idempotent duplicate (the job's first worker was slow, a second
+//     re-ran it — deterministic jobs produce byte-identical results), so
+//     absorb it with a fresh idempotent cache put;
+//   - stale lease, slot incomplete: reject — the job is back on the queue
+//     and this worker's state is untrusted.
+func (s *Server) result(req ResultRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	if w, ok := s.workers[req.WorkerID]; ok {
+		w.lastSeen = s.now()
+	}
+	l, ok := s.leases[req.LeaseID]
+	if !ok || l.workerID != req.WorkerID {
+		run := s.campaigns[req.CampaignID]
+		if run != nil && req.Index >= 0 && req.Index < len(run.filled) && run.filled[req.Index] {
+			prev := run.outcomes[req.Index]
+			if req.Status == campaign.StatusRun && req.Result != nil && prev.Result != nil &&
+				prev.Result.Key == req.Result.Key {
+				// Duplicate delivery of a completed job: cache.Put is
+				// idempotent for byte-identical results, so absorbing the
+				// replay is free and keeps the worker's exit path simple.
+				if err := s.Cache.Put(req.Result); err != nil {
+					s.logf("duplicate result for %s job %d: cache put: %v", req.CampaignID, req.Index, err)
+				}
+				return nil
+			}
+		}
+		return errStaleLease
+	}
+	delete(s.leases, l.id)
+	if w, ok := s.workers[l.workerID]; ok {
+		delete(w.leases, l.id)
+	}
+	run := s.campaigns[l.campaignID]
+	if run == nil {
+		s.queue.Release(l.tj.Tenant)
+		return errUnknownCampaign
+	}
+	run.inflight--
+	switch req.Status {
+	case campaign.StatusRun:
+		if req.Result == nil {
+			s.queue.Release(l.tj.Tenant)
+			return fmt.Errorf("fleetsrv: run status without a result")
+		}
+		s.queue.Release(l.tj.Tenant)
+		if err := s.Cache.Put(req.Result); err != nil {
+			s.logf("campaign %s job %d: cache put: %v", run.id, req.Index, err)
+		}
+		s.fillLocked(run, campaign.JobOutcome{Job: l.tj.Job, Status: campaign.StatusRun, Result: req.Result},
+			campaign.Event{Type: campaign.EventDone, Index: l.tj.Job.Index,
+				Label: l.tj.Job.Params.Label(), Total: len(run.jobs),
+				Attempt: req.Result.Attempts, Cycles: req.Result.Cycles})
+	case campaign.StatusFailed:
+		s.queue.Release(l.tj.Tenant)
+		s.fillLocked(run, campaign.JobOutcome{Job: l.tj.Job, Status: campaign.StatusFailed, Err: req.Err},
+			campaign.Event{Type: campaign.EventFailed, Index: l.tj.Job.Index,
+				Label: l.tj.Job.Params.Label(), Total: len(run.jobs), Err: req.Err})
+	default:
+		// The worker gave the job back (shutdown mid-lease): re-queue it.
+		s.queue.Requeue(l.tj)
+		run.pending++
+		run.hub.Broadcast("job", campaign.Event{
+			Type: campaign.EventRequeued, Index: l.tj.Job.Index,
+			Label: l.tj.Job.Params.Label(), Total: len(run.jobs),
+			Err: "returned by worker " + req.WorkerID,
+		})
+	}
+	return nil
+}
+
+// ---- status and reports --------------------------------------------------
+
+// statusLocked builds one campaign's status row. Caller holds s.mu.
+func (s *Server) statusLocked(run *campaignRun) CampaignStatus {
+	return CampaignStatus{
+		CampaignID: run.id,
+		Tenant:     run.tenant,
+		Name:       run.spec.Name,
+		Total:      len(run.jobs),
+		Done:       run.done,
+		Failed:     run.failed,
+		Pending:    run.pending,
+		InFlight:   run.inflight,
+		Complete:   run.remaining == 0,
+	}
+}
+
+// campaignStatus returns one campaign's progress.
+func (s *Server) campaignStatus(id string) (CampaignStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	run, ok := s.campaigns[id]
+	if !ok {
+		return CampaignStatus{}, errUnknownCampaign
+	}
+	return s.statusLocked(run), nil
+}
+
+// campaignResult assembles the completed campaign's CampaignResult — the
+// exact structure the in-process Runner produces, so Aggregate() renders a
+// byte-identical report.
+func (s *Server) campaignResult(id string) (*campaign.CampaignResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run, ok := s.campaigns[id]
+	if !ok {
+		return nil, errUnknownCampaign
+	}
+	if run.remaining != 0 {
+		return nil, errIncomplete
+	}
+	cr := &campaign.CampaignResult{Spec: run.spec, Jobs: append([]campaign.JobOutcome(nil), run.outcomes...)}
+	for _, out := range cr.Jobs {
+		switch out.Status {
+		case campaign.StatusRun:
+			cr.Executed++
+		case campaign.StatusCached:
+			cr.Cached++
+		case campaign.StatusFailed:
+			cr.Failed++
+		default:
+			cr.Skipped++
+		}
+	}
+	return cr, nil
+}
+
+// fleetStatus builds the whole-fleet view.
+func (s *Server) fleetStatus() *StatusView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	now := s.now()
+	view := &StatusView{Queue: s.queue.Tenants()}
+	ids := make([]string, 0, len(s.workers))
+	for id := range s.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := s.workers[id]
+		view.Workers = append(view.Workers, WorkerView{
+			WorkerID: w.id, Name: w.name, Leases: len(w.leases),
+			IdleSec: now.Sub(w.lastSeen).Seconds(),
+		})
+	}
+	for _, id := range s.order {
+		view.Campaigns = append(view.Campaigns, s.statusLocked(s.campaigns[id]))
+	}
+	return view
+}
+
+// waitCh returns a channel closed when the campaign completes.
+func (s *Server) waitCh(id string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run, ok := s.campaigns[id]
+	if !ok {
+		return nil, errUnknownCampaign
+	}
+	return run.finished, nil
+}
+
+// ---- persistence ---------------------------------------------------------
+
+// persistedCampaign is the on-disk submission record.
+type persistedCampaign struct {
+	ID       string        `json:"id"`
+	Tenant   string        `json:"tenant"`
+	Priority int           `json:"priority,omitempty"`
+	Spec     campaign.Spec `json:"spec"`
+}
+
+// persistedOutcome is one line of a campaign's outcome journal. Results are
+// not inlined: the durable cache already holds them content-addressed, so
+// the journal stores only the key.
+type persistedOutcome struct {
+	Index  int             `json:"index"`
+	Status campaign.Status `json:"status"`
+	Key    string          `json:"key,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+func (s *Server) persistCampaign(run *campaignRun) {
+	if s.StateDir == "" {
+		return
+	}
+	data, err := json.MarshalIndent(persistedCampaign{
+		ID: run.id, Tenant: run.tenant, Priority: run.priority, Spec: run.spec,
+	}, "", "  ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(s.StateDir, run.id+".campaign.json"), append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		s.logf("persist campaign %s: %v", run.id, err)
+	}
+}
+
+func (s *Server) persistOutcome(run *campaignRun, out campaign.JobOutcome) {
+	if s.StateDir == "" {
+		return
+	}
+	rec := persistedOutcome{Index: out.Job.Index, Status: out.Status, Err: out.Err}
+	if out.Result != nil {
+		rec.Key = out.Result.Key
+	}
+	line, err := json.Marshal(rec)
+	if err == nil {
+		f, ferr := os.OpenFile(filepath.Join(s.StateDir, run.id+".outcomes.jsonl"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			err = ferr
+		} else {
+			_, err = f.Write(append(line, '\n'))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	if err != nil {
+		s.logf("persist outcome %s/%d: %v", run.id, out.Job.Index, err)
+	}
+}
+
+// Load restores persisted campaigns from StateDir: completed jobs are
+// replayed from their journal (results re-read from the content-addressed
+// cache), incomplete ones go back on the queue. Call once, before serving.
+func (s *Server) Load() error {
+	if s.StateDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.StateDir, 0o755); err != nil {
+		return fmt.Errorf("fleetsrv: state dir: %w", err)
+	}
+	files, err := filepath.Glob(filepath.Join(s.StateDir, "*.campaign.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(files) // admission order: IDs are zero-padded counters
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("fleetsrv: %s: %w", path, err)
+		}
+		var pc persistedCampaign
+		if err := json.Unmarshal(data, &pc); err != nil {
+			return fmt.Errorf("fleetsrv: %s: %w", path, err)
+		}
+		jobs, err := pc.Spec.Jobs()
+		if err != nil {
+			return fmt.Errorf("fleetsrv: %s: %w", path, err)
+		}
+		run := &campaignRun{
+			id: pc.ID, tenant: pc.Tenant, priority: pc.Priority, spec: pc.Spec,
+			jobs:     jobs,
+			outcomes: make([]campaign.JobOutcome, len(jobs)),
+			filled:   make([]bool, len(jobs)),
+			hub:      obs.NewHub(),
+			finished: make(chan struct{}),
+		}
+		run.remaining = len(jobs)
+		s.campaigns[run.id] = run
+		s.order = append(s.order, run.id)
+		if n := campNum(pc.ID); n > s.nextCamp {
+			s.nextCamp = n
+		}
+
+		journal, err := os.ReadFile(filepath.Join(s.StateDir, pc.ID+".outcomes.jsonl"))
+		if err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("fleetsrv: %s journal: %w", pc.ID, err)
+		}
+		for _, line := range strings.Split(string(journal), "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			var rec persistedOutcome
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				// A torn trailing line from a crash mid-append: the job
+				// simply re-runs.
+				s.logf("campaign %s: skipping torn journal line: %v", pc.ID, err)
+				continue
+			}
+			if rec.Index < 0 || rec.Index >= len(jobs) || run.filled[rec.Index] {
+				continue
+			}
+			out := campaign.JobOutcome{Job: jobs[rec.Index], Status: rec.Status, Err: rec.Err}
+			if rec.Status == campaign.StatusRun || rec.Status == campaign.StatusCached {
+				res, ok := s.Cache.Get(rec.Key)
+				if !ok {
+					// The journal promises a result the cache lost: re-run.
+					s.logf("campaign %s job %d: cached result %s missing, re-queueing", pc.ID, rec.Index, rec.Key)
+					continue
+				}
+				out.Result = res
+			}
+			run.filled[rec.Index] = true
+			run.outcomes[rec.Index] = out
+			run.remaining--
+			switch out.Status {
+			case campaign.StatusRun, campaign.StatusCached:
+				run.done++
+			case campaign.StatusFailed:
+				run.failed++
+			}
+		}
+		if run.remaining == 0 {
+			close(run.finished)
+		}
+		for _, job := range jobs {
+			if run.filled[job.Index] {
+				continue
+			}
+			s.nextSeq++
+			s.queue.Push(&campaign.TenantJob{
+				Tenant: run.tenant, CampaignID: run.id, Priority: run.priority,
+				Seq: s.nextSeq, Job: job,
+			})
+			run.pending++
+		}
+		s.logf("restored campaign %s: %d/%d complete, %d re-queued", run.id, run.done+run.failed, len(jobs), run.pending)
+	}
+	return nil
+}
+
+// campNum parses the counter out of a cNNNN campaign ID (0 if malformed).
+func campNum(id string) int {
+	n := 0
+	if _, err := fmt.Sscanf(id, "c%d", &n); err != nil {
+		return 0
+	}
+	return n
+}

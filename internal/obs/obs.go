@@ -54,7 +54,7 @@ type Server struct {
 	seq     atomic.Uint64
 	snap    atomic.Pointer[Snapshot]
 	lastPub atomic.Int64 // wall-clock nanos of the last accepted Publish
-	hub     *hub
+	hub     *Hub
 
 	campMu sync.Mutex
 	camp   *campaignState
@@ -76,7 +76,7 @@ type campaignState struct {
 func New() *Server {
 	return &Server{
 		MinPublishInterval: 100 * time.Millisecond,
-		hub:                newHub(),
+		hub:                NewHub(),
 	}
 }
 
@@ -105,7 +105,7 @@ func (s *Server) ObservePrototype(p *core.Prototype) {
 			if prev != nil {
 				prev(row)
 			}
-			s.hub.broadcast("sample", row)
+			s.hub.Broadcast("sample", row)
 			s.Publish()
 		}
 	}
@@ -146,9 +146,9 @@ func (s *Server) publish() {
 
 	// Edge-detect a watchdog stall so the stream carries the diagnosis once.
 	if wd := sn.Watchdog; wd != nil && wd.Fired && !s.wdFired.Swap(true) {
-		s.hub.broadcast("watchdog", wd)
+		s.hub.Broadcast("watchdog", wd)
 	}
-	s.hub.broadcast("tick", tickEvent(sn))
+	s.hub.Broadcast("tick", tickEvent(sn))
 }
 
 // tickEvent is the light SSE notification sent on every publish: enough for
@@ -216,7 +216,7 @@ func (s *Server) CampaignEvent(ev campaign.Event) {
 	}
 	s.campMu.Unlock()
 
-	s.hub.broadcast("job", ev)
+	s.hub.Broadcast("job", ev)
 	s.Publish()
 }
 
@@ -284,8 +284,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Connection", "keep-alive")
 
-	ch := s.hub.subscribe()
-	defer s.hub.unsubscribe(ch)
+	ch := s.hub.Subscribe()
+	defer s.hub.Unsubscribe(ch)
 
 	// Greet immediately with the latest snapshot's tick, so a subscriber
 	// always receives a first event without waiting for the next publish
@@ -294,7 +294,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if sn := s.snap.Load(); sn != nil {
 		hello = tickEvent(sn)
 	}
-	w.Write(formatSSE("hello", hello))
+	w.Write(FormatSSE("hello", hello))
 	fl.Flush()
 
 	for {

@@ -279,22 +279,22 @@ func TestServedParallelRunIsNonPerturbing(t *testing.T) {
 // TestHubDropsSlowSubscribers pins the non-blocking broadcast: a subscriber
 // that never reads cannot stall the publisher.
 func TestHubDropsSlowSubscribers(t *testing.T) {
-	h := newHub()
-	ch := h.subscribe()
-	if h.subscribers() != 1 {
-		t.Fatalf("subscribers = %d, want 1", h.subscribers())
+	h := NewHub()
+	ch := h.Subscribe()
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", h.Subscribers())
 	}
 	for i := 0; i < subBuffer*3; i++ { // must not block
-		h.broadcast("tick", map[string]int{"i": i})
+		h.Broadcast("tick", map[string]int{"i": i})
 	}
 	if len(ch) != subBuffer {
 		t.Fatalf("buffered %d frames, want full buffer %d", len(ch), subBuffer)
 	}
-	h.unsubscribe(ch)
-	if h.subscribers() != 0 {
-		t.Fatalf("subscribers = %d after unsubscribe", h.subscribers())
+	h.Unsubscribe(ch)
+	if h.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after unsubscribe", h.Subscribers())
 	}
-	h.broadcast("tick", nil) // no subscribers: no-op
+	h.Broadcast("tick", nil) // no subscribers: no-op
 }
 
 func readAll(t *testing.T, resp *http.Response) string {

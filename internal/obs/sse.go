@@ -6,11 +6,15 @@ import (
 	"sync"
 )
 
-// hub fans events out to SSE subscribers. Broadcasting never blocks: a
+// Hub fans events out to SSE subscribers. Broadcasting never blocks: a
 // subscriber whose buffer is full simply misses events (the dashboard
 // re-syncs from /api/metrics on the next tick), so a slow or stuck HTTP
 // client can never stall the goroutine publishing from the simulation side.
-type hub struct {
+//
+// Exported so other servers can reuse the same streaming discipline — the
+// fleet server (internal/fleetsrv) runs one Hub per campaign for its
+// progress streams.
+type Hub struct {
 	mu   sync.Mutex
 	subs map[chan []byte]struct{}
 }
@@ -19,12 +23,13 @@ type hub struct {
 // TCP hiccup, small enough that an abandoned connection holds trivial memory.
 const subBuffer = 256
 
-func newHub() *hub {
-	return &hub{subs: make(map[chan []byte]struct{})}
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[chan []byte]struct{})}
 }
 
-// subscribe registers a new subscriber and returns its event channel.
-func (h *hub) subscribe() chan []byte {
+// Subscribe registers a new subscriber and returns its event channel.
+func (h *Hub) Subscribe() chan []byte {
 	ch := make(chan []byte, subBuffer)
 	h.mu.Lock()
 	h.subs[ch] = struct{}{}
@@ -32,30 +37,39 @@ func (h *hub) subscribe() chan []byte {
 	return ch
 }
 
-// unsubscribe removes a subscriber. Its channel is not closed — the reader
+// Unsubscribe removes a subscriber. Its channel is not closed — the reader
 // owns the receive loop and exits on its request context instead.
-func (h *hub) unsubscribe(ch chan []byte) {
+func (h *Hub) Unsubscribe(ch chan []byte) {
 	h.mu.Lock()
 	delete(h.subs, ch)
 	h.mu.Unlock()
 }
 
-// subscribers returns the current subscriber count.
-func (h *hub) subscribers() int {
+// Subscribers returns the current subscriber count.
+func (h *Hub) Subscribers() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.subs)
 }
 
-// broadcast marshals data and sends one SSE frame to every subscriber,
-// dropping frames for subscribers that cannot keep up.
-func (h *hub) broadcast(event string, data any) {
+// Broadcast marshals data and sends one SSE frame to every subscriber,
+// dropping frames for subscribers that cannot keep up. The JSON marshal
+// happens outside the lock: marshaling an arbitrary payload under h.mu
+// stalled every concurrent Subscribe/Unsubscribe (i.e. every connecting or
+// disconnecting HTTP client) for the duration of the encode.
+func (h *Hub) Broadcast(event string, data any) {
 	h.mu.Lock()
-	if len(h.subs) == 0 {
-		h.mu.Unlock()
+	empty := len(h.subs) == 0
+	h.mu.Unlock()
+	if empty {
+		// No audience: skip the encode entirely. A subscriber arriving
+		// between this check and a frame it therefore misses is identical to
+		// one arriving just after the broadcast — it catches up from the
+		// snapshot mailbox like any late joiner.
 		return
 	}
-	frame := formatSSE(event, data)
+	frame := FormatSSE(event, data)
+	h.mu.Lock()
 	for ch := range h.subs {
 		select {
 		case ch <- frame:
@@ -65,9 +79,9 @@ func (h *hub) broadcast(event string, data any) {
 	h.mu.Unlock()
 }
 
-// formatSSE renders one server-sent event frame: an event name line, the
+// FormatSSE renders one server-sent event frame: an event name line, the
 // JSON payload on a data line, and the blank separator line.
-func formatSSE(event string, data any) []byte {
+func FormatSSE(event string, data any) []byte {
 	payload, err := json.Marshal(data)
 	if err != nil {
 		payload = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
